@@ -1,0 +1,51 @@
+//! Criterion bench: runtime cost of the featurization variants compared in
+//! the quality ablation (`--bin ablations`). The paper's 21-point grid
+//! must not be meaningfully slower than coarser summaries to justify its
+//! accuracy advantage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lvp_core::prediction_statistics;
+use lvp_linalg::DenseMatrix;
+use lvp_stats::percentiles;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_feature_variants(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 5_000;
+    let data: Vec<f64> = (0..n * 2).map(|_| rng.gen::<f64>()).collect();
+    let proba = DenseMatrix::from_vec(n, 2, data).unwrap();
+
+    c.bench_function("features_vigintiles_5000x2", |b| {
+        b.iter(|| prediction_statistics(&proba))
+    });
+
+    c.bench_function("features_deciles_5000x2", |b| {
+        let grid: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+        b.iter(|| {
+            let mut out = Vec::new();
+            for col in 0..proba.cols() {
+                out.extend(percentiles(&proba.column(col), &grid));
+            }
+            out
+        })
+    });
+
+    c.bench_function("features_histogram_5000x2", |b| {
+        b.iter(|| {
+            let mut bins = vec![0.0f64; 10];
+            for row in proba.row_iter() {
+                let p_max = row.iter().copied().fold(0.0f64, f64::max);
+                bins[((p_max * 10.0) as usize).min(9)] += 1.0;
+            }
+            bins
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_feature_variants
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: per-batch detection cost of REL / BBSE / BBSEh — the
+//! baselines' key practical advantage is being training-free, so their
+//! serving-time cost is the relevant number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lvp_core::{Baseline, BbseDetector, BbseHardDetector, RelationalShiftDetector};
+use lvp_models::{train_model_quick, BlackBoxModel, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let df = lvp_datasets::heart(1_000, &mut rng);
+    let (train, rest) = df.split_frac(0.5, &mut rng);
+    let (test, serving) = rest.split_frac(0.5, &mut rng);
+    let model: Arc<dyn BlackBoxModel> =
+        Arc::from(train_model_quick(ModelKind::Lr, &train, &mut rng).unwrap());
+
+    let rel = RelationalShiftDetector::new(test.clone());
+    let bbse = BbseDetector::new(Arc::clone(&model), &test);
+    let bbseh = BbseHardDetector::new(Arc::clone(&model), &test);
+
+    c.bench_function("rel_detect_250x250", |b| b.iter(|| rel.detects_shift(&serving)));
+    c.bench_function("bbse_detect_250x250", |b| b.iter(|| bbse.detects_shift(&serving)));
+    c.bench_function("bbseh_detect_250x250", |b| {
+        b.iter(|| bbseh.detects_shift(&serving))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_baselines
+}
+criterion_main!(benches);

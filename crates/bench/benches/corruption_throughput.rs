@@ -1,0 +1,34 @@
+//! Criterion bench: throughput of every error generator on a tabular
+//! frame. Corruption sits in the inner loop of Algorithm 1, so its cost
+//! bounds how fast a predictor can be (re)trained.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lvp_corruptions::{standard_tabular_suite, unknown_tabular_suite};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_corruptions(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let df = lvp_datasets::income(500, &mut rng);
+    let mut group = c.benchmark_group("corrupt_income_500");
+    let mut gens = standard_tabular_suite(df.schema());
+    gens.extend(unknown_tabular_suite(df.schema()));
+    for gen in gens {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gen.name()),
+            &gen,
+            |b, gen| {
+                let mut inner_rng = StdRng::seed_from_u64(2);
+                b.iter(|| gen.corrupt(&df, &mut inner_rng));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_corruptions
+}
+criterion_main!(benches);

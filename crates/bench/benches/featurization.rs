@@ -1,0 +1,42 @@
+//! Criterion bench: feature-pipeline transform cost and the percentile
+//! featurization of model outputs (Algorithm 2's serving-time hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lvp_core::prediction_statistics;
+use lvp_featurize::{FeaturePipeline, PipelineConfig};
+use lvp_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_pipeline_transform(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let df = lvp_datasets::income(1_000, &mut rng);
+    let pipeline = FeaturePipeline::fit(&df, &PipelineConfig::default());
+    c.bench_function("pipeline_transform_income_1000", |b| {
+        b.iter(|| pipeline.transform(&df))
+    });
+
+    let tweets = lvp_datasets::tweets(500, &mut rng);
+    let text_pipeline = FeaturePipeline::fit(&tweets, &PipelineConfig::default());
+    c.bench_function("pipeline_transform_tweets_500", |b| {
+        b.iter(|| text_pipeline.transform(&tweets))
+    });
+}
+
+fn bench_prediction_statistics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    for &n in &[1_000usize, 10_000] {
+        let data: Vec<f64> = (0..n * 2).map(|_| rng.gen::<f64>()).collect();
+        let proba = DenseMatrix::from_vec(n, 2, data).unwrap();
+        c.bench_function(&format!("prediction_statistics_{n}x2"), |b| {
+            b.iter(|| prediction_statistics(&proba))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pipeline_transform, bench_prediction_statistics
+}
+criterion_main!(benches);

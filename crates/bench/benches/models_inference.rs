@@ -1,0 +1,35 @@
+//! Criterion bench: black box inference cost per model family. Every
+//! corrupted copy in Algorithm 1 costs one batched `predict_proba`, so
+//! inference dominates predictor training time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lvp_models::{train_model_quick, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let df = lvp_datasets::income(800, &mut rng);
+    let (train, serving) = df.split_frac(0.6, &mut rng);
+
+    for kind in ModelKind::TABULAR {
+        let model = train_model_quick(kind, &train, &mut rng).unwrap();
+        c.bench_function(&format!("{}_predict_proba_320_rows", kind.name()), |b| {
+            b.iter(|| model.predict_proba(&serving))
+        });
+    }
+
+    let images = lvp_datasets::digits(120, &mut rng);
+    let (img_train, img_serving) = images.split_frac(0.6, &mut rng);
+    let conv = train_model_quick(ModelKind::Conv, &img_train, &mut rng).unwrap();
+    c.bench_function("conv_predict_proba_48_images", |b| {
+        b.iter(|| conv.predict_proba(&img_serving))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference
+}
+criterion_main!(benches);

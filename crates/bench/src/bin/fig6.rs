@@ -1,0 +1,99 @@
+//! Figure 6: performance validation for black box models trained by
+//! AutoML methods, in the presence of mixtures of known shifts and errors.
+//!
+//! auto-sklearn-like and TPOT-like searchers produce models for the income
+//! dataset; the auto-keras-like architecture search and a larger
+//! hand-specified convnet produce models for the digits dataset. Each is
+//! validated at t ∈ {3%, 5%, 10%} against the three baselines.
+//!
+//! `cargo run --release -p lvp-bench --bin fig6 [-- --scale small]`
+
+use lvp_bench::validation::{validation_f1, THRESHOLDS};
+use lvp_bench::{prepare_split, write_results, ExperimentEnv, ResultRow};
+use lvp_corruptions::{image_suite, standard_tabular_suite, Mixture};
+use lvp_datasets::DatasetKind;
+use lvp_models::automl::{auto_keras_like, auto_sklearn_like, large_convnet, tpot_like};
+use lvp_models::BlackBoxModel;
+use std::sync::Arc;
+
+fn main() {
+    let env = ExperimentEnv::from_args();
+    let mut rows = Vec::new();
+    println!(
+        "{:<14} {:<8} {:>5} {:>8} {:>8} {:>8} {:>8}",
+        "automl", "dataset", "t", "PPM", "BBSE", "BBSEh", "REL"
+    );
+
+    type Trainer = Box<dyn Fn(&lvp_dataframe::DataFrame, &mut rand::rngs::StdRng) -> Arc<dyn BlackBoxModel>>;
+    let searchers: Vec<(&str, DatasetKind, Trainer)> = vec![
+        (
+            "auto-sklearn",
+            DatasetKind::Income,
+            Box::new(|train, rng| Arc::from(auto_sklearn_like(train, 6, rng).expect("search"))),
+        ),
+        (
+            "TPOT",
+            DatasetKind::Income,
+            Box::new(|train, rng| Arc::from(tpot_like(train, 2, 6, rng).expect("search"))),
+        ),
+        (
+            "auto-keras",
+            DatasetKind::Digits,
+            Box::new(|train, rng| Arc::from(auto_keras_like(train, 3, rng).expect("search"))),
+        ),
+        (
+            "large-convnet",
+            DatasetKind::Digits,
+            Box::new(|train, rng| Arc::from(large_convnet(train, rng).expect("training"))),
+        ),
+    ];
+
+    for (name, dataset, trainer) in searchers {
+        let stream = format!("fig6/{name}");
+        let mut rng = env.rng(&stream);
+        let split = prepare_split(dataset, env.scale, &mut rng);
+        println!("# running {name} search on {}...", dataset.name());
+        let model = trainer(&split.train, &mut rng);
+
+        for threshold in THRESHOLDS {
+            let (train_gens, serve_mix) = if dataset.is_image() {
+                (
+                    image_suite(split.test.schema()),
+                    Mixture::from_boxes(image_suite(split.serving.schema())),
+                )
+            } else {
+                (
+                    standard_tabular_suite(split.test.schema()),
+                    Mixture::from_boxes(standard_tabular_suite(split.serving.schema())),
+                )
+            };
+            let scores = validation_f1(
+                Arc::clone(&model),
+                &split.test,
+                &split.serving,
+                &train_gens,
+                &serve_mix,
+                threshold,
+                env.scale,
+                &mut rng,
+            );
+            println!(
+                "{:<14} {:<8} {:>5.2} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                name,
+                dataset.name(),
+                threshold,
+                scores["PPM"],
+                scores["BBSE"],
+                scores["BBSEh"],
+                scores["REL"]
+            );
+            let mut row = ResultRow::new("fig6", dataset.name(), name, format!("t={threshold}"))
+                .with("threshold", threshold);
+            for (method, f1) in &scores {
+                row = row.with(method, *f1);
+            }
+            rows.push(row);
+        }
+    }
+    write_results("fig6", &rows);
+}

@@ -1,0 +1,121 @@
+//! Order statistics and result persistence.
+
+use crate::ResultRow;
+use lvp_stats::percentiles;
+use serde::Serialize;
+
+/// Order statistics over a sample (e.g. a distribution of absolute
+/// prediction errors, matching the paper's box plots and percentile bands).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Lower quartile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample (NaNs ignored; empty samples yield
+    /// all zeros).
+    pub fn of(values: &[f64]) -> Self {
+        let qs = percentiles(values, &[5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 100.0]);
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        let mean = if finite.is_empty() {
+            0.0
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        };
+        Self {
+            n: finite.len(),
+            mean,
+            p05: qs[0],
+            p10: qs[1],
+            p25: qs[2],
+            median: qs[3],
+            p75: qs[4],
+            p90: qs[5],
+            p95: qs[6],
+            max: qs[7],
+        }
+    }
+
+    /// Adds the summary's fields to a result row.
+    pub fn into_row(self, row: ResultRow) -> ResultRow {
+        row.with("n", self.n as f64)
+            .with("mean", self.mean)
+            .with("p05", self.p05)
+            .with("p10", self.p10)
+            .with("p25", self.p25)
+            .with("median", self.median)
+            .with("p75", self.p75)
+            .with("p90", self.p90)
+            .with("p95", self.p95)
+            .with("max", self.max)
+    }
+}
+
+/// Writes result rows as JSON under `results/<name>.json` (relative to the
+/// workspace root when run via `cargo run`).
+pub fn write_results(name: &str, rows: &[ResultRow]) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(rows) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("# wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize results: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.n, 100);
+        assert!((s.median - 50.5).abs() < 1e-9);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_handles_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.median, 0.0);
+    }
+
+    #[test]
+    fn summary_into_row_adds_fields() {
+        let row = Summary::of(&[1.0, 2.0, 3.0]).into_row(ResultRow::new("e", "d", "m", "c"));
+        assert_eq!(row.values["n"], 3.0);
+        assert_eq!(row.values["median"], 2.0);
+    }
+}

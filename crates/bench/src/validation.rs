@@ -1,0 +1,89 @@
+//! Shared protocol for the performance-validation experiments (Figures 5
+//! and 6): train a validator on one error distribution, serve batches from
+//! another, and score PPM against the REL / BBSE / BBSEh baselines with F1.
+//!
+//! The positive class is "the accuracy dropped beyond the threshold" — the
+//! event every method is trying to detect. Baselines predict it by raising
+//! a shift alarm; PPM predicts it when its classifier says the score left
+//! the acceptable band.
+
+use crate::harness::Scale;
+use lvp_core::{
+    Baseline, BbseDetector, BbseHardDetector, PerformanceValidator, RelationalShiftDetector,
+};
+use lvp_corruptions::ErrorGen;
+use lvp_dataframe::DataFrame;
+use lvp_models::{model_accuracy, BlackBoxModel};
+use lvp_stats::f1_score;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// F1 scores of the four methods on one condition.
+pub type MethodScores = BTreeMap<&'static str, f64>;
+
+/// Runs the §6.2 protocol for one (model, threshold) cell.
+///
+/// * `train_gens` — the error generators the validator trains on,
+/// * `serve_gen` — the generator applied to serving batches (possibly a
+///   mixture of error types the validator never saw),
+/// * roughly a third of the served batches stay clean so both outcome
+///   classes occur.
+#[allow(clippy::too_many_arguments)]
+pub fn validation_f1(
+    model: Arc<dyn BlackBoxModel>,
+    test: &DataFrame,
+    serving_pool: &DataFrame,
+    train_gens: &[Box<dyn ErrorGen>],
+    serve_gen: &dyn ErrorGen,
+    threshold: f64,
+    scale: Scale,
+    rng: &mut StdRng,
+) -> MethodScores {
+    let validator = PerformanceValidator::fit(
+        Arc::clone(&model),
+        test,
+        train_gens,
+        &scale.validator_config(threshold),
+        rng,
+    )
+    .expect("validator fit succeeds");
+
+    let rel = RelationalShiftDetector::new(test.clone());
+    let bbse = BbseDetector::new(Arc::clone(&model), test);
+    let bbseh = BbseHardDetector::new(Arc::clone(&model), test);
+
+    let mut truth = Vec::new();
+    let mut ppm_pred = Vec::new();
+    let mut rel_pred = Vec::new();
+    let mut bbse_pred = Vec::new();
+    let mut bbseh_pred = Vec::new();
+
+    let cutoff = (1.0 - threshold) * validator.test_score();
+    for i in 0..scale.serving_batches() {
+        let batch = serving_pool.sample_n(scale.serving_batch_rows(), rng);
+        let batch = if i % 3 == 0 {
+            batch // clean batch
+        } else {
+            serve_gen.corrupt_with_model(&batch, Some(model.as_ref()), rng)
+        };
+        let violated = model_accuracy(model.as_ref(), &batch) < cutoff;
+        truth.push(violated);
+        ppm_pred.push(!validator.validate(&batch).expect("non-empty").within_threshold);
+        rel_pred.push(rel.detects_shift(&batch));
+        bbse_pred.push(bbse.detects_shift(&batch));
+        bbseh_pred.push(bbseh.detects_shift(&batch));
+        let _ = rng.gen::<u8>(); // decorrelate batch streams
+    }
+
+    let mut scores = MethodScores::new();
+    scores.insert("PPM", f1_score(&ppm_pred, &truth));
+    scores.insert("REL", f1_score(&rel_pred, &truth));
+    scores.insert("BBSE", f1_score(&bbse_pred, &truth));
+    scores.insert("BBSEh", f1_score(&bbseh_pred, &truth));
+    scores
+}
+
+/// The thresholds evaluated by Figures 5 and 6.
+pub const THRESHOLDS: [f64; 3] = [0.03, 0.05, 0.10];

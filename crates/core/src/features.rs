@@ -1,0 +1,90 @@
+//! The paper's featurization of model outputs (§3/§4): a univariate
+//! non-parametric summary of each output dimension of `f`, concretely the
+//! class-wise percentiles at 0, 5, 10, …, 100.
+
+use lvp_linalg::DenseMatrix;
+use lvp_stats::{percentiles, vigintile_grid, VIGINTILE_COUNT};
+
+/// Number of feature dimensions produced for a model with `n_classes`
+/// output dimensions.
+pub fn feature_dimensionality(n_classes: usize) -> usize {
+    n_classes * VIGINTILE_COUNT
+}
+
+/// Computes the percentile featurization ζ of a batch of model outputs
+/// (`prediction_statistics` in Algorithms 1 & 2).
+///
+/// For each class column of the `n × m` probability matrix, the 0th, 5th,
+/// …, 100th percentiles are collected, yielding `m · 21` features. The
+/// features depend only on the *distribution* of the outputs, never on
+/// labels — which is what allows applying them to unlabeled serving data.
+pub fn prediction_statistics(proba: &DenseMatrix) -> Vec<f64> {
+    let grid = vigintile_grid();
+    let mut features = Vec::with_capacity(feature_dimensionality(proba.cols()));
+    for class in 0..proba.cols() {
+        let column = proba.column(class);
+        features.extend(percentiles(&column, &grid));
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensionality_is_classes_times_grid() {
+        assert_eq!(feature_dimensionality(2), 42);
+        assert_eq!(feature_dimensionality(3), 63);
+    }
+
+    #[test]
+    fn features_match_dimensionality() {
+        let proba = DenseMatrix::from_rows(&[vec![0.5, 0.5], vec![0.9, 0.1]]).unwrap();
+        let f = prediction_statistics(&proba);
+        assert_eq!(f.len(), feature_dimensionality(2));
+    }
+
+    #[test]
+    fn constant_outputs_yield_constant_percentiles() {
+        let proba = DenseMatrix::from_rows(&vec![vec![0.7, 0.3]; 5]).unwrap();
+        let f = prediction_statistics(&proba);
+        assert!(f[..VIGINTILE_COUNT].iter().all(|&v| (v - 0.7).abs() < 1e-12));
+        assert!(f[VIGINTILE_COUNT..].iter().all(|&v| (v - 0.3).abs() < 1e-12));
+    }
+
+    #[test]
+    fn per_class_blocks_are_monotone() {
+        let proba = DenseMatrix::from_rows(&[
+            vec![0.1, 0.9],
+            vec![0.5, 0.5],
+            vec![0.8, 0.2],
+            vec![0.3, 0.7],
+        ])
+        .unwrap();
+        let f = prediction_statistics(&proba);
+        for block in f.chunks(VIGINTILE_COUNT) {
+            for w in block.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_output_distribution_changes_features() {
+        let confident = DenseMatrix::from_rows(&vec![vec![0.95, 0.05]; 10]).unwrap();
+        let uncertain = DenseMatrix::from_rows(&vec![vec![0.55, 0.45]; 10]).unwrap();
+        assert_ne!(
+            prediction_statistics(&confident),
+            prediction_statistics(&uncertain)
+        );
+    }
+
+    #[test]
+    fn empty_batch_yields_neutral_features() {
+        let proba = DenseMatrix::zeros(0, 2);
+        let f = prediction_statistics(&proba);
+        assert_eq!(f.len(), 42);
+        assert!(f.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,119 @@
+//! Learning to validate the predictions of black box classifiers — the
+//! paper's core contribution.
+//!
+//! Given a pretrained black box model `f∘φ`, a held-out labeled test set and
+//! a set of user-specified error generators, this crate learns:
+//!
+//! * a **performance predictor** ([`PerformancePredictor`], Algorithms 1 &
+//!   2): a random-forest regressor that estimates the model's score on an
+//!   unseen, *unlabeled* serving batch from class-wise percentiles of the
+//!   model's output distribution;
+//! * a **performance validator** ([`PerformanceValidator`], §2/§4): a
+//!   gradient-boosted classifier that decides whether the score on the
+//!   serving batch is within a user-chosen threshold `t` of the test score,
+//!   using the percentile features plus Kolmogorov–Smirnov statistics
+//!   between the serving-time and (retained) test-time model outputs;
+//! * the three task-independent **baselines** it is evaluated against
+//!   (§6.2): [`RelationalShiftDetector`] (univariate tests on raw inputs),
+//!   [`BbseDetector`] (KS on softmax outputs, Lipton et al.) and
+//!   [`BbseHardDetector`] (χ² on predicted-class counts, Rabanser et al.).
+
+mod baselines;
+mod features;
+mod monitor;
+mod persistence;
+mod predictor;
+mod validator;
+
+pub use baselines::{Baseline, BbseDetector, BbseHardDetector, RelationalShiftDetector};
+pub use features::{feature_dimensionality, prediction_statistics};
+pub use monitor::{BatchMonitor, BatchReport, MonitorPolicy};
+pub use persistence::{MetricTag, PredictorArtifact};
+pub use predictor::{
+    generate_training_examples, PerformancePredictor, PredictorConfig, TrainingExample,
+};
+pub use validator::{PerformanceValidator, ValidationOutcome, ValidatorConfig};
+
+use lvp_dataframe::DataFrame;
+use lvp_linalg::DenseMatrix;
+
+/// The scoring function `L` the black box model is known to optimize (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Classification accuracy.
+    #[default]
+    Accuracy,
+    /// Area under the ROC curve (binary tasks).
+    Auc,
+}
+
+impl Metric {
+    /// Computes the metric from a probability matrix and true labels.
+    pub fn score(self, proba: &DenseMatrix, labels: &[u32]) -> f64 {
+        match self {
+            Metric::Accuracy => {
+                let truth: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
+                lvp_stats::accuracy(&proba.argmax_rows(), &truth)
+            }
+            Metric::Auc => {
+                let scores = proba.column(1.min(proba.cols().saturating_sub(1)));
+                let truth: Vec<bool> = labels.iter().map(|&l| l == 1).collect();
+                lvp_stats::auc_binary(&scores, &truth)
+            }
+        }
+    }
+
+    /// Scores a model against a labeled frame.
+    pub fn score_model(self, model: &dyn lvp_models::BlackBoxModel, df: &DataFrame) -> f64 {
+        self.score(&model.predict_proba(df), df.labels())
+    }
+}
+
+/// Errors produced while fitting or applying predictors and validators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CoreError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<lvp_models::ModelError> for CoreError {
+    fn from(e: lvp_models::ModelError) -> Self {
+        CoreError::new(e.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_accuracy_from_proba() {
+        let proba = DenseMatrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+        assert_eq!(Metric::Accuracy.score(&proba, &[0, 1]), 1.0);
+        assert_eq!(Metric::Accuracy.score(&proba, &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn metric_auc_from_proba() {
+        let proba =
+            DenseMatrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9], vec![0.6, 0.4]]).unwrap();
+        // class-1 scores: 0.1, 0.9, 0.4; labels 0, 1, 0 → perfect ranking.
+        assert_eq!(Metric::Auc.score(&proba, &[0, 1, 0]), 1.0);
+    }
+}

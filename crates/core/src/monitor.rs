@@ -1,0 +1,279 @@
+//! Continuous monitoring of a deployed model's serving batches.
+//!
+//! The paper positions the performance predictor as a component that is
+//! "deployed along with the original model" so that "end users and serving
+//! systems can raise alarms" (§1, Figure 1b). This module supplies that
+//! serving-system half: a [`BatchMonitor`] consumes one serving batch at a
+//! time, tracks the history of estimated scores, smooths them with an
+//! exponentially weighted moving average, and applies a debounced alarm
+//! policy (alarm only after `k` consecutive violations) so a single noisy
+//! batch does not page an on-call engineer.
+
+use crate::{CoreError, PerformancePredictor};
+use lvp_dataframe::DataFrame;
+
+/// Alarm policy for a [`BatchMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorPolicy {
+    /// Acceptable relative score drop against the test score (e.g. 0.05).
+    pub threshold: f64,
+    /// Consecutive violating batches required before an alarm fires.
+    pub consecutive_violations: usize,
+    /// Smoothing factor of the EWMA over estimates, in `(0, 1]`;
+    /// 1.0 disables smoothing.
+    pub ewma_alpha: f64,
+}
+
+impl Default for MonitorPolicy {
+    fn default() -> Self {
+        Self {
+            threshold: 0.05,
+            consecutive_violations: 2,
+            ewma_alpha: 0.5,
+        }
+    }
+}
+
+/// The monitor's verdict on one batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchReport {
+    /// Sequence number of the batch (starting at 0).
+    pub batch_index: usize,
+    /// Raw estimated score for this batch.
+    pub estimate: f64,
+    /// EWMA-smoothed estimate.
+    pub smoothed: f64,
+    /// Whether this batch individually violates the threshold.
+    pub violation: bool,
+    /// Whether the debounced alarm is firing.
+    pub alarm: bool,
+}
+
+/// Tracks estimated scores across a stream of serving batches and raises
+/// debounced alarms on sustained drops.
+pub struct BatchMonitor {
+    predictor: PerformancePredictor,
+    policy: MonitorPolicy,
+    history: Vec<BatchReport>,
+    smoothed: Option<f64>,
+    violation_streak: usize,
+}
+
+impl BatchMonitor {
+    /// Wraps a fitted predictor with an alarm policy.
+    pub fn new(predictor: PerformancePredictor, policy: MonitorPolicy) -> Result<Self, CoreError> {
+        if !(0.0..1.0).contains(&policy.threshold) {
+            return Err(CoreError::new("threshold must lie in [0, 1)"));
+        }
+        if policy.consecutive_violations == 0 {
+            return Err(CoreError::new("need at least one violation to alarm"));
+        }
+        if !(0.0 < policy.ewma_alpha && policy.ewma_alpha <= 1.0) {
+            return Err(CoreError::new("ewma_alpha must lie in (0, 1]"));
+        }
+        Ok(Self {
+            predictor,
+            policy,
+            history: Vec::new(),
+            smoothed: None,
+            violation_streak: 0,
+        })
+    }
+
+    /// Scores one serving batch and updates the alarm state.
+    pub fn observe(&mut self, batch: &DataFrame) -> Result<BatchReport, CoreError> {
+        let estimate = self.predictor.predict(batch)?;
+        Ok(self.observe_estimate(estimate))
+    }
+
+    /// Updates the monitor from an externally computed estimate (e.g. when
+    /// the predictor runs in a different process).
+    pub fn observe_estimate(&mut self, estimate: f64) -> BatchReport {
+        let alpha = self.policy.ewma_alpha;
+        let smoothed = match self.smoothed {
+            Some(prev) => alpha * estimate + (1.0 - alpha) * prev,
+            None => estimate,
+        };
+        self.smoothed = Some(smoothed);
+
+        let cutoff = (1.0 - self.policy.threshold) * self.predictor.test_score();
+        let violation = smoothed < cutoff;
+        if violation {
+            self.violation_streak += 1;
+        } else {
+            self.violation_streak = 0;
+        }
+        let report = BatchReport {
+            batch_index: self.history.len(),
+            estimate,
+            smoothed,
+            violation,
+            alarm: self.violation_streak >= self.policy.consecutive_violations,
+        };
+        self.history.push(report);
+        report
+    }
+
+    /// All reports so far, in arrival order.
+    pub fn history(&self) -> &[BatchReport] {
+        &self.history
+    }
+
+    /// Whether the alarm is currently firing.
+    pub fn alarming(&self) -> bool {
+        self.history.last().is_some_and(|r| r.alarm)
+    }
+
+    /// The underlying predictor.
+    pub fn predictor(&self) -> &PerformancePredictor {
+        &self.predictor
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> MonitorPolicy {
+        self.policy
+    }
+
+    /// Resets the alarm state and history (e.g. after remediation).
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.smoothed = None;
+        self.violation_streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredictorConfig;
+    use lvp_corruptions::standard_tabular_suite;
+    use lvp_dataframe::toy_frame;
+    use lvp_models::{train_logistic_regression, BlackBoxModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn monitor(policy: MonitorPolicy) -> (BatchMonitor, lvp_dataframe::DataFrame) {
+        let df = toy_frame(300);
+        let mut rng = StdRng::seed_from_u64(31);
+        let (train, rest) = df.split_frac(0.4, &mut rng);
+        let (test, serving) = rest.split_frac(0.5, &mut rng);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            model,
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        (BatchMonitor::new(predictor, policy).unwrap(), serving)
+    }
+
+    #[test]
+    fn clean_stream_never_alarms() {
+        let (mut m, serving) = monitor(MonitorPolicy::default());
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..5 {
+            let report = m.observe(&serving.sample_n(100, &mut rng)).unwrap();
+            assert!(!report.alarm, "{report:?}");
+        }
+        assert!(!m.alarming());
+        assert_eq!(m.history().len(), 5);
+    }
+
+    #[test]
+    fn sustained_corruption_alarms_after_debounce() {
+        let (mut m, serving) = monitor(MonitorPolicy {
+            consecutive_violations: 2,
+            ewma_alpha: 1.0,
+            ..MonitorPolicy::default()
+        });
+        let mut corrupted = serving.clone();
+        for row in 0..corrupted.n_rows() {
+            corrupted.column_mut(1).set_null(row);
+        }
+        let r1 = m.observe(&corrupted).unwrap();
+        assert!(r1.violation);
+        assert!(!r1.alarm, "first violation must not alarm yet");
+        let r2 = m.observe(&corrupted).unwrap();
+        assert!(r2.alarm, "second consecutive violation alarms");
+        assert!(m.alarming());
+    }
+
+    #[test]
+    fn recovery_clears_the_streak() {
+        let (mut m, serving) = monitor(MonitorPolicy {
+            consecutive_violations: 2,
+            ewma_alpha: 1.0,
+            ..MonitorPolicy::default()
+        });
+        let mut corrupted = serving.clone();
+        for row in 0..corrupted.n_rows() {
+            corrupted.column_mut(1).set_null(row);
+        }
+        m.observe(&corrupted).unwrap();
+        m.observe(&serving).unwrap(); // recovery
+        let r = m.observe(&corrupted).unwrap();
+        assert!(!r.alarm, "streak was broken by the clean batch");
+    }
+
+    #[test]
+    fn ewma_smooths_estimates() {
+        let (mut m, _) = monitor(MonitorPolicy {
+            ewma_alpha: 0.5,
+            ..MonitorPolicy::default()
+        });
+        let r1 = m.observe_estimate(1.0);
+        assert_eq!(r1.smoothed, 1.0);
+        let r2 = m.observe_estimate(0.0);
+        assert!((r2.smoothed - 0.5).abs() < 1e-12);
+        let r3 = m.observe_estimate(0.0);
+        assert!((r3.smoothed - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (mut m, serving) = monitor(MonitorPolicy::default());
+        let mut rng = StdRng::seed_from_u64(33);
+        m.observe(&serving.sample_n(50, &mut rng)).unwrap();
+        m.reset();
+        assert!(m.history().is_empty());
+        assert!(!m.alarming());
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        let (m, _) = monitor(MonitorPolicy::default());
+        let predictor_policy_pairs = [
+            MonitorPolicy {
+                threshold: 1.0,
+                ..MonitorPolicy::default()
+            },
+            MonitorPolicy {
+                consecutive_violations: 0,
+                ..MonitorPolicy::default()
+            },
+            MonitorPolicy {
+                ewma_alpha: 0.0,
+                ..MonitorPolicy::default()
+            },
+        ];
+        // Rebuild monitors from the same predictor is not possible (moved),
+        // so validate policies via a fresh fit each time.
+        drop(m);
+        for policy in predictor_policy_pairs {
+            let df = toy_frame(120);
+            let mut rng = StdRng::seed_from_u64(34);
+            let model: Arc<dyn BlackBoxModel> =
+                Arc::from(train_logistic_regression(&df, &mut rng).unwrap());
+            let gens = standard_tabular_suite(df.schema());
+            let predictor =
+                PerformancePredictor::fit(model, &df, &gens, &PredictorConfig::fast(), &mut rng)
+                    .unwrap();
+            assert!(BatchMonitor::new(predictor, policy).is_err(), "{policy:?}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Serialization of fitted performance predictors.
+//!
+//! A predictor is deployed *alongside* a model (Figure 1b), typically in a
+//! different process or machine than where it was trained. A
+//! [`PredictorArtifact`] captures everything except the black box model
+//! itself (which lives wherever it lives — a cloud endpoint, a vendored
+//! binary): the fitted meta-regressor, the metric, and the reference test
+//! score. Serialize it with any serde format; at load time, reattach the
+//! model handle.
+
+use crate::{CoreError, Metric, PerformancePredictor};
+use lvp_models::forest::RandomForestRegressor;
+use lvp_models::BlackBoxModel;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Serializable snapshot of a fitted [`PerformancePredictor`], minus the
+/// black box model it monitors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictorArtifact {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The fitted random-forest meta-regressor.
+    pub regressor: RandomForestRegressor,
+    /// The scoring function the predictor estimates.
+    pub metric: MetricTag,
+    /// Reference score on the held-out test data.
+    pub test_score: f64,
+    /// Expected featurization dimensionality (n_classes × 21).
+    pub n_feature_dims: usize,
+}
+
+/// Serializable counterpart of [`Metric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricTag {
+    /// Classification accuracy.
+    Accuracy,
+    /// ROC AUC.
+    Auc,
+}
+
+impl From<Metric> for MetricTag {
+    fn from(m: Metric) -> Self {
+        match m {
+            Metric::Accuracy => MetricTag::Accuracy,
+            Metric::Auc => MetricTag::Auc,
+        }
+    }
+}
+
+impl From<MetricTag> for Metric {
+    fn from(t: MetricTag) -> Self {
+        match t {
+            MetricTag::Accuracy => Metric::Accuracy,
+            MetricTag::Auc => Metric::Auc,
+        }
+    }
+}
+
+impl PerformancePredictor {
+    /// Snapshots the predictor for serialization.
+    pub fn to_artifact(&self) -> PredictorArtifact {
+        PredictorArtifact {
+            version: 1,
+            regressor: self.regressor_clone(),
+            metric: self.metric().into(),
+            test_score: self.test_score(),
+            n_feature_dims: self.feature_dims(),
+        }
+    }
+
+    /// Restores a predictor from an artifact, reattaching the black box
+    /// model it monitors. The model must have the same number of classes
+    /// as at training time.
+    pub fn from_artifact(
+        artifact: PredictorArtifact,
+        model: Arc<dyn BlackBoxModel>,
+    ) -> Result<Self, CoreError> {
+        if artifact.version != 1 {
+            return Err(CoreError::new(format!(
+                "unsupported artifact version {}",
+                artifact.version
+            )));
+        }
+        let expected = crate::feature_dimensionality(model.n_classes());
+        if artifact.n_feature_dims != expected {
+            return Err(CoreError::new(format!(
+                "artifact expects {} feature dims but the model produces {}",
+                artifact.n_feature_dims, expected
+            )));
+        }
+        Ok(Self::from_parts(
+            model,
+            artifact.regressor,
+            artifact.metric.into(),
+            artifact.test_score,
+            artifact.n_feature_dims,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredictorConfig;
+    use lvp_corruptions::standard_tabular_suite;
+    use lvp_dataframe::toy_frame;
+    use lvp_models::train_logistic_regression;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn artifact_round_trip_preserves_predictions() {
+        let df = toy_frame(250);
+        let mut rng = StdRng::seed_from_u64(41);
+        let (train, rest) = df.split_frac(0.4, &mut rng);
+        let (test, serving) = rest.split_frac(0.5, &mut rng);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let before = predictor.predict(&serving).unwrap();
+
+        let artifact = predictor.to_artifact();
+        let restored = PerformancePredictor::from_artifact(artifact, model).unwrap();
+        let after = restored.predict(&serving).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(restored.test_score(), predictor.test_score());
+    }
+
+    #[test]
+    fn artifact_rejects_wrong_class_count() {
+        let df = toy_frame(150);
+        let mut rng = StdRng::seed_from_u64(42);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&df, &mut rng).unwrap());
+        let gens = standard_tabular_suite(df.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &df,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut artifact = predictor.to_artifact();
+        artifact.n_feature_dims = 63; // pretend 3 classes
+        assert!(PerformancePredictor::from_artifact(artifact, model).is_err());
+    }
+
+    #[test]
+    fn artifact_rejects_unknown_version() {
+        let df = toy_frame(150);
+        let mut rng = StdRng::seed_from_u64(43);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&df, &mut rng).unwrap());
+        let gens = standard_tabular_suite(df.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &df,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut artifact = predictor.to_artifact();
+        artifact.version = 99;
+        assert!(PerformancePredictor::from_artifact(artifact, model).is_err());
+    }
+
+    #[test]
+    fn metric_tag_round_trip() {
+        assert_eq!(Metric::from(MetricTag::from(Metric::Auc)), Metric::Auc);
+        assert_eq!(
+            Metric::from(MetricTag::from(Metric::Accuracy)),
+            Metric::Accuracy
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! The learned performance predictor (Algorithms 1 and 2).
+
+use crate::features::prediction_statistics;
+use crate::{CoreError, Metric};
+use lvp_corruptions::ErrorGen;
+use lvp_dataframe::DataFrame;
+use lvp_linalg::DenseMatrix;
+use lvp_models::forest::{default_forest_grid, ForestConfig, RandomForestRegressor};
+use lvp_models::{BlackBoxModel, Regressor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Configuration for fitting a [`PerformancePredictor`].
+#[derive(Debug, Clone)]
+pub struct PredictorConfig {
+    /// Corrupted copies generated per error generator (the paper repeats
+    /// 100 times per column/error combination; generators sample their own
+    /// column subsets, so this is the total per generator).
+    pub runs_per_generator: usize,
+    /// Additional uncorrupted copies of the test data (the `p_err = 0`
+    /// regime).
+    pub clean_copies: usize,
+    /// The scoring function of the black box model.
+    pub metric: Metric,
+    /// Hyperparameter grid for the random-forest meta-model.
+    pub forest_grid: Vec<ForestConfig>,
+    /// Cross-validation folds for the meta-model grid search (paper: 5).
+    pub cv_folds: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            runs_per_generator: 100,
+            clean_copies: 10,
+            metric: Metric::Accuracy,
+            forest_grid: default_forest_grid(),
+            cv_folds: 5,
+        }
+    }
+}
+
+impl PredictorConfig {
+    /// A cheaper configuration for tests and smoke runs.
+    pub fn fast() -> Self {
+        Self {
+            runs_per_generator: 25,
+            clean_copies: 5,
+            forest_grid: vec![ForestConfig {
+                n_trees: 25,
+                ..ForestConfig::default()
+            }],
+            ..Self::default()
+        }
+    }
+}
+
+/// One (features, score) pair recorded during Algorithm 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingExample {
+    /// Percentile featurization ζ of the model outputs on one corrupted
+    /// copy.
+    pub features: Vec<f64>,
+    /// True score ℓ of the model on that copy.
+    pub score: f64,
+    /// Name of the generator that produced the copy.
+    pub generator: String,
+}
+
+/// A learned performance predictor `h` for a fixed black box model (§3).
+///
+/// Deployed alongside the model, it estimates the model's score on unseen,
+/// unlabeled serving batches from the distribution of the model's outputs.
+pub struct PerformancePredictor {
+    model: Arc<dyn BlackBoxModel>,
+    regressor: RandomForestRegressor,
+    metric: Metric,
+    test_score: f64,
+    n_feature_dims: usize,
+}
+
+/// Runs the data-generation loop of Algorithm 1 (lines 3–12): applies each
+/// generator `runs` times and records `(ζ_corrupt, ℓ_corrupt)` pairs.
+pub fn generate_training_examples(
+    model: &dyn BlackBoxModel,
+    test: &DataFrame,
+    generators: &[Box<dyn ErrorGen>],
+    runs_per_generator: usize,
+    clean_copies: usize,
+    metric: Metric,
+    rng: &mut StdRng,
+) -> Vec<TrainingExample> {
+    let mut examples =
+        Vec::with_capacity(generators.len() * runs_per_generator + clean_copies);
+    for generator in generators {
+        for _ in 0..runs_per_generator {
+            // Corrupt a random-size subsample so the learned regressor sees
+            // the same batch-size regime it will face at serving time
+            // (percentile features are order statistics and therefore
+            // batch-size sensitive).
+            let lo = (test.n_rows() / 3).max(10).min(test.n_rows());
+            let base = test.sample_n(rng.gen_range(lo..=test.n_rows()), rng);
+            let corrupted = generator.corrupt_with_model(&base, Some(model), rng);
+            let proba = model.predict_proba(&corrupted);
+            examples.push(TrainingExample {
+                features: prediction_statistics(&proba),
+                score: metric.score(&proba, corrupted.labels()),
+                generator: generator.name().to_string(),
+            });
+        }
+    }
+    // Clean copies teach the regressor the error-free regime; subsample the
+    // rows so the batch-size distribution also varies.
+    for _ in 0..clean_copies {
+        let n = test.n_rows();
+        let take = rng.gen_range((n / 2).max(1)..=n);
+        let clean = test.sample_n(take, rng);
+        let proba = model.predict_proba(&clean);
+        examples.push(TrainingExample {
+            features: prediction_statistics(&proba),
+            score: metric.score(&proba, clean.labels()),
+            generator: "clean".to_string(),
+        });
+    }
+    examples
+}
+
+impl PerformancePredictor {
+    /// Algorithm 1: learns a performance predictor for `model` from
+    /// synthetically corrupted copies of the held-out `test` data.
+    pub fn fit(
+        model: Arc<dyn BlackBoxModel>,
+        test: &DataFrame,
+        generators: &[Box<dyn ErrorGen>],
+        config: &PredictorConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, CoreError> {
+        if test.n_rows() == 0 {
+            return Err(CoreError::new("held-out test data is empty"));
+        }
+        if generators.is_empty() {
+            return Err(CoreError::new("need at least one error generator"));
+        }
+        let test_proba = model.predict_proba(test);
+        let test_score = config.metric.score(&test_proba, test.labels());
+
+        let examples = generate_training_examples(
+            model.as_ref(),
+            test,
+            generators,
+            config.runs_per_generator,
+            config.clean_copies,
+            config.metric,
+            rng,
+        );
+        Self::fit_from_examples(model, examples, test_score, config, rng)
+    }
+
+    /// Trains the meta-regressor on pre-generated examples (used by the
+    /// ablation benches to swap featurizations or meta-models).
+    pub fn fit_from_examples(
+        model: Arc<dyn BlackBoxModel>,
+        examples: Vec<TrainingExample>,
+        test_score: f64,
+        config: &PredictorConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, CoreError> {
+        if examples.is_empty() {
+            return Err(CoreError::new("no training examples generated"));
+        }
+        let n_feature_dims = examples[0].features.len();
+        let rows: Vec<Vec<f64>> = examples.iter().map(|e| e.features.clone()).collect();
+        let x = DenseMatrix::from_rows(&rows)
+            .map_err(|e| CoreError::new(format!("feature matrix: {e}")))?;
+        let targets: Vec<f64> = examples.iter().map(|e| e.score).collect();
+        let mut forest_rng = StdRng::seed_from_u64(rng.gen());
+        let (regressor, _) = RandomForestRegressor::fit_cv(
+            &x,
+            &targets,
+            &config.forest_grid,
+            config.cv_folds,
+            &mut forest_rng,
+        )?;
+        Ok(Self {
+            model,
+            regressor,
+            metric: config.metric,
+            test_score,
+            n_feature_dims,
+        })
+    }
+
+    /// Algorithm 2: estimates the model's score on an unseen, unlabeled
+    /// serving batch.
+    pub fn predict(&self, serving: &DataFrame) -> Result<f64, CoreError> {
+        if serving.n_rows() == 0 {
+            return Err(CoreError::new("serving batch is empty"));
+        }
+        let proba = self.model.predict_proba(serving);
+        Ok(self.predict_from_outputs(&proba))
+    }
+
+    /// Estimates the score directly from a batch of model outputs.
+    pub fn predict_from_outputs(&self, proba: &DenseMatrix) -> f64 {
+        let features = prediction_statistics(proba);
+        debug_assert_eq!(features.len(), self.n_feature_dims);
+        let x = DenseMatrix::from_rows(&[features]).expect("single feature row");
+        self.regressor.predict(&x)[0].clamp(0.0, 1.0)
+    }
+
+    /// The model's score on the held-out test data (the reference point for
+    /// alarm thresholds).
+    pub fn test_score(&self) -> f64 {
+        self.test_score
+    }
+
+    /// The scoring function the predictor estimates.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Convenience: raises an alarm when the estimated serving score drops
+    /// more than `threshold` (relative) below the test score.
+    pub fn alarm(&self, serving: &DataFrame, threshold: f64) -> Result<bool, CoreError> {
+        let estimate = self.predict(serving)?;
+        Ok(estimate < (1.0 - threshold) * self.test_score)
+    }
+
+    /// Expected featurization dimensionality.
+    pub fn feature_dims(&self) -> usize {
+        self.n_feature_dims
+    }
+
+    /// Clones the fitted meta-regressor (persistence support).
+    pub(crate) fn regressor_clone(&self) -> RandomForestRegressor {
+        self.regressor.clone()
+    }
+
+    /// Reassembles a predictor from its parts (persistence support).
+    pub(crate) fn from_parts(
+        model: Arc<dyn BlackBoxModel>,
+        regressor: RandomForestRegressor,
+        metric: Metric,
+        test_score: f64,
+        n_feature_dims: usize,
+    ) -> Self {
+        Self {
+            model,
+            regressor,
+            metric,
+            test_score,
+            n_feature_dims,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_corruptions::{standard_tabular_suite, MissingValues};
+    use lvp_dataframe::toy_frame;
+    use lvp_models::train_logistic_regression;
+
+    fn fitted_predictor() -> (PerformancePredictor, DataFrame) {
+        let df = toy_frame(300);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, rest) = df.split_frac(0.4, &mut rng);
+        let (test, serving) = rest.split_frac(0.5, &mut rng);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            model,
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        (predictor, serving)
+    }
+
+    #[test]
+    fn clean_serving_data_scores_near_test_score() {
+        let (predictor, serving) = fitted_predictor();
+        let estimate = predictor.predict(&serving).unwrap();
+        assert!(
+            (estimate - predictor.test_score()).abs() < 0.15,
+            "estimate {estimate} vs test {}",
+            predictor.test_score()
+        );
+    }
+
+    #[test]
+    fn heavy_corruption_lowers_the_estimate() {
+        let (predictor, serving) = fitted_predictor();
+        // Null out the label-revealing categorical column everywhere.
+        let mut corrupted = serving.clone();
+        for row in 0..corrupted.n_rows() {
+            corrupted.column_mut(1).set_null(row);
+        }
+        let clean_est = predictor.predict(&serving).unwrap();
+        let corrupt_est = predictor.predict(&corrupted).unwrap();
+        assert!(
+            corrupt_est < clean_est - 0.1,
+            "clean {clean_est} vs corrupt {corrupt_est}"
+        );
+    }
+
+    #[test]
+    fn alarm_fires_only_under_corruption() {
+        let (predictor, serving) = fitted_predictor();
+        assert!(!predictor.alarm(&serving, 0.10).unwrap());
+        let mut corrupted = serving.clone();
+        for row in 0..corrupted.n_rows() {
+            corrupted.column_mut(1).set_null(row);
+        }
+        assert!(predictor.alarm(&corrupted, 0.10).unwrap());
+    }
+
+    #[test]
+    fn predictions_are_clamped_to_unit_interval() {
+        let (predictor, serving) = fitted_predictor();
+        let est = predictor.predict(&serving).unwrap();
+        assert!((0.0..=1.0).contains(&est));
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        let df = toy_frame(50);
+        let mut rng = StdRng::seed_from_u64(2);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&df, &mut rng).unwrap());
+        let empty = df.select_rows(&[]);
+        let gens = standard_tabular_suite(df.schema());
+        assert!(PerformancePredictor::fit(
+            model.clone(),
+            &empty,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng
+        )
+        .is_err());
+        assert!(PerformancePredictor::fit(
+            model,
+            &df,
+            &[],
+            &PredictorConfig::fast(),
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn training_examples_carry_generator_names() {
+        let df = toy_frame(80);
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = train_logistic_regression(&df, &mut rng).unwrap();
+        let gens: Vec<Box<dyn ErrorGen>> =
+            vec![Box::new(MissingValues::all_categorical(df.schema()))];
+        let ex = generate_training_examples(
+            model.as_ref(),
+            &df,
+            &gens,
+            5,
+            2,
+            Metric::Accuracy,
+            &mut rng,
+        );
+        assert_eq!(ex.len(), 7);
+        assert_eq!(ex[0].generator, "missing_values");
+        assert_eq!(ex[6].generator, "clean");
+        assert!(ex.iter().all(|e| (0.0..=1.0).contains(&e.score)));
+        assert!(ex.iter().all(|e| e.features.len() == 42));
+    }
+}

@@ -1,0 +1,335 @@
+//! The performance validator: the binary-classification variant of the
+//! performance prediction problem (§2, §4).
+//!
+//! Given a user-chosen acceptable relative quality loss `t` (e.g. 5%), the
+//! validator predicts whether the score on a serving batch satisfies
+//! `ℓ_serving ≥ (1 − t) · ℓ_test`. Unlike the plain predictor it retains
+//! the black box model's outputs on the test set and augments the
+//! percentile features with per-class two-sample Kolmogorov–Smirnov
+//! statistics between serving-time and test-time outputs (§4 mentions
+//! exactly this construction, reusing the hypothesis-test signal of
+//! Lipton et al.).
+
+use crate::features::prediction_statistics;
+use crate::{CoreError, Metric};
+use lvp_corruptions::ErrorGen;
+use lvp_dataframe::DataFrame;
+use lvp_linalg::{CsrMatrix, DenseMatrix};
+use lvp_models::gbdt::{GbdtClassifier, GbdtConfig};
+use lvp_models::{BlackBoxModel, Classifier};
+use lvp_stats::ks_two_sample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Configuration for fitting a [`PerformanceValidator`].
+#[derive(Debug, Clone)]
+pub struct ValidatorConfig {
+    /// Acceptable relative quality loss `t` (e.g. 0.05 for 5%).
+    pub threshold: f64,
+    /// Corrupted copies generated per error generator.
+    pub runs_per_generator: usize,
+    /// Additional uncorrupted copies.
+    pub clean_copies: usize,
+    /// The scoring function of the black box model.
+    pub metric: Metric,
+    /// Configuration of the gradient-boosted decision-tree classifier.
+    pub gbdt: GbdtConfig,
+    /// Include the KS-test features (disable for the ablation bench).
+    pub use_ks_features: bool,
+}
+
+impl Default for ValidatorConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.05,
+            runs_per_generator: 100,
+            clean_copies: 20,
+            metric: Metric::Accuracy,
+            gbdt: GbdtConfig {
+                n_rounds: 40,
+                max_depth: 3,
+                ..GbdtConfig::default()
+            },
+            use_ks_features: true,
+        }
+    }
+}
+
+impl ValidatorConfig {
+    /// A cheaper configuration for tests and smoke runs.
+    pub fn fast(threshold: f64) -> Self {
+        Self {
+            threshold,
+            runs_per_generator: 25,
+            clean_copies: 10,
+            gbdt: GbdtConfig {
+                n_rounds: 15,
+                max_depth: 3,
+                ..GbdtConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// The validator's verdict on one serving batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationOutcome {
+    /// `true` when the predictions can be trusted (score within threshold).
+    pub within_threshold: bool,
+    /// The classifier's confidence that the score is within the threshold.
+    pub confidence: f64,
+}
+
+/// A learned performance validator for a fixed black box model and quality
+/// threshold.
+pub struct PerformanceValidator {
+    model: Arc<dyn BlackBoxModel>,
+    classifier: GbdtClassifier,
+    test_outputs: DenseMatrix,
+    test_score: f64,
+    threshold: f64,
+    metric: Metric,
+    use_ks_features: bool,
+}
+
+impl PerformanceValidator {
+    /// Learns the validator from synthetically corrupted copies of the
+    /// held-out test data, as in Algorithm 1 but with binary labels
+    /// `ℓ_corrupt ≥ (1 − t) · ℓ_test`.
+    pub fn fit(
+        model: Arc<dyn BlackBoxModel>,
+        test: &DataFrame,
+        generators: &[Box<dyn ErrorGen>],
+        config: &ValidatorConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, CoreError> {
+        if test.n_rows() == 0 {
+            return Err(CoreError::new("held-out test data is empty"));
+        }
+        if generators.is_empty() {
+            return Err(CoreError::new("need at least one error generator"));
+        }
+        if !(0.0..1.0).contains(&config.threshold) {
+            return Err(CoreError::new("threshold must lie in [0, 1)"));
+        }
+        // Retain the test-time outputs: the KS features compare serving
+        // batches against them (the "major difference" §3 points out).
+        let test_outputs = model.predict_proba(test);
+        let test_score = config.metric.score(&test_outputs, test.labels());
+
+        let mut features: Vec<Vec<f64>> = Vec::new();
+        let mut labels: Vec<u32> = Vec::new();
+        let mut record = |proba: &DenseMatrix, score: f64, this: &Self| {
+            features.push(this.featurize(proba));
+            labels.push(u32::from(score >= (1.0 - this.threshold) * this.test_score));
+        };
+
+        // Construct a provisional self to reuse the featurization logic.
+        let mut validator = Self {
+            model,
+            classifier: GbdtClassifier::fit(
+                &CsrMatrix::from_dense(&DenseMatrix::from_rows(&[vec![0.0]]).expect("1x1")),
+                &[0],
+                2,
+                &GbdtConfig {
+                    n_rounds: 1,
+                    ..GbdtConfig::default()
+                },
+                rng,
+            )?,
+            test_outputs,
+            test_score,
+            threshold: config.threshold,
+            metric: config.metric,
+            use_ks_features: config.use_ks_features,
+        };
+
+        for generator in generators {
+            for _ in 0..config.runs_per_generator {
+                // Match the serving-time batch-size regime (see the note in
+                // `generate_training_examples`): corrupt random-size
+                // subsamples of the test data.
+                let lo = (test.n_rows() / 3).max(10).min(test.n_rows());
+                let base = test.sample_n(rng.gen_range(lo..=test.n_rows()), rng);
+                let corrupted =
+                    generator.corrupt_with_model(&base, Some(validator.model.as_ref()), rng);
+                let proba = validator.model.predict_proba(&corrupted);
+                let score = config.metric.score(&proba, corrupted.labels());
+                record(&proba, score, &validator);
+            }
+        }
+        for _ in 0..config.clean_copies {
+            let take = rng.gen_range((test.n_rows() / 2).max(1)..=test.n_rows());
+            let clean = test.sample_n(take, rng);
+            let proba = validator.model.predict_proba(&clean);
+            let score = config.metric.score(&proba, clean.labels());
+            record(&proba, score, &validator);
+        }
+
+        if labels.iter().all(|&l| l == 0) || labels.iter().all(|&l| l == 1) {
+            // Degenerate training set: corruption always (or never) broke
+            // the threshold. Inject the clean full-batch case to keep two
+            // classes, mirroring p_err = 0.
+            let proba = validator.model.predict_proba(test);
+            features.push(validator.featurize(&proba));
+            labels.push(1);
+            if labels.iter().all(|&l| l == 1) {
+                // Still degenerate — synthesize a catastrophic case from
+                // uniform-random outputs.
+                let m = validator.model.n_classes();
+                let uniform =
+                    DenseMatrix::from_vec(4, m, vec![1.0 / m as f64; 4 * m]).expect("sized");
+                features.push(validator.featurize(&uniform));
+                labels.push(0);
+            }
+        }
+
+        let x = CsrMatrix::from_dense(
+            &DenseMatrix::from_rows(&features)
+                .map_err(|e| CoreError::new(format!("feature matrix: {e}")))?,
+        );
+        let mut gbdt_rng = StdRng::seed_from_u64(rng.gen());
+        validator.classifier = GbdtClassifier::fit(&x, &labels, 2, &config.gbdt, &mut gbdt_rng)?;
+        Ok(validator)
+    }
+
+    /// Featurizes one batch of model outputs: percentile statistics plus
+    /// (optionally) per-class KS statistic and p-value against the retained
+    /// test-time outputs.
+    pub fn featurize(&self, proba: &DenseMatrix) -> Vec<f64> {
+        let mut f = prediction_statistics(proba);
+        if self.use_ks_features {
+            for class in 0..proba.cols() {
+                let serving_col = proba.column(class);
+                let test_col = self.test_outputs.column(class);
+                let outcome = ks_two_sample(&serving_col, &test_col);
+                f.push(outcome.statistic);
+                f.push(outcome.p_value);
+            }
+        }
+        f
+    }
+
+    /// Decides whether the model's predictions on the serving batch can be
+    /// trusted.
+    pub fn validate(&self, serving: &DataFrame) -> Result<ValidationOutcome, CoreError> {
+        if serving.n_rows() == 0 {
+            return Err(CoreError::new("serving batch is empty"));
+        }
+        let proba = self.model.predict_proba(serving);
+        Ok(self.validate_outputs(&proba))
+    }
+
+    /// Decides from a batch of model outputs directly.
+    pub fn validate_outputs(&self, proba: &DenseMatrix) -> ValidationOutcome {
+        let features = self.featurize(proba);
+        let x = CsrMatrix::from_dense(
+            &DenseMatrix::from_rows(&[features]).expect("single feature row"),
+        );
+        let p = self.classifier.predict_proba(&x);
+        let confidence = p.get(0, 1);
+        ValidationOutcome {
+            within_threshold: confidence >= 0.5,
+            confidence,
+        }
+    }
+
+    /// The model's reference score on the held-out test data.
+    pub fn test_score(&self) -> f64 {
+        self.test_score
+    }
+
+    /// The configured acceptable relative loss `t`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The scoring function used.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_corruptions::standard_tabular_suite;
+    use lvp_dataframe::toy_frame;
+    use lvp_models::train_logistic_regression;
+
+    fn fitted_validator(threshold: f64) -> (PerformanceValidator, DataFrame) {
+        let df = toy_frame(300);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (train, rest) = df.split_frac(0.4, &mut rng);
+        let (test, serving) = rest.split_frac(0.5, &mut rng);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
+        let gens = standard_tabular_suite(test.schema());
+        let validator = PerformanceValidator::fit(
+            model,
+            &test,
+            &gens,
+            &ValidatorConfig::fast(threshold),
+            &mut rng,
+        )
+        .unwrap();
+        (validator, serving)
+    }
+
+    #[test]
+    fn clean_data_passes_validation() {
+        let (validator, serving) = fitted_validator(0.10);
+        let outcome = validator.validate(&serving).unwrap();
+        assert!(outcome.within_threshold, "confidence {}", outcome.confidence);
+    }
+
+    #[test]
+    fn catastrophic_corruption_fails_validation() {
+        let (validator, serving) = fitted_validator(0.10);
+        let mut corrupted = serving.clone();
+        for row in 0..corrupted.n_rows() {
+            corrupted.column_mut(1).set_null(row);
+        }
+        let outcome = validator.validate(&corrupted).unwrap();
+        assert!(!outcome.within_threshold, "confidence {}", outcome.confidence);
+    }
+
+    #[test]
+    fn threshold_accessors() {
+        let (validator, _) = fitted_validator(0.05);
+        assert_eq!(validator.threshold(), 0.05);
+        assert!(validator.test_score() > 0.8);
+    }
+
+    #[test]
+    fn ks_features_extend_dimensionality() {
+        let (validator, serving) = fitted_validator(0.05);
+        let proba = validator.model.predict_proba(&serving);
+        let f = validator.featurize(&proba);
+        // 42 percentile dims + 2 KS dims per class.
+        assert_eq!(f.len(), 42 + 4);
+    }
+
+    #[test]
+    fn rejects_invalid_threshold() {
+        let df = toy_frame(60);
+        let mut rng = StdRng::seed_from_u64(12);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&df, &mut rng).unwrap());
+        let gens = standard_tabular_suite(df.schema());
+        let bad = ValidatorConfig {
+            threshold: 1.5,
+            ..ValidatorConfig::fast(0.05)
+        };
+        assert!(PerformanceValidator::fit(model, &df, &gens, &bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn confidence_is_probability() {
+        let (validator, serving) = fitted_validator(0.05);
+        let outcome = validator.validate(&serving).unwrap();
+        assert!((0.0..=1.0).contains(&outcome.confidence));
+    }
+}

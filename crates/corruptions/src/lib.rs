@@ -1,0 +1,162 @@
+//! Programmatic error generators simulating dataset shift and data errors.
+//!
+//! The paper's key departure from prior work: instead of assuming a
+//! parametric form of dataset shift, the engineer *programmatically
+//! specifies* the kinds of errors they expect (missing values, outliers,
+//! swapped columns, scaling bugs, adversarial text, image noise/rotation,
+//! …) and the system learns how each affects the black box model's outputs.
+//!
+//! Every generator implements [`ErrorGen`]: given a frame, it returns a
+//! corrupted *copy*, choosing its own random magnitude per invocation
+//! (which columns, what fraction of cells, how strong) — matching §6's
+//! protocol of "randomly chosen magnitudes". The absence of errors is
+//! represented by sometimes-small sampled fractions, and harness code can
+//! additionally mix in uncorrupted copies.
+//!
+//! The generators whose mechanism needs the model itself (the paper's
+//! model-entropy-based missing values) receive it through
+//! [`ErrorGen::corrupt_with_model`].
+
+mod entropy;
+mod extended;
+mod image;
+mod mixture;
+mod tabular;
+mod text;
+
+pub use entropy::EntropyMissingValues;
+pub use extended::{
+    extended_tabular_suite, CategoryFlip, ConstantFill, DuplicateRows, SelectionBias,
+};
+pub use image::{ImageNoise, ImageRotation};
+pub use mixture::{CleanCopy, Mixture};
+pub use tabular::{
+    EncodingErrors, FlippedSign, MissingValues, Outliers, Scaling, Smearing, SwappedColumns,
+    Typos,
+};
+pub use text::AdversarialLeetspeak;
+
+use lvp_dataframe::{DataFrame, Schema};
+use lvp_models::BlackBoxModel;
+use rand::rngs::StdRng;
+
+/// A programmatic error generator.
+///
+/// Implementations must be cheap to apply repeatedly: the performance
+/// predictor corrupts the held-out test set hundreds to thousands of times
+/// during training (Algorithm 1).
+pub trait ErrorGen: Send + Sync {
+    /// Short, stable identifier (used in experiment reports).
+    fn name(&self) -> &str;
+
+    /// Returns a corrupted copy of `df`, sampling the corruption magnitude
+    /// (columns, fraction, strength) internally.
+    fn corrupt(&self, df: &DataFrame, rng: &mut StdRng) -> DataFrame;
+
+    /// Like [`ErrorGen::corrupt`], but with access to the deployed model
+    /// for generators whose corruption depends on model behaviour.
+    fn corrupt_with_model(
+        &self,
+        df: &DataFrame,
+        _model: Option<&dyn BlackBoxModel>,
+        rng: &mut StdRng,
+    ) -> DataFrame {
+        self.corrupt(df, rng)
+    }
+}
+
+/// The paper's four "known" tabular error types (§6.2.1): missing values,
+/// outliers, swapped columns and scaling.
+pub fn standard_tabular_suite(schema: &Schema) -> Vec<Box<dyn ErrorGen>> {
+    vec![
+        Box::new(MissingValues::all_categorical(schema)),
+        Box::new(Outliers::all_numeric(schema)),
+        Box::new(SwappedColumns::all_pairs(schema)),
+        Box::new(Scaling::all_numeric(schema)),
+    ]
+}
+
+/// The paper's three "unknown" tabular error types (§6.2.2): typos,
+/// smearing and flipped signs — used for evaluating generalization to
+/// errors the validator never trained on.
+pub fn unknown_tabular_suite(schema: &Schema) -> Vec<Box<dyn ErrorGen>> {
+    vec![
+        Box::new(Typos::all_categorical(schema)),
+        Box::new(Smearing::all_numeric(schema)),
+        Box::new(FlippedSign::all_numeric(schema)),
+    ]
+}
+
+/// The image error types of §6: additive Gaussian noise and rotations.
+pub fn image_suite(schema: &Schema) -> Vec<Box<dyn ErrorGen>> {
+    vec![
+        Box::new(ImageNoise::all_images(schema)),
+        Box::new(ImageRotation::all_images(schema)),
+    ]
+}
+
+/// The adversarial-text suite for the tweets dataset.
+pub fn text_suite(schema: &Schema) -> Vec<Box<dyn ErrorGen>> {
+    vec![
+        Box::new(AdversarialLeetspeak::all_text(schema)),
+        Box::new(EncodingErrors::all_text(schema)),
+    ]
+}
+
+/// Picks the fraction of rows to corrupt — uniform over (0, 1), matching
+/// the paper's randomly sampled corruption probabilities.
+pub(crate) fn sample_fraction(rng: &mut StdRng) -> f64 {
+    use rand::Rng;
+    rng.gen_range(0.02..1.0)
+}
+
+/// Chooses a non-empty random subset of the candidate columns (the paper
+/// corrupts "1 to n" randomly chosen columns).
+pub(crate) fn choose_columns(candidates: &[usize], rng: &mut StdRng) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let k = rng.gen_range(1..=candidates.len());
+    let mut cols = candidates.to_vec();
+    cols.shuffle(rng);
+    cols.truncate(k);
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_dataframe::toy_frame;
+    use rand::SeedableRng;
+
+    #[test]
+    fn suites_match_schema_capabilities() {
+        let df = toy_frame(4);
+        let std = standard_tabular_suite(df.schema());
+        assert_eq!(std.len(), 4);
+        let unk = unknown_tabular_suite(df.schema());
+        assert_eq!(unk.len(), 3);
+    }
+
+    #[test]
+    fn choose_columns_is_nonempty_subset() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let cols = choose_columns(&[3, 5, 9], &mut rng);
+            assert!(!cols.is_empty() && cols.len() <= 3);
+            assert!(cols.iter().all(|c| [3, 5, 9].contains(c)));
+        }
+        assert!(choose_columns(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_fraction_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let f = sample_fraction(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Composite generators: random mixtures of error types and clean copies.
+
+use crate::ErrorGen;
+use lvp_dataframe::DataFrame;
+use lvp_models::BlackBoxModel;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Applies a randomly chosen subset of its member generators in sequence
+/// (§6.2: "randomly chosen mixtures of four different error types ... with
+/// different probabilities").
+///
+/// Each member is included independently with probability `include_prob`;
+/// if the sampled subset is empty, one random member is applied so the
+/// mixture always corrupts something.
+pub struct Mixture {
+    members: Vec<Arc<dyn ErrorGen>>,
+    include_prob: f64,
+    name: String,
+}
+
+impl Mixture {
+    /// Builds a mixture over the given members with the default inclusion
+    /// probability of 0.5.
+    pub fn new(members: Vec<Arc<dyn ErrorGen>>) -> Self {
+        Self::with_include_prob(members, 0.5)
+    }
+
+    /// Builds a mixture with an explicit per-member inclusion probability.
+    pub fn with_include_prob(members: Vec<Arc<dyn ErrorGen>>, include_prob: f64) -> Self {
+        assert!(!members.is_empty(), "mixture needs at least one member");
+        let name = format!(
+            "mixture({})",
+            members
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        Self {
+            members,
+            include_prob,
+            name,
+        }
+    }
+
+    /// Convenience: wraps boxed generators into a mixture.
+    pub fn from_boxes(members: Vec<Box<dyn ErrorGen>>) -> Self {
+        Self::new(members.into_iter().map(Arc::from).collect())
+    }
+}
+
+impl ErrorGen for Mixture {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn corrupt(&self, df: &DataFrame, rng: &mut StdRng) -> DataFrame {
+        self.corrupt_with_model(df, None, rng)
+    }
+
+    fn corrupt_with_model(
+        &self,
+        df: &DataFrame,
+        model: Option<&dyn BlackBoxModel>,
+        rng: &mut StdRng,
+    ) -> DataFrame {
+        let mut selected: Vec<&Arc<dyn ErrorGen>> = self
+            .members
+            .iter()
+            .filter(|_| rng.gen::<f64>() < self.include_prob)
+            .collect();
+        if selected.is_empty() {
+            let i = rng.gen_range(0..self.members.len());
+            selected.push(&self.members[i]);
+        }
+        let mut out = df.clone();
+        for gen in selected {
+            out = gen.corrupt_with_model(&out, model, rng);
+        }
+        out
+    }
+}
+
+/// A "generator" that returns the frame unchanged. Mixed into predictor
+/// training so the learned regressor also sees the error-free regime
+/// (`p_err = 0` in the paper's problem statement).
+#[derive(Debug, Clone, Default)]
+pub struct CleanCopy;
+
+impl ErrorGen for CleanCopy {
+    fn name(&self) -> &str {
+        "clean"
+    }
+
+    fn corrupt(&self, df: &DataFrame, _rng: &mut StdRng) -> DataFrame {
+        df.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tabular::{MissingValues, Outliers};
+    use lvp_dataframe::toy_frame;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mixture_applies_at_least_one_member() {
+        let df = toy_frame(100);
+        let mix = Mixture::with_include_prob(
+            vec![
+                Arc::new(MissingValues::all_categorical(df.schema())),
+                Arc::new(Outliers::all_numeric(df.schema())),
+            ],
+            0.0, // never include by chance → must force one member
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = mix.corrupt(&df, &mut rng);
+        assert!(out != df, "mixture must corrupt something");
+    }
+
+    #[test]
+    fn mixture_name_lists_members() {
+        let df = toy_frame(4);
+        let mix = Mixture::new(vec![Arc::new(MissingValues::all_categorical(df.schema()))]);
+        assert_eq!(mix.name(), "mixture(missing_values)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_mixture_panics() {
+        let _ = Mixture::new(vec![]);
+    }
+
+    #[test]
+    fn clean_copy_is_identity() {
+        let df = toy_frame(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(CleanCopy.corrupt(&df, &mut rng), df);
+    }
+
+    #[test]
+    fn mixture_preserves_shape() {
+        let df = toy_frame(64);
+        let mix = Mixture::from_boxes(vec![
+            Box::new(MissingValues::all_categorical(df.schema())),
+            Box::new(Outliers::all_numeric(df.schema())),
+        ]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = mix.corrupt(&df, &mut rng);
+        assert_eq!(out.n_rows(), 64);
+        assert_eq!(out.labels(), df.labels());
+    }
+}

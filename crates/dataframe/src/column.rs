@@ -1,0 +1,388 @@
+//! Column storage and cell values.
+
+use crate::{ColumnType, FrameError};
+use serde::{Deserialize, Serialize};
+
+/// A small grayscale image with pixel intensities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageData {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Row-major pixel intensities, `width * height` values.
+    pub pixels: Vec<f64>,
+}
+
+impl ImageData {
+    /// Creates an all-black image.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
+    }
+
+    /// Pixel at `(x, y)`; out-of-bounds reads return 0.0.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x]
+        } else {
+            0.0
+        }
+    }
+
+    /// Sets pixel `(x, y)`; out-of-bounds writes are ignored.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f64) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = v;
+        }
+    }
+}
+
+/// A single cell value, used for type-coercing operations such as the
+/// swapped-columns error generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellValue {
+    /// Missing value.
+    Null,
+    /// Numeric value.
+    Num(f64),
+    /// Categorical value.
+    Cat(String),
+    /// Text value.
+    Text(String),
+    /// Image value.
+    Image(ImageData),
+}
+
+/// Columnar storage for one attribute. Each variant stores one optional
+/// value per row; `None` encodes a missing cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Numeric attribute values.
+    Numeric(Vec<Option<f64>>),
+    /// Categorical attribute values.
+    Categorical(Vec<Option<String>>),
+    /// Text attribute values.
+    Text(Vec<Option<String>>),
+    /// Image attribute values.
+    Image(Vec<Option<ImageData>>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical(v) => v.len(),
+            Column::Text(v) => v.len(),
+            Column::Image(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type.
+    pub fn ty(&self) -> ColumnType {
+        match self {
+            Column::Numeric(_) => ColumnType::Numeric,
+            Column::Categorical(_) => ColumnType::Categorical,
+            Column::Text(_) => ColumnType::Text,
+            Column::Image(_) => ColumnType::Image,
+        }
+    }
+
+    /// Number of missing cells.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.iter().filter(|c| c.is_none()).count(),
+            Column::Categorical(v) => v.iter().filter(|c| c.is_none()).count(),
+            Column::Text(v) => v.iter().filter(|c| c.is_none()).count(),
+            Column::Image(v) => v.iter().filter(|c| c.is_none()).count(),
+        }
+    }
+
+    /// An empty column of the given type.
+    pub fn empty(ty: ColumnType) -> Column {
+        match ty {
+            ColumnType::Numeric => Column::Numeric(Vec::new()),
+            ColumnType::Categorical => Column::Categorical(Vec::new()),
+            ColumnType::Text => Column::Text(Vec::new()),
+            ColumnType::Image => Column::Image(Vec::new()),
+        }
+    }
+
+    /// Cell at `row` as a [`CellValue`].
+    pub fn cell(&self, row: usize) -> CellValue {
+        match self {
+            Column::Numeric(v) => v[row].map_or(CellValue::Null, CellValue::Num),
+            Column::Categorical(v) => v[row]
+                .clone()
+                .map_or(CellValue::Null, CellValue::Cat),
+            Column::Text(v) => v[row].clone().map_or(CellValue::Null, CellValue::Text),
+            Column::Image(v) => v[row].clone().map_or(CellValue::Null, CellValue::Image),
+        }
+    }
+
+    /// Stores `value` at `row`, coercing across types where a faithful
+    /// coercion exists — mirroring what happens when a buggy pipeline swaps
+    /// values between object-typed pandas columns:
+    ///
+    /// * a number written into a categorical/text column becomes its decimal
+    ///   string (an unseen category for downstream one-hot encoders),
+    /// * a string written into a numeric column is parsed; unparseable
+    ///   strings become missing values,
+    /// * anything written into an image column other than an image becomes a
+    ///   missing image,
+    /// * [`CellValue::Null`] always produces a missing cell.
+    pub fn set_cell_coercing(&mut self, row: usize, value: CellValue) {
+        match self {
+            Column::Numeric(v) => {
+                v[row] = match value {
+                    CellValue::Num(x) => Some(x),
+                    CellValue::Cat(s) | CellValue::Text(s) => s.trim().parse::<f64>().ok(),
+                    CellValue::Null | CellValue::Image(_) => None,
+                };
+            }
+            Column::Categorical(v) => {
+                v[row] = match value {
+                    CellValue::Cat(s) | CellValue::Text(s) => Some(s),
+                    CellValue::Num(x) => Some(format_num(x)),
+                    CellValue::Null | CellValue::Image(_) => None,
+                };
+            }
+            Column::Text(v) => {
+                v[row] = match value {
+                    CellValue::Cat(s) | CellValue::Text(s) => Some(s),
+                    CellValue::Num(x) => Some(format_num(x)),
+                    CellValue::Null | CellValue::Image(_) => None,
+                };
+            }
+            Column::Image(v) => {
+                v[row] = match value {
+                    CellValue::Image(img) => Some(img),
+                    _ => None,
+                };
+            }
+        }
+    }
+
+    /// Sets the cell at `row` to missing.
+    pub fn set_null(&mut self, row: usize) {
+        self.set_cell_coercing(row, CellValue::Null);
+    }
+
+    /// Returns a new column containing the selected rows, in order.
+    pub fn select(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Numeric(v) => Column::Numeric(indices.iter().map(|&i| v[i]).collect()),
+            Column::Categorical(v) => {
+                Column::Categorical(indices.iter().map(|&i| v[i].clone()).collect())
+            }
+            Column::Text(v) => Column::Text(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Image(v) => Column::Image(indices.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Borrows the numeric values, failing on other column types.
+    pub fn as_numeric(&self) -> Result<&[Option<f64>], FrameError> {
+        match self {
+            Column::Numeric(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch(format!(
+                "expected numeric column, found {:?}",
+                other.ty()
+            ))),
+        }
+    }
+
+    /// Mutably borrows the numeric values, failing on other column types.
+    pub fn as_numeric_mut(&mut self) -> Result<&mut Vec<Option<f64>>, FrameError> {
+        match self {
+            Column::Numeric(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch(format!(
+                "expected numeric column, found {:?}",
+                other.ty()
+            ))),
+        }
+    }
+
+    /// Borrows the categorical values, failing on other column types.
+    pub fn as_categorical(&self) -> Result<&[Option<String>], FrameError> {
+        match self {
+            Column::Categorical(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch(format!(
+                "expected categorical column, found {:?}",
+                other.ty()
+            ))),
+        }
+    }
+
+    /// Mutably borrows the categorical values, failing on other column types.
+    pub fn as_categorical_mut(&mut self) -> Result<&mut Vec<Option<String>>, FrameError> {
+        match self {
+            Column::Categorical(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch(format!(
+                "expected categorical column, found {:?}",
+                other.ty()
+            ))),
+        }
+    }
+
+    /// Borrows the text values, failing on other column types.
+    pub fn as_text(&self) -> Result<&[Option<String>], FrameError> {
+        match self {
+            Column::Text(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch(format!(
+                "expected text column, found {:?}",
+                other.ty()
+            ))),
+        }
+    }
+
+    /// Mutably borrows the text values, failing on other column types.
+    pub fn as_text_mut(&mut self) -> Result<&mut Vec<Option<String>>, FrameError> {
+        match self {
+            Column::Text(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch(format!(
+                "expected text column, found {:?}",
+                other.ty()
+            ))),
+        }
+    }
+
+    /// Borrows the image values, failing on other column types.
+    pub fn as_image(&self) -> Result<&[Option<ImageData>], FrameError> {
+        match self {
+            Column::Image(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch(format!(
+                "expected image column, found {:?}",
+                other.ty()
+            ))),
+        }
+    }
+
+    /// Mutably borrows the image values, failing on other column types.
+    pub fn as_image_mut(&mut self) -> Result<&mut Vec<Option<ImageData>>, FrameError> {
+        match self {
+            Column::Image(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch(format!(
+                "expected image column, found {:?}",
+                other.ty()
+            ))),
+        }
+    }
+}
+
+/// Renders a number the way a CSV round-trip would: integers without a
+/// decimal point, everything else in shortest form.
+fn format_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_get_set_in_bounds() {
+        let mut img = ImageData::zeros(4, 3);
+        img.set(2, 1, 0.5);
+        assert_eq!(img.get(2, 1), 0.5);
+        assert_eq!(img.get(3, 2), 0.0);
+    }
+
+    #[test]
+    fn image_out_of_bounds_is_safe() {
+        let mut img = ImageData::zeros(2, 2);
+        img.set(5, 5, 1.0);
+        assert_eq!(img.get(5, 5), 0.0);
+    }
+
+    #[test]
+    fn null_count_per_variant() {
+        let c = Column::Numeric(vec![Some(1.0), None, Some(2.0)]);
+        assert_eq!(c.null_count(), 1);
+        let c = Column::Categorical(vec![None, None]);
+        assert_eq!(c.null_count(), 2);
+    }
+
+    #[test]
+    fn coerce_number_into_categorical_becomes_string() {
+        let mut c = Column::Categorical(vec![Some("a".into())]);
+        c.set_cell_coercing(0, CellValue::Num(42.0));
+        assert_eq!(c.as_categorical().unwrap()[0], Some("42".into()));
+    }
+
+    #[test]
+    fn coerce_parseable_string_into_numeric() {
+        let mut c = Column::Numeric(vec![Some(1.0)]);
+        c.set_cell_coercing(0, CellValue::Cat(" 3.5 ".into()));
+        assert_eq!(c.as_numeric().unwrap()[0], Some(3.5));
+    }
+
+    #[test]
+    fn coerce_unparseable_string_into_numeric_is_null() {
+        let mut c = Column::Numeric(vec![Some(1.0)]);
+        c.set_cell_coercing(0, CellValue::Cat("married".into()));
+        assert_eq!(c.as_numeric().unwrap()[0], None);
+    }
+
+    #[test]
+    fn coerce_image_rejects_scalars() {
+        let mut c = Column::Image(vec![Some(ImageData::zeros(1, 1))]);
+        c.set_cell_coercing(0, CellValue::Num(1.0));
+        assert_eq!(c.as_image().unwrap()[0], None);
+    }
+
+    #[test]
+    fn set_null_clears_cell() {
+        let mut c = Column::Text(vec![Some("hi".into())]);
+        c.set_null(0);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn select_reorders_and_duplicates() {
+        let c = Column::Numeric(vec![Some(1.0), Some(2.0), Some(3.0)]);
+        let s = c.select(&[2, 0, 2]);
+        assert_eq!(
+            s.as_numeric().unwrap(),
+            &[Some(3.0), Some(1.0), Some(3.0)]
+        );
+    }
+
+    #[test]
+    fn cell_round_trip() {
+        let c = Column::Numeric(vec![Some(7.0), None]);
+        assert_eq!(c.cell(0), CellValue::Num(7.0));
+        assert_eq!(c.cell(1), CellValue::Null);
+    }
+
+    #[test]
+    fn typed_accessors_reject_wrong_type() {
+        let c = Column::Numeric(vec![]);
+        assert!(c.as_categorical().is_err());
+        assert!(c.as_text().is_err());
+        assert!(c.as_image().is_err());
+    }
+
+    #[test]
+    fn format_num_integers_have_no_decimal_point() {
+        let mut c = Column::Text(vec![None]);
+        c.set_cell_coercing(0, CellValue::Num(1234.0));
+        assert_eq!(c.as_text().unwrap()[0], Some("1234".into()));
+        c.set_cell_coercing(0, CellValue::Num(12.5));
+        assert_eq!(c.as_text().unwrap()[0], Some("12.5".into()));
+    }
+}

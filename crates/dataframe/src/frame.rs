@@ -1,0 +1,421 @@
+//! The [`DataFrame`] type and its builder.
+
+use crate::{CellValue, Column, ColumnType, Field, FrameError, Schema};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A batch of labeled relational tuples with columnar storage.
+///
+/// Labels are class indices into [`DataFrame::label_names`]. The label column
+/// is intentionally *not* part of the schema: the black box model and the
+/// performance predictor only ever see the attribute columns, while the
+/// experiment harness uses the labels to compute true scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataFrame {
+    schema: Schema,
+    columns: Vec<Column>,
+    labels: Vec<u32>,
+    label_names: Vec<String>,
+}
+
+impl DataFrame {
+    /// Builds a frame, validating that all columns and the label vector have
+    /// equal lengths, columns match the schema types, and labels index into
+    /// `label_names`.
+    pub fn new(
+        schema: Schema,
+        columns: Vec<Column>,
+        labels: Vec<u32>,
+        label_names: Vec<String>,
+    ) -> Result<Self, FrameError> {
+        if schema.len() != columns.len() {
+            return Err(FrameError::Invalid(format!(
+                "schema has {} fields but {} columns were provided",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let n_rows = labels.len();
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != n_rows {
+                return Err(FrameError::LengthMismatch(format!(
+                    "column '{}' has {} rows, labels have {}",
+                    schema.field(i).name,
+                    col.len(),
+                    n_rows
+                )));
+            }
+            if col.ty() != schema.field(i).ty {
+                return Err(FrameError::TypeMismatch(format!(
+                    "column '{}' declared {:?} but stores {:?}",
+                    schema.field(i).name,
+                    schema.field(i).ty,
+                    col.ty()
+                )));
+            }
+        }
+        if label_names.is_empty() && n_rows > 0 {
+            return Err(FrameError::Invalid("label_names must not be empty".into()));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l as usize >= label_names.len()) {
+            return Err(FrameError::Invalid(format!(
+                "label {} out of range for {} classes",
+                bad,
+                label_names.len()
+            )));
+        }
+        Ok(Self {
+            schema,
+            columns,
+            labels,
+            label_names,
+        })
+    }
+
+    /// Number of tuples.
+    pub fn n_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of attribute columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The frame's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Mutable column at position `i` (used by error generators, which
+    /// always operate on a cloned frame).
+    pub fn column_mut(&mut self, i: usize) -> &mut Column {
+        &mut self.columns[i]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, FrameError> {
+        let i = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| FrameError::UnknownColumn(name.to_string()))?;
+        Ok(&self.columns[i])
+    }
+
+    /// Class labels, one per tuple.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Human-readable class names; `labels` index into this.
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// Labels as `usize` (convenience for metric computations).
+    pub fn labels_usize(&self) -> Vec<usize> {
+        self.labels.iter().map(|&l| l as usize).collect()
+    }
+
+    /// Swaps the cell values of two columns at `row`, applying the coercion
+    /// rules of [`Column::set_cell_coercing`] in both directions.
+    pub fn swap_cells(&mut self, col_a: usize, col_b: usize, row: usize) {
+        let a = self.columns[col_a].cell(row);
+        let b = self.columns[col_b].cell(row);
+        self.columns[col_a].set_cell_coercing(row, b);
+        self.columns[col_b].set_cell_coercing(row, a);
+    }
+
+    /// Returns a new frame containing the selected rows, in order. Indices
+    /// may repeat (sampling with replacement).
+    pub fn select_rows(&self, indices: &[usize]) -> DataFrame {
+        DataFrame {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.select(indices)).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            label_names: self.label_names.clone(),
+        }
+    }
+
+    /// Randomly partitions the rows into two disjoint frames, the first
+    /// containing `round(frac * n_rows)` rows.
+    pub fn split_frac(&self, frac: f64, rng: &mut impl Rng) -> (DataFrame, DataFrame) {
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        idx.shuffle(rng);
+        let cut = ((self.n_rows() as f64) * frac).round() as usize;
+        let cut = cut.min(self.n_rows());
+        (
+            self.select_rows(&idx[..cut]),
+            self.select_rows(&idx[cut..]),
+        )
+    }
+
+    /// Draws `n` rows uniformly without replacement (all rows if `n` exceeds
+    /// the frame size).
+    pub fn sample_n(&self, n: usize, rng: &mut impl Rng) -> DataFrame {
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        idx.shuffle(rng);
+        idx.truncate(n.min(self.n_rows()));
+        self.select_rows(&idx)
+    }
+
+    /// Returns a class-balanced frame by downsampling every class to the
+    /// size of the rarest class (the paper resamples to balanced classes to
+    /// make accuracy interpretable).
+    pub fn balance_classes(&self, rng: &mut impl Rng) -> DataFrame {
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            per_class[l as usize].push(i);
+        }
+        let min = per_class
+            .iter()
+            .map(Vec::len)
+            .filter(|&n| n > 0)
+            .min()
+            .unwrap_or(0);
+        let mut selected = Vec::with_capacity(min * self.n_classes());
+        for class_rows in &mut per_class {
+            class_rows.shuffle(rng);
+            selected.extend_from_slice(&class_rows[..min.min(class_rows.len())]);
+        }
+        selected.shuffle(rng);
+        self.select_rows(&selected)
+    }
+
+    /// Cell at `(row, col)` as a [`CellValue`].
+    pub fn cell(&self, row: usize, col: usize) -> CellValue {
+        self.columns[col].cell(row)
+    }
+
+    /// Total number of missing cells across all columns.
+    pub fn total_null_count(&self) -> usize {
+        self.columns.iter().map(Column::null_count).sum()
+    }
+}
+
+/// Incremental row-oriented builder used by the dataset generators.
+#[derive(Debug)]
+pub struct DataFrameBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+    labels: Vec<u32>,
+    label_names: Vec<String>,
+}
+
+impl DataFrameBuilder {
+    /// Starts a builder for the given schema and class names.
+    pub fn new(schema: Schema, label_names: Vec<String>) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.ty))
+            .collect();
+        Self {
+            schema,
+            columns,
+            labels: Vec::new(),
+            label_names,
+        }
+    }
+
+    /// Appends one tuple. `cells` must align with the schema; values are
+    /// coerced per [`Column::set_cell_coercing`].
+    pub fn push_row(&mut self, cells: Vec<CellValue>, label: u32) -> Result<(), FrameError> {
+        if cells.len() != self.schema.len() {
+            return Err(FrameError::LengthMismatch(format!(
+                "row has {} cells, schema expects {}",
+                cells.len(),
+                self.schema.len()
+            )));
+        }
+        let row = self.labels.len();
+        for (col, cell) in self.columns.iter_mut().zip(cells) {
+            // Grow the column with a placeholder, then coerce into it.
+            match col {
+                Column::Numeric(v) => v.push(None),
+                Column::Categorical(v) => v.push(None),
+                Column::Text(v) => v.push(None),
+                Column::Image(v) => v.push(None),
+            }
+            col.set_cell_coercing(row, cell);
+        }
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Finalizes the frame.
+    pub fn finish(self) -> Result<DataFrame, FrameError> {
+        DataFrame::new(self.schema, self.columns, self.labels, self.label_names)
+    }
+}
+
+/// Convenience constructor for test fixtures: a small frame with one numeric
+/// and one categorical column.
+pub fn toy_frame(n: usize) -> DataFrame {
+    let schema = Schema::new(vec![
+        Field::new("x", ColumnType::Numeric),
+        Field::new("c", ColumnType::Categorical),
+    ])
+    .expect("valid schema");
+    let mut b = DataFrameBuilder::new(schema, vec!["no".into(), "yes".into()]);
+    for i in 0..n {
+        b.push_row(
+            vec![
+                CellValue::Num(i as f64),
+                CellValue::Cat(if i % 2 == 0 { "even" } else { "odd" }.into()),
+            ],
+            (i % 2) as u32,
+        )
+        .expect("row matches schema");
+    }
+    b.finish().expect("valid frame")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_validates_column_count() {
+        let schema = Schema::new(vec![Field::new("x", ColumnType::Numeric)]).unwrap();
+        let err = DataFrame::new(schema, vec![], vec![], vec!["a".into()]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        let schema = Schema::new(vec![Field::new("x", ColumnType::Numeric)]).unwrap();
+        let err = DataFrame::new(
+            schema,
+            vec![Column::Numeric(vec![Some(1.0)])],
+            vec![0, 1],
+            vec!["a".into(), "b".into()],
+        );
+        assert!(matches!(err, Err(FrameError::LengthMismatch(_))));
+    }
+
+    #[test]
+    fn new_validates_column_types() {
+        let schema = Schema::new(vec![Field::new("x", ColumnType::Numeric)]).unwrap();
+        let err = DataFrame::new(
+            schema,
+            vec![Column::Text(vec![Some("hi".into())])],
+            vec![0],
+            vec!["a".into()],
+        );
+        assert!(matches!(err, Err(FrameError::TypeMismatch(_))));
+    }
+
+    #[test]
+    fn new_validates_label_range() {
+        let schema = Schema::new(vec![Field::new("x", ColumnType::Numeric)]).unwrap();
+        let err = DataFrame::new(
+            schema,
+            vec![Column::Numeric(vec![Some(1.0)])],
+            vec![5],
+            vec!["a".into()],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn toy_frame_shape() {
+        let df = toy_frame(10);
+        assert_eq!(df.n_rows(), 10);
+        assert_eq!(df.n_cols(), 2);
+        assert_eq!(df.n_classes(), 2);
+    }
+
+    #[test]
+    fn split_frac_partitions_rows() {
+        let df = toy_frame(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a, b) = df.split_frac(0.3, &mut rng);
+        assert_eq!(a.n_rows(), 30);
+        assert_eq!(b.n_rows(), 70);
+    }
+
+    #[test]
+    fn sample_n_caps_at_frame_size() {
+        let df = toy_frame(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(df.sample_n(10, &mut rng).n_rows(), 5);
+        assert_eq!(df.sample_n(3, &mut rng).n_rows(), 3);
+    }
+
+    #[test]
+    fn balance_classes_equalizes_counts() {
+        // 8 even (class 0), but drop some to make it unbalanced: build custom.
+        let schema = Schema::new(vec![Field::new("x", ColumnType::Numeric)]).unwrap();
+        let mut b = DataFrameBuilder::new(schema, vec!["a".into(), "b".into()]);
+        for i in 0..30 {
+            b.push_row(vec![CellValue::Num(i as f64)], u32::from(i < 10))
+                .unwrap();
+        }
+        let df = b.finish().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let bal = df.balance_classes(&mut rng);
+        let ones = bal.labels().iter().filter(|&&l| l == 1).count();
+        let zeros = bal.labels().iter().filter(|&&l| l == 0).count();
+        assert_eq!(ones, 10);
+        assert_eq!(zeros, 10);
+    }
+
+    #[test]
+    fn swap_cells_coerces_both_directions() {
+        let mut df = toy_frame(4);
+        df.swap_cells(0, 1, 0); // numeric "0" <-> categorical "even"
+        // numeric column got "even" -> unparseable -> null
+        assert_eq!(df.column(0).as_numeric().unwrap()[0], None);
+        // categorical column got 0.0 -> "0"
+        assert_eq!(
+            df.column(1).as_categorical().unwrap()[0],
+            Some("0".to_string())
+        );
+    }
+
+    #[test]
+    fn select_rows_preserves_labels() {
+        let df = toy_frame(6);
+        let s = df.select_rows(&[5, 0]);
+        assert_eq!(s.labels(), &[1, 0]);
+        assert_eq!(s.column(0).as_numeric().unwrap()[0], Some(5.0));
+    }
+
+    #[test]
+    fn column_by_name_errors_on_unknown() {
+        let df = toy_frame(2);
+        assert!(df.column_by_name("x").is_ok());
+        assert!(matches!(
+            df.column_by_name("nope"),
+            Err(FrameError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_arity() {
+        let schema = Schema::new(vec![Field::new("x", ColumnType::Numeric)]).unwrap();
+        let mut b = DataFrameBuilder::new(schema, vec!["a".into()]);
+        assert!(b.push_row(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn total_null_count_sums_columns() {
+        let mut df = toy_frame(3);
+        df.column_mut(0).set_null(1);
+        df.column_mut(1).set_null(2);
+        assert_eq!(df.total_null_count(), 2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Generators for the two 28×28 image datasets (digits 3-vs-5 and fashion
+//! sneaker-vs-ankle-boot).
+//!
+//! Images are rendered with parametric strokes plus per-sample jitter
+//! (translation, scale, stroke thickness, pixel noise), producing a task
+//! that convolutional and linear models can learn well but not perfectly —
+//! matching the role of the MNIST/Fashion-MNIST subsets in the paper.
+
+use lvp_dataframe::{CellValue, ColumnType, DataFrame, DataFrameBuilder, Field, ImageData, Schema};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Side length of the generated images (the paper uses 28×28).
+pub const IMAGE_SIDE: usize = 28;
+
+/// Stamps a filled disc with soft edges onto the image.
+fn stamp_disc(img: &mut ImageData, cx: f64, cy: f64, radius: f64, intensity: f64) {
+    let r_ceil = radius.ceil() as i64 + 1;
+    let (icx, icy) = (cx.round() as i64, cy.round() as i64);
+    for dy in -r_ceil..=r_ceil {
+        for dx in -r_ceil..=r_ceil {
+            let (x, y) = (icx + dx, icy + dy);
+            if x < 0 || y < 0 || x as usize >= img.width || y as usize >= img.height {
+                continue;
+            }
+            let dist = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+            if dist <= radius {
+                let falloff = (1.0 - (dist / radius).powi(2)).max(0.3);
+                let v = img.get(x as usize, y as usize);
+                img.set(x as usize, y as usize, (v + intensity * falloff).min(1.0));
+            }
+        }
+    }
+}
+
+/// Rasterizes a parametric curve `t ∈ [0,1] → (x, y)` with a round brush.
+fn draw_curve(
+    img: &mut ImageData,
+    curve: impl Fn(f64) -> (f64, f64),
+    thickness: f64,
+    intensity: f64,
+) {
+    const STEPS: usize = 60;
+    for s in 0..=STEPS {
+        let t = s as f64 / STEPS as f64;
+        let (x, y) = curve(t);
+        stamp_disc(img, x, y, thickness, intensity / 3.0);
+    }
+}
+
+/// Per-sample geometric jitter shared by both datasets.
+struct Jitter {
+    dx: f64,
+    dy: f64,
+    scale: f64,
+    thickness: f64,
+}
+
+impl Jitter {
+    fn sample(rng: &mut impl Rng) -> Self {
+        Self {
+            dx: rng.gen_range(-2.0..2.0),
+            dy: rng.gen_range(-2.0..2.0),
+            scale: rng.gen_range(0.85..1.12),
+            thickness: rng.gen_range(1.0..1.7),
+        }
+    }
+
+    fn apply(&self, x: f64, y: f64) -> (f64, f64) {
+        let c = IMAGE_SIDE as f64 / 2.0;
+        (
+            c + (x - c) * self.scale + self.dx,
+            c + (y - c) * self.scale + self.dy,
+        )
+    }
+}
+
+fn add_pixel_noise(img: &mut ImageData, rng: &mut impl Rng, std: f64) {
+    let noise = Normal::new(0.0, std).expect("finite parameters");
+    for p in &mut img.pixels {
+        *p = (*p + noise.sample(rng)).clamp(0.0, 1.0);
+    }
+}
+
+/// Renders a digit "3": two right-bulging arcs stacked vertically.
+fn render_three(rng: &mut impl Rng) -> ImageData {
+    let mut img = ImageData::zeros(IMAGE_SIDE, IMAGE_SIDE);
+    let j = Jitter::sample(rng);
+    // Upper arc: from (9,5) bulging right to (9,14).
+    draw_curve(
+        &mut img,
+        |t| {
+            let angle = -std::f64::consts::FRAC_PI_2 + t * std::f64::consts::PI;
+            let (x, y) = (12.0 + 6.5 * angle.cos(), 9.5 + 4.5 * angle.sin());
+            j.apply(x, y)
+        },
+        j.thickness,
+        1.0,
+    );
+    // Lower arc: from (9,14) bulging right to (9,23).
+    draw_curve(
+        &mut img,
+        |t| {
+            let angle = -std::f64::consts::FRAC_PI_2 + t * std::f64::consts::PI;
+            let (x, y) = (12.0 + 6.5 * angle.cos(), 18.5 + 4.5 * angle.sin());
+            j.apply(x, y)
+        },
+        j.thickness,
+        1.0,
+    );
+    add_pixel_noise(&mut img, rng, 0.04);
+    img
+}
+
+/// Renders a digit "5": top bar, upper-left vertical, lower right-bulging
+/// bowl.
+fn render_five(rng: &mut impl Rng) -> ImageData {
+    let mut img = ImageData::zeros(IMAGE_SIDE, IMAGE_SIDE);
+    let j = Jitter::sample(rng);
+    // Top horizontal bar from (9,6) to (19,6).
+    draw_curve(
+        &mut img,
+        |t| j.apply(9.0 + 10.0 * t, 6.0),
+        j.thickness,
+        1.0,
+    );
+    // Left vertical from (9,6) to (9,13).
+    draw_curve(
+        &mut img,
+        |t| j.apply(9.0, 6.0 + 7.0 * t),
+        j.thickness,
+        1.0,
+    );
+    // Lower bowl from (9,13) bulging right down to (8,22).
+    draw_curve(
+        &mut img,
+        |t| {
+            let angle = -std::f64::consts::FRAC_PI_2 + t * std::f64::consts::PI;
+            let (x, y) = (11.0 + 7.0 * angle.cos(), 17.5 + 4.8 * angle.sin());
+            j.apply(x, y)
+        },
+        j.thickness,
+        1.0,
+    );
+    add_pixel_noise(&mut img, rng, 0.04);
+    img
+}
+
+/// Renders a sneaker: long low sole with a low rounded body.
+fn render_sneaker(rng: &mut impl Rng) -> ImageData {
+    let mut img = ImageData::zeros(IMAGE_SIDE, IMAGE_SIDE);
+    let j = Jitter::sample(rng);
+    // Sole: thick horizontal band near the bottom.
+    draw_curve(
+        &mut img,
+        |t| j.apply(3.0 + 22.0 * t, 21.0),
+        j.thickness + 1.0,
+        1.0,
+    );
+    // Low body: gentle hump from heel to toe.
+    draw_curve(
+        &mut img,
+        |t| {
+            let x = 4.0 + 20.0 * t;
+            let y = 18.5 - 3.5 * (std::f64::consts::PI * t).sin();
+            j.apply(x, y)
+        },
+        j.thickness,
+        0.9,
+    );
+    // Laces: short diagonal ticks in the mid-body.
+    for k in 0..3 {
+        let base_x = 11.0 + 3.0 * k as f64;
+        draw_curve(
+            &mut img,
+            move |t| (base_x + 2.0 * t, 16.0 + 1.5 * t),
+            0.8,
+            0.7,
+        );
+    }
+    add_pixel_noise(&mut img, rng, 0.05);
+    img
+}
+
+/// Renders an ankle boot: sole plus a tall shaft rising on the heel side.
+fn render_boot(rng: &mut impl Rng) -> ImageData {
+    let mut img = ImageData::zeros(IMAGE_SIDE, IMAGE_SIDE);
+    let j = Jitter::sample(rng);
+    // Sole.
+    draw_curve(
+        &mut img,
+        |t| j.apply(4.0 + 20.0 * t, 22.0),
+        j.thickness + 1.0,
+        1.0,
+    );
+    // Tall shaft on the heel (left) side: vertical column rows 6..=20.
+    for col in 0..3 {
+        let x = 6.0 + 2.0 * col as f64;
+        draw_curve(
+            &mut img,
+            move |t| (x, 6.0 + 14.0 * t),
+            1.2,
+            0.85,
+        );
+    }
+    // Foot part sloping down to the toe.
+    draw_curve(
+        &mut img,
+        |t| {
+            let x = 11.0 + 12.0 * t;
+            let y = 17.0 + 3.0 * t;
+            j.apply(x, y)
+        },
+        j.thickness,
+        0.9,
+    );
+    add_pixel_noise(&mut img, rng, 0.05);
+    img
+}
+
+/// MNIST-like dataset restricted to the digits 3 and 5.
+pub fn digits(n: usize, rng: &mut impl Rng) -> DataFrame {
+    let schema = Schema::new(vec![Field::new("image", ColumnType::Image)])
+        .expect("static schema is valid");
+    let mut b = DataFrameBuilder::new(schema, vec!["three".into(), "five".into()]);
+    for i in 0..n {
+        let y = (i % 2) as u32;
+        let img = if y == 0 {
+            render_three(rng)
+        } else {
+            render_five(rng)
+        };
+        b.push_row(vec![CellValue::Image(img)], y)
+            .expect("row matches schema");
+    }
+    b.finish().expect("builder output is valid")
+}
+
+/// Fashion-MNIST-like dataset restricted to sneakers and ankle boots.
+pub fn fashion(n: usize, rng: &mut impl Rng) -> DataFrame {
+    let schema = Schema::new(vec![Field::new("image", ColumnType::Image)])
+        .expect("static schema is valid");
+    let mut b = DataFrameBuilder::new(schema, vec!["sneaker".into(), "ankle-boot".into()]);
+    for i in 0..n {
+        let y = (i % 2) as u32;
+        let img = if y == 0 {
+            render_sneaker(rng)
+        } else {
+            render_boot(rng)
+        };
+        b.push_row(vec![CellValue::Image(img)], y)
+            .expect("row matches schema");
+    }
+    b.finish().expect("builder output is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_pixels(df: &DataFrame, label: u32) -> Vec<f64> {
+        let imgs = df.column(0).as_image().unwrap();
+        let mut acc = vec![0.0; IMAGE_SIDE * IMAGE_SIDE];
+        let mut count = 0;
+        for (img, &l) in imgs.iter().zip(df.labels()) {
+            if l == label {
+                for (a, p) in acc.iter_mut().zip(&img.as_ref().unwrap().pixels) {
+                    *a += p;
+                }
+                count += 1;
+            }
+        }
+        for a in &mut acc {
+            *a /= count as f64;
+        }
+        acc
+    }
+
+    #[test]
+    fn digits_images_have_correct_geometry() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let df = digits(10, &mut rng);
+        for img in df.column(0).as_image().unwrap() {
+            let img = img.as_ref().unwrap();
+            assert_eq!(img.width, IMAGE_SIDE);
+            assert_eq!(img.height, IMAGE_SIDE);
+            assert!(img.pixels.iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn digit_classes_are_visually_distinct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let df = digits(200, &mut rng);
+        let m3 = mean_pixels(&df, 0);
+        let m5 = mean_pixels(&df, 1);
+        let l1: f64 = m3.iter().zip(&m5).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 > 10.0, "class means too similar: L1={l1}");
+    }
+
+    #[test]
+    fn fashion_classes_are_visually_distinct() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let df = fashion(200, &mut rng);
+        let ms = mean_pixels(&df, 0);
+        let mb = mean_pixels(&df, 1);
+        let l1: f64 = ms.iter().zip(&mb).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 > 10.0, "class means too similar: L1={l1}");
+    }
+
+    #[test]
+    fn boot_has_more_mass_in_upper_half_than_sneaker() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let df = fashion(300, &mut rng);
+        let ms = mean_pixels(&df, 0);
+        let mb = mean_pixels(&df, 1);
+        let upper = |m: &[f64]| -> f64 { m[..IMAGE_SIDE * IMAGE_SIDE / 2].iter().sum() };
+        assert!(upper(&mb) > upper(&ms), "shaft should add upper-half mass");
+    }
+
+    #[test]
+    fn images_are_not_blank() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let df = digits(20, &mut rng);
+        for img in df.column(0).as_image().unwrap() {
+            let sum: f64 = img.as_ref().unwrap().pixels.iter().sum();
+            assert!(sum > 5.0, "stroke mass too low: {sum}");
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Generators for the three mixed tabular datasets (income, heart, bank).
+//!
+//! Each record first draws a balanced class label, then samples features
+//! from class-conditional distributions with deliberate overlap, and finally
+//! flips a small fraction of labels — giving trained classifiers accuracies
+//! in the 0.75–0.9 regime of the paper rather than a trivially separable
+//! task.
+
+use lvp_dataframe::{CellValue, ColumnType, DataFrame, DataFrameBuilder, Field, Schema};
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Normal};
+
+/// Samples from a normal with the given mean/std, clamped to `[lo, hi]`.
+fn clamped_normal(rng: &mut impl Rng, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+    let n = Normal::new(mean, std).expect("finite parameters");
+    n.sample(rng).clamp(lo, hi)
+}
+
+/// Draws an index from unnormalized class-conditional weights.
+fn weighted_choice(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn flip_label(rng: &mut impl Rng, label: u32, p: f64) -> u32 {
+    if rng.gen::<f64>() < p {
+        1 - label
+    } else {
+        label
+    }
+}
+
+/// Adult-income-like dataset: predict whether a person earns more than
+/// 50K dollars per year. Five numeric and five categorical attributes.
+pub fn income(n: usize, rng: &mut impl Rng) -> DataFrame {
+    let schema = Schema::new(vec![
+        Field::new("age", ColumnType::Numeric),
+        Field::new("education_num", ColumnType::Numeric),
+        Field::new("hours_per_week", ColumnType::Numeric),
+        Field::new("capital_gain", ColumnType::Numeric),
+        Field::new("capital_loss", ColumnType::Numeric),
+        Field::new("workclass", ColumnType::Categorical),
+        Field::new("education", ColumnType::Categorical),
+        Field::new("marital_status", ColumnType::Categorical),
+        Field::new("occupation", ColumnType::Categorical),
+        Field::new("sex", ColumnType::Categorical),
+    ])
+    .expect("static schema is valid");
+
+    const WORKCLASS: [&str; 6] = [
+        "Private",
+        "Self-emp",
+        "Federal-gov",
+        "Local-gov",
+        "State-gov",
+        "Without-pay",
+    ];
+    const EDUCATION: [&str; 8] = [
+        "HS-grad",
+        "Some-college",
+        "Bachelors",
+        "Masters",
+        "Doctorate",
+        "Assoc",
+        "11th",
+        "7th-8th",
+    ];
+    const MARITAL: [&str; 5] = [
+        "Married-civ-spouse",
+        "Never-married",
+        "Divorced",
+        "Separated",
+        "Widowed",
+    ];
+    const OCCUPATION: [&str; 8] = [
+        "Exec-managerial",
+        "Prof-specialty",
+        "Craft-repair",
+        "Adm-clerical",
+        "Sales",
+        "Other-service",
+        "Machine-op-inspct",
+        "Handlers-cleaners",
+    ];
+    const SEX: [&str; 2] = ["Male", "Female"];
+
+    let gain_dist: LogNormal<f64> = LogNormal::new(8.0, 1.2).expect("finite parameters");
+    let mut b = DataFrameBuilder::new(schema, vec!["<=50K".into(), ">50K".into()]);
+    for i in 0..n {
+        let y = (i % 2) as u32; // exactly balanced
+        let yf = f64::from(y);
+        let age = clamped_normal(rng, 36.0 + 8.0 * yf, 11.0, 17.0, 90.0).round();
+        let edu_num = clamped_normal(rng, 9.3 + 2.3 * yf, 2.4, 1.0, 16.0).round();
+        let hours = clamped_normal(rng, 38.0 + 6.0 * yf, 10.0, 1.0, 99.0).round();
+        let capital_gain = if rng.gen::<f64>() < 0.08 + 0.22 * yf {
+            gain_dist.sample(rng).min(99_999.0).round()
+        } else {
+            0.0
+        };
+        let capital_loss = if rng.gen::<f64>() < 0.05 {
+            clamped_normal(rng, 1_800.0, 400.0, 0.0, 4_500.0).round()
+        } else {
+            0.0
+        };
+        let workclass = if y == 1 {
+            WORKCLASS[weighted_choice(rng, &[60.0, 14.0, 8.0, 8.0, 9.0, 1.0])]
+        } else {
+            WORKCLASS[weighted_choice(rng, &[74.0, 6.0, 4.0, 6.0, 6.0, 4.0])]
+        };
+        let education = if y == 1 {
+            EDUCATION[weighted_choice(rng, &[18.0, 18.0, 28.0, 16.0, 6.0, 10.0, 2.0, 2.0])]
+        } else {
+            EDUCATION[weighted_choice(rng, &[36.0, 24.0, 10.0, 3.0, 1.0, 10.0, 9.0, 7.0])]
+        };
+        let marital = if y == 1 {
+            MARITAL[weighted_choice(rng, &[76.0, 8.0, 9.0, 4.0, 3.0])]
+        } else {
+            MARITAL[weighted_choice(rng, &[36.0, 38.0, 15.0, 6.0, 5.0])]
+        };
+        let occupation = if y == 1 {
+            OCCUPATION[weighted_choice(rng, &[26.0, 26.0, 12.0, 8.0, 14.0, 5.0, 5.0, 4.0])]
+        } else {
+            OCCUPATION[weighted_choice(rng, &[8.0, 9.0, 16.0, 16.0, 12.0, 16.0, 12.0, 11.0])]
+        };
+        let sex = SEX[weighted_choice(
+            rng,
+            if y == 1 { &[78.0, 22.0] } else { &[62.0, 38.0] },
+        )];
+        b.push_row(
+            vec![
+                CellValue::Num(age),
+                CellValue::Num(edu_num),
+                CellValue::Num(hours),
+                CellValue::Num(capital_gain),
+                CellValue::Num(capital_loss),
+                CellValue::Cat(workclass.into()),
+                CellValue::Cat(education.into()),
+                CellValue::Cat(marital.into()),
+                CellValue::Cat(occupation.into()),
+                CellValue::Cat(sex.into()),
+            ],
+            flip_label(rng, y, 0.08),
+        )
+        .expect("row matches schema");
+    }
+    b.finish().expect("builder output is valid")
+}
+
+/// Cardiovascular-disease-like dataset: predict the presence of a heart
+/// condition from examination measurements.
+pub fn heart(n: usize, rng: &mut impl Rng) -> DataFrame {
+    let schema = Schema::new(vec![
+        Field::new("age_years", ColumnType::Numeric),
+        Field::new("height_cm", ColumnType::Numeric),
+        Field::new("weight_kg", ColumnType::Numeric),
+        Field::new("ap_hi", ColumnType::Numeric),
+        Field::new("ap_lo", ColumnType::Numeric),
+        Field::new("cholesterol", ColumnType::Categorical),
+        Field::new("glucose", ColumnType::Categorical),
+        Field::new("smoke", ColumnType::Categorical),
+        Field::new("alcohol", ColumnType::Categorical),
+        Field::new("active", ColumnType::Categorical),
+    ])
+    .expect("static schema is valid");
+
+    const LEVELS: [&str; 3] = ["normal", "above-normal", "well-above-normal"];
+    const YESNO: [&str; 2] = ["no", "yes"];
+
+    let mut b = DataFrameBuilder::new(schema, vec!["healthy".into(), "cardio".into()]);
+    for i in 0..n {
+        let y = (i % 2) as u32;
+        let yf = f64::from(y);
+        let age = clamped_normal(rng, 50.0 + 5.0 * yf, 7.0, 29.0, 65.0).round();
+        let height = clamped_normal(rng, 165.0, 8.0, 140.0, 200.0).round();
+        let weight = clamped_normal(rng, 71.0 + 8.0 * yf, 13.0, 40.0, 160.0).round();
+        let ap_hi = clamped_normal(rng, 119.0 + 16.0 * yf, 14.0, 80.0, 220.0).round();
+        let ap_lo = clamped_normal(rng, 78.0 + 8.0 * yf, 9.0, 50.0, 140.0).round();
+        let chol = if y == 1 {
+            LEVELS[weighted_choice(rng, &[55.0, 25.0, 20.0])]
+        } else {
+            LEVELS[weighted_choice(rng, &[82.0, 12.0, 6.0])]
+        };
+        let gluc = if y == 1 {
+            LEVELS[weighted_choice(rng, &[72.0, 15.0, 13.0])]
+        } else {
+            LEVELS[weighted_choice(rng, &[88.0, 7.0, 5.0])]
+        };
+        let smoke = YESNO[weighted_choice(rng, if y == 1 { &[90.0, 10.0] } else { &[91.0, 9.0] })];
+        let alco = YESNO[weighted_choice(rng, &[95.0, 5.0])];
+        let active =
+            YESNO[weighted_choice(rng, if y == 1 { &[25.0, 75.0] } else { &[18.0, 82.0] })];
+        b.push_row(
+            vec![
+                CellValue::Num(age),
+                CellValue::Num(height),
+                CellValue::Num(weight),
+                CellValue::Num(ap_hi),
+                CellValue::Num(ap_lo),
+                CellValue::Cat(chol.into()),
+                CellValue::Cat(gluc.into()),
+                CellValue::Cat(smoke.into()),
+                CellValue::Cat(alco.into()),
+                CellValue::Cat(active.into()),
+            ],
+            flip_label(rng, y, 0.12),
+        )
+        .expect("row matches schema");
+    }
+    b.finish().expect("builder output is valid")
+}
+
+/// Bank-marketing-like dataset: predict whether a customer subscribes a
+/// term deposit after a campaign call.
+pub fn bank(n: usize, rng: &mut impl Rng) -> DataFrame {
+    let schema = Schema::new(vec![
+        Field::new("age", ColumnType::Numeric),
+        Field::new("balance", ColumnType::Numeric),
+        Field::new("duration", ColumnType::Numeric),
+        Field::new("campaign", ColumnType::Numeric),
+        Field::new("pdays", ColumnType::Numeric),
+        Field::new("job", ColumnType::Categorical),
+        Field::new("marital", ColumnType::Categorical),
+        Field::new("education", ColumnType::Categorical),
+        Field::new("housing", ColumnType::Categorical),
+        Field::new("contact", ColumnType::Categorical),
+        Field::new("poutcome", ColumnType::Categorical),
+    ])
+    .expect("static schema is valid");
+
+    const JOB: [&str; 8] = [
+        "admin",
+        "blue-collar",
+        "technician",
+        "services",
+        "management",
+        "retired",
+        "student",
+        "entrepreneur",
+    ];
+    const MARITAL: [&str; 3] = ["married", "single", "divorced"];
+    const EDUCATION: [&str; 4] = ["primary", "secondary", "tertiary", "unknown"];
+    const YESNO: [&str; 2] = ["no", "yes"];
+    const CONTACT: [&str; 3] = ["cellular", "telephone", "unknown"];
+    const POUTCOME: [&str; 4] = ["unknown", "failure", "other", "success"];
+
+    let balance_dist: LogNormal<f64> = LogNormal::new(6.8, 1.1).expect("finite parameters");
+    let mut b = DataFrameBuilder::new(schema, vec!["no".into(), "yes".into()]);
+    for i in 0..n {
+        let y = (i % 2) as u32;
+        let yf = f64::from(y);
+        let age = clamped_normal(rng, 40.0 + 3.0 * yf, 11.0, 18.0, 95.0).round();
+        let balance = (balance_dist.sample(rng) * (1.0 + 0.5 * yf) - 400.0)
+            .clamp(-8_000.0, 100_000.0)
+            .round();
+        let duration = clamped_normal(rng, 210.0 + 190.0 * yf, 150.0, 0.0, 3_000.0).round();
+        let campaign = (1.0 + rng.gen::<f64>() * (5.0 - 2.5 * yf)).round();
+        let pdays = if rng.gen::<f64>() < 0.15 + 0.25 * yf {
+            clamped_normal(rng, 180.0, 90.0, 1.0, 871.0).round()
+        } else {
+            -1.0
+        };
+        let job = if y == 1 {
+            JOB[weighted_choice(rng, &[14.0, 10.0, 14.0, 8.0, 22.0, 14.0, 12.0, 6.0])]
+        } else {
+            JOB[weighted_choice(rng, &[12.0, 26.0, 16.0, 12.0, 16.0, 6.0, 4.0, 8.0])]
+        };
+        let marital = MARITAL[weighted_choice(
+            rng,
+            if y == 1 {
+                &[52.0, 36.0, 12.0]
+            } else {
+                &[61.0, 27.0, 12.0]
+            },
+        )];
+        let education = EDUCATION[weighted_choice(
+            rng,
+            if y == 1 {
+                &[10.0, 44.0, 40.0, 6.0]
+            } else {
+                &[17.0, 53.0, 24.0, 6.0]
+            },
+        )];
+        let housing =
+            YESNO[weighted_choice(rng, if y == 1 { &[63.0, 37.0] } else { &[43.0, 57.0] })];
+        let contact = CONTACT[weighted_choice(
+            rng,
+            if y == 1 {
+                &[83.0, 8.0, 9.0]
+            } else {
+                &[62.0, 7.0, 31.0]
+            },
+        )];
+        let poutcome = POUTCOME[weighted_choice(
+            rng,
+            if y == 1 {
+                &[46.0, 12.0, 8.0, 34.0]
+            } else {
+                &[78.0, 14.0, 6.0, 2.0]
+            },
+        )];
+        b.push_row(
+            vec![
+                CellValue::Num(age),
+                CellValue::Num(balance),
+                CellValue::Num(duration),
+                CellValue::Num(campaign),
+                CellValue::Num(pdays),
+                CellValue::Cat(job.into()),
+                CellValue::Cat(marital.into()),
+                CellValue::Cat(education.into()),
+                CellValue::Cat(housing.into()),
+                CellValue::Cat(contact.into()),
+                CellValue::Cat(poutcome.into()),
+            ],
+            flip_label(rng, y, 0.09),
+        )
+        .expect("row matches schema");
+    }
+    b.finish().expect("builder output is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn income_schema_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let df = income(100, &mut rng);
+        assert_eq!(df.schema().numeric_columns().len(), 5);
+        assert_eq!(df.schema().categorical_columns().len(), 5);
+        assert_eq!(df.label_names(), &["<=50K".to_string(), ">50K".to_string()]);
+    }
+
+    #[test]
+    fn heart_schema_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let df = heart(100, &mut rng);
+        assert_eq!(df.schema().numeric_columns().len(), 5);
+        assert_eq!(df.schema().categorical_columns().len(), 5);
+    }
+
+    #[test]
+    fn bank_schema_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let df = bank(100, &mut rng);
+        assert_eq!(df.schema().numeric_columns().len(), 5);
+        assert_eq!(df.schema().categorical_columns().len(), 6);
+    }
+
+    #[test]
+    fn income_class_signal_exists() {
+        // Class-conditional means must differ on key columns, otherwise the
+        // task would be unlearnable.
+        let mut rng = StdRng::seed_from_u64(3);
+        let df = income(4000, &mut rng);
+        let ages = df.column_by_name("age").unwrap().as_numeric().unwrap();
+        let mut sums = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for (a, &l) in ages.iter().zip(df.labels()) {
+            sums[l as usize] += a.unwrap();
+            counts[l as usize] += 1;
+        }
+        let mean0 = sums[0] / counts[0] as f64;
+        let mean1 = sums[1] / counts[1] as f64;
+        assert!(mean1 - mean0 > 3.0, "mean age gap too small: {mean0} vs {mean1}");
+    }
+
+    #[test]
+    fn bank_duration_signal_exists() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let df = bank(4000, &mut rng);
+        let durs = df.column_by_name("duration").unwrap().as_numeric().unwrap();
+        let mut sums = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for (d, &l) in durs.iter().zip(df.labels()) {
+            sums[l as usize] += d.unwrap();
+            counts[l as usize] += 1;
+        }
+        assert!(sums[1] / counts[1] as f64 - sums[0] / counts[0] as f64 > 100.0);
+    }
+
+    #[test]
+    fn no_missing_values_in_fresh_data() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(income(200, &mut rng).total_null_count(), 0);
+        assert_eq!(heart(200, &mut rng).total_null_count(), 0);
+        assert_eq!(bank(200, &mut rng).total_null_count(), 0);
+    }
+
+    #[test]
+    fn numeric_ranges_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let df = heart(500, &mut rng);
+        let ap_hi = df.column_by_name("ap_hi").unwrap().as_numeric().unwrap();
+        for v in ap_hi.iter().flatten() {
+            assert!((80.0..=220.0).contains(v));
+        }
+    }
+}

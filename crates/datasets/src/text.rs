@@ -1,0 +1,119 @@
+//! Generator for the tweets dataset (troll detection on short text).
+
+use lvp_dataframe::{CellValue, ColumnType, DataFrame, DataFrameBuilder, Field, Schema};
+use rand::Rng;
+
+const TROLL_VOCAB: [&str; 36] = [
+    "idiot", "loser", "stupid", "dumb", "pathetic", "moron", "clown", "trash", "garbage",
+    "worthless", "shut", "ratio", "cope", "seethe", "cry", "fraud", "fake", "liar", "clueless",
+    "braindead", "disgusting", "embarrassing", "joke", "failure", "hate", "ugly", "annoying",
+    "cringe", "delusional", "toxic", "troll", "block", "reported", "nobody", "irrelevant",
+    "washed",
+];
+
+const NEUTRAL_VOCAB: [&str; 60] = [
+    "today", "morning", "coffee", "weather", "sunny", "rain", "game", "match", "team", "score",
+    "music", "album", "song", "concert", "movie", "film", "series", "episode", "book", "reading",
+    "travel", "trip", "flight", "city", "food", "dinner", "lunch", "recipe", "cooking", "garden",
+    "running", "workout", "training", "project", "work", "meeting", "launch", "update", "release",
+    "photo", "picture", "beautiful", "amazing", "great", "love", "happy", "excited", "weekend",
+    "friday", "holiday", "family", "friends", "birthday", "party", "news", "article", "thread",
+    "thanks", "congrats", "awesome",
+];
+
+const STOPWORDS: [&str; 20] = [
+    "the", "a", "to", "and", "of", "in", "is", "it", "you", "that", "for", "on", "with", "this",
+    "so", "just", "my", "me", "are", "what",
+];
+
+fn pick<'a>(rng: &mut impl Rng, words: &[&'a str]) -> &'a str {
+    words[rng.gen_range(0..words.len())]
+}
+
+fn compose_tweet(rng: &mut impl Rng, troll: bool) -> String {
+    let len = rng.gen_range(6..=18);
+    let mut words = Vec::with_capacity(len);
+    for _ in 0..len {
+        let u: f64 = rng.gen();
+        let w = if troll {
+            if u < 0.34 {
+                pick(rng, &TROLL_VOCAB)
+            } else if u < 0.72 {
+                pick(rng, &NEUTRAL_VOCAB)
+            } else {
+                pick(rng, &STOPWORDS)
+            }
+        } else if u < 0.03 {
+            // Non-troll tweets occasionally use a harsh word too.
+            pick(rng, &TROLL_VOCAB)
+        } else if u < 0.65 {
+            pick(rng, &NEUTRAL_VOCAB)
+        } else {
+            pick(rng, &STOPWORDS)
+        };
+        words.push(w);
+    }
+    words.join(" ")
+}
+
+/// Cyber-troll-like dataset: a single free-text column; the target denotes
+/// whether the tweet has trolling character.
+pub fn tweets(n: usize, rng: &mut impl Rng) -> DataFrame {
+    let schema = Schema::new(vec![Field::new("tweet", ColumnType::Text)])
+        .expect("static schema is valid");
+    let mut b = DataFrameBuilder::new(schema, vec!["normal".into(), "troll".into()]);
+    for i in 0..n {
+        let y = (i % 2) as u32;
+        let text = compose_tweet(rng, y == 1);
+        // ~5% label noise: mislabeled tweets exist in the real corpus too.
+        let label = if rng.gen::<f64>() < 0.05 { 1 - y } else { y };
+        b.push_row(vec![CellValue::Text(text)], label)
+            .expect("row matches schema");
+    }
+    b.finish().expect("builder output is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tweets_have_single_text_column() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let df = tweets(50, &mut rng);
+        assert_eq!(df.n_cols(), 1);
+        assert_eq!(df.schema().text_columns(), vec![0]);
+    }
+
+    #[test]
+    fn troll_tweets_use_troll_vocabulary_more() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let df = tweets(2000, &mut rng);
+        let texts = df.column(0).as_text().unwrap();
+        let mut troll_hits = [0usize; 2];
+        let mut word_counts = [0usize; 2];
+        for (t, &l) in texts.iter().zip(df.labels()) {
+            let text = t.as_ref().unwrap();
+            for w in text.split(' ') {
+                word_counts[l as usize] += 1;
+                if TROLL_VOCAB.contains(&w) {
+                    troll_hits[l as usize] += 1;
+                }
+            }
+        }
+        let rate0 = troll_hits[0] as f64 / word_counts[0] as f64;
+        let rate1 = troll_hits[1] as f64 / word_counts[1] as f64;
+        assert!(rate1 > 5.0 * rate0, "troll rate {rate1} vs normal {rate0}");
+    }
+
+    #[test]
+    fn tweets_are_nonempty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let df = tweets(100, &mut rng);
+        for t in df.column(0).as_text().unwrap() {
+            assert!(!t.as_ref().unwrap().is_empty());
+        }
+    }
+}

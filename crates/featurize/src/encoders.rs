@@ -1,0 +1,364 @@
+//! Per-column encoders. Each encoder is fitted on a training column and then
+//! emits features for any cell into a caller-provided pair buffer with a
+//! fixed column offset.
+
+use crate::hashing::{fnv1a64, tokenize, word_ngrams};
+use lvp_dataframe::{Column, ImageData};
+use std::collections::BTreeMap;
+
+/// Standardizes a numeric column to zero mean and unit variance.
+///
+/// Missing values impute to the training mean, i.e. 0 after scaling — the
+/// same behaviour as a `SimpleImputer(mean) → StandardScaler` pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericScaler {
+    mean: f64,
+    std: f64,
+}
+
+impl NumericScaler {
+    /// Fits mean/std on the non-missing values of a training column.
+    pub fn fit(values: &[Option<f64>]) -> Self {
+        let present: Vec<f64> = values
+            .iter()
+            .filter_map(|v| *v)
+            .filter(|v| v.is_finite())
+            .collect();
+        if present.is_empty() {
+            return Self { mean: 0.0, std: 1.0 };
+        }
+        let mean = present.iter().sum::<f64>() / present.len() as f64;
+        let var = present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / present.len() as f64;
+        let std = if var > 0.0 { var.sqrt() } else { 1.0 };
+        Self { mean, std }
+    }
+
+    /// Number of output dimensions (always 1).
+    pub fn width(&self) -> usize {
+        1
+    }
+
+    /// Training mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Training standard deviation (1.0 for constant columns).
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Encodes one cell into `(offset, value)` pairs.
+    pub fn encode(&self, value: Option<f64>, offset: u32, out: &mut Vec<(u32, f64)>) {
+        if let Some(v) = value {
+            if v.is_finite() {
+                let scaled = (v - self.mean) / self.std;
+                if scaled != 0.0 {
+                    out.push((offset, scaled));
+                }
+            }
+        }
+        // Missing / non-finite → imputed to mean → exactly 0 after scaling.
+    }
+}
+
+/// One-hot encodes a categorical column over the categories observed during
+/// fitting. Unseen categories and missing values produce a zero vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneHotEncoder {
+    categories: BTreeMap<String, u32>,
+}
+
+impl OneHotEncoder {
+    /// Collects the category dictionary from a training column.
+    pub fn fit(values: &[Option<String>]) -> Self {
+        let mut categories = BTreeMap::new();
+        for v in values.iter().flatten() {
+            let next = categories.len() as u32;
+            categories.entry(v.clone()).or_insert(next);
+        }
+        Self { categories }
+    }
+
+    /// Number of output dimensions (one per observed category).
+    pub fn width(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Whether `value` was observed during fitting.
+    pub fn knows(&self, value: &str) -> bool {
+        self.categories.contains_key(value)
+    }
+
+    /// Encodes one cell into `(offset + category_index, 1.0)`.
+    pub fn encode(&self, value: Option<&str>, offset: u32, out: &mut Vec<(u32, f64)>) {
+        if let Some(v) = value {
+            if let Some(&idx) = self.categories.get(v) {
+                out.push((offset + idx, 1.0));
+            }
+        }
+    }
+}
+
+/// Hashes word-level n-grams of a text cell into `n_buckets` dimensions with
+/// L2-normalized term counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashingTextEncoder {
+    n_buckets: u32,
+    max_ngram: usize,
+}
+
+impl HashingTextEncoder {
+    /// Creates an encoder with the given bucket count and maximum n-gram
+    /// order. Hashing needs no fitting.
+    pub fn new(n_buckets: u32, max_ngram: usize) -> Self {
+        assert!(n_buckets > 0, "need at least one bucket");
+        assert!(max_ngram >= 1, "need at least unigrams");
+        Self {
+            n_buckets,
+            max_ngram,
+        }
+    }
+
+    /// Number of output dimensions.
+    pub fn width(&self) -> usize {
+        self.n_buckets as usize
+    }
+
+    /// Encodes one text cell.
+    pub fn encode(&self, value: Option<&str>, offset: u32, out: &mut Vec<(u32, f64)>) {
+        let Some(text) = value else { return };
+        let tokens = tokenize(text);
+        if tokens.is_empty() {
+            return;
+        }
+        let grams = word_ngrams(&tokens, self.max_ngram);
+        let mut counts: BTreeMap<u32, f64> = BTreeMap::new();
+        for g in &grams {
+            let bucket = (fnv1a64(g.as_bytes()) % u64::from(self.n_buckets)) as u32;
+            *counts.entry(bucket).or_insert(0.0) += 1.0;
+        }
+        let norm = counts.values().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return;
+        }
+        for (bucket, count) in counts {
+            out.push((offset + bucket, count / norm));
+        }
+    }
+}
+
+/// Flattens grayscale images to raw pixel intensities. The image geometry is
+/// fixed at fit time; images of a different size (or missing images) encode
+/// to zeros for the out-of-range part.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageEncoder {
+    width_px: usize,
+    height_px: usize,
+}
+
+impl ImageEncoder {
+    /// Fixes the geometry from the first present training image.
+    pub fn fit(values: &[Option<ImageData>]) -> Self {
+        let (w, h) = values
+            .iter()
+            .flatten()
+            .map(|img| (img.width, img.height))
+            .next()
+            .unwrap_or((0, 0));
+        Self {
+            width_px: w,
+            height_px: h,
+        }
+    }
+
+    /// Number of output dimensions (`width × height` pixels).
+    pub fn width(&self) -> usize {
+        self.width_px * self.height_px
+    }
+
+    /// Image geometry `(width, height)` fixed at fit time.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.width_px, self.height_px)
+    }
+
+    /// Encodes one image cell as its nonzero pixels.
+    pub fn encode(&self, value: Option<&ImageData>, offset: u32, out: &mut Vec<(u32, f64)>) {
+        let Some(img) = value else { return };
+        for y in 0..self.height_px {
+            for x in 0..self.width_px {
+                let v = img.get(x, y);
+                if v != 0.0 && v.is_finite() {
+                    out.push((offset + (y * self.width_px + x) as u32, v));
+                }
+            }
+        }
+    }
+}
+
+/// Encoder for one schema column; dispatches on the column type.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ColumnEncoder {
+    Numeric(NumericScaler),
+    Categorical(OneHotEncoder),
+    Text(HashingTextEncoder),
+    Image(ImageEncoder),
+}
+
+impl ColumnEncoder {
+    pub(crate) fn width(&self) -> usize {
+        match self {
+            ColumnEncoder::Numeric(e) => e.width(),
+            ColumnEncoder::Categorical(e) => e.width(),
+            ColumnEncoder::Text(e) => e.width(),
+            ColumnEncoder::Image(e) => e.width(),
+        }
+    }
+
+    pub(crate) fn encode_cell(
+        &self,
+        column: &Column,
+        row: usize,
+        offset: u32,
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        match (self, column) {
+            (ColumnEncoder::Numeric(e), Column::Numeric(v)) => e.encode(v[row], offset, out),
+            (ColumnEncoder::Categorical(e), Column::Categorical(v)) => {
+                e.encode(v[row].as_deref(), offset, out)
+            }
+            (ColumnEncoder::Text(e), Column::Text(v)) => e.encode(v[row].as_deref(), offset, out),
+            (ColumnEncoder::Image(e), Column::Image(v)) => e.encode(v[row].as_ref(), offset, out),
+            // Type mismatches cannot occur for frames that share the schema
+            // the pipeline was fitted on; treat defensively as missing.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_standardizes() {
+        let s = NumericScaler::fit(&[Some(1.0), Some(3.0)]);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.std(), 1.0);
+        let mut out = vec![];
+        s.encode(Some(3.0), 5, &mut out);
+        assert_eq!(out, vec![(5, 1.0)]);
+    }
+
+    #[test]
+    fn scaler_handles_constant_column() {
+        let s = NumericScaler::fit(&[Some(7.0), Some(7.0)]);
+        assert_eq!(s.std(), 1.0);
+        let mut out = vec![];
+        s.encode(Some(7.0), 0, &mut out);
+        assert!(out.is_empty()); // scaled value is exactly 0
+    }
+
+    #[test]
+    fn scaler_imputes_missing_to_zero() {
+        let s = NumericScaler::fit(&[Some(1.0), Some(3.0)]);
+        let mut out = vec![];
+        s.encode(None, 0, &mut out);
+        assert!(out.is_empty());
+        s.encode(Some(f64::NAN), 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scaler_ignores_nonfinite_during_fit() {
+        let s = NumericScaler::fit(&[Some(1.0), Some(f64::INFINITY), Some(3.0)]);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn scaler_all_missing_column() {
+        let s = NumericScaler::fit(&[None, None]);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 1.0);
+    }
+
+    #[test]
+    fn one_hot_encodes_known_categories() {
+        let e = OneHotEncoder::fit(&[Some("a".into()), Some("b".into()), Some("a".into())]);
+        assert_eq!(e.width(), 2);
+        let mut out = vec![];
+        e.encode(Some("b"), 10, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, 1.0);
+    }
+
+    #[test]
+    fn one_hot_unseen_category_is_zero_vector() {
+        let e = OneHotEncoder::fit(&[Some("a".into())]);
+        let mut out = vec![];
+        e.encode(Some("zzz"), 0, &mut out);
+        assert!(out.is_empty());
+        e.encode(None, 0, &mut out);
+        assert!(out.is_empty());
+        assert!(!e.knows("zzz"));
+        assert!(e.knows("a"));
+    }
+
+    #[test]
+    fn one_hot_category_ids_are_deterministic() {
+        let e1 = OneHotEncoder::fit(&[Some("x".into()), Some("y".into())]);
+        let e2 = OneHotEncoder::fit(&[Some("x".into()), Some("y".into())]);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn hashing_encoder_is_l2_normalized() {
+        let e = HashingTextEncoder::new(64, 2);
+        let mut out = vec![];
+        e.encode(Some("the cat sat"), 0, &mut out);
+        let norm: f64 = out.iter().map(|(_, v)| v * v).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hashing_encoder_empty_text_is_empty() {
+        let e = HashingTextEncoder::new(64, 2);
+        let mut out = vec![];
+        e.encode(Some("..."), 0, &mut out);
+        assert!(out.is_empty());
+        e.encode(None, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hashing_encoder_changed_spelling_changes_buckets() {
+        let e = HashingTextEncoder::new(4096, 1);
+        let mut a = vec![];
+        let mut b = vec![];
+        e.encode(Some("hello world"), 0, &mut a);
+        e.encode(Some("h3110 w041d"), 0, &mut b);
+        let ia: Vec<u32> = a.iter().map(|p| p.0).collect();
+        let ib: Vec<u32> = b.iter().map(|p| p.0).collect();
+        assert_ne!(ia, ib);
+    }
+
+    #[test]
+    fn image_encoder_flattens_pixels() {
+        let mut img = ImageData::zeros(2, 2);
+        img.set(1, 0, 0.5);
+        img.set(0, 1, 0.25);
+        let e = ImageEncoder::fit(&[Some(img.clone())]);
+        assert_eq!(e.width(), 4);
+        let mut out = vec![];
+        e.encode(Some(&img), 0, &mut out);
+        assert_eq!(out, vec![(1, 0.5), (2, 0.25)]);
+    }
+
+    #[test]
+    fn image_encoder_missing_image_is_zeros() {
+        let e = ImageEncoder::fit(&[Some(ImageData::zeros(2, 2))]);
+        let mut out = vec![];
+        e.encode(None, 0, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Tokenization and feature hashing for text attributes.
+
+/// 64-bit FNV-1a hash, the bucket function of the hashing vectorizer.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Splits text into lowercase word tokens on non-alphanumeric boundaries.
+///
+/// Non-ASCII alphabetic characters are kept (encoding-error corruptions rely
+/// on `É` ≠ `E` producing different tokens, as in the paper's example).
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// Produces word-level n-grams for n in `1..=max_n`, joined by a space.
+pub fn word_ngrams(tokens: &[String], max_n: usize) -> Vec<String> {
+    let mut grams = Vec::new();
+    for n in 1..=max_n {
+        if n > tokens.len() {
+            break;
+        }
+        for window in tokens.windows(n) {
+            grams.push(window.join(" "));
+        }
+    }
+    grams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_inputs_and_is_deterministic() {
+        assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+        // Known FNV-1a vector: empty string hashes to the offset basis.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        assert_eq!(
+            tokenize("Hello, World!!"),
+            vec!["hello".to_string(), "world".to_string()]
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_digits_and_unicode() {
+        assert_eq!(tokenize("h3110 Éclair"), vec!["h3110", "éclair"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ...").is_empty());
+    }
+
+    #[test]
+    fn ngrams_cover_unigrams_and_bigrams() {
+        let toks: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let grams = word_ngrams(&toks, 2);
+        assert_eq!(grams, vec!["a", "b", "c", "a b", "b c"]);
+    }
+
+    #[test]
+    fn ngrams_with_short_input() {
+        let toks: Vec<String> = ["solo".to_string()].to_vec();
+        assert_eq!(word_ngrams(&toks, 2), vec!["solo"]);
+        assert!(word_ngrams(&[], 2).is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! The fitted feature pipeline: schema-driven concatenation of per-column
+//! encoders.
+
+use crate::encoders::ColumnEncoder;
+use crate::{HashingTextEncoder, ImageEncoder, NumericScaler, OneHotEncoder};
+use lvp_dataframe::{ColumnType, DataFrame};
+use lvp_linalg::{CsrMatrix, SparseVec};
+
+/// Configuration for fitting a [`FeaturePipeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Buckets for the hashing vectorizer applied to text columns.
+    pub text_buckets: u32,
+    /// Maximum word n-gram order for text columns.
+    pub max_ngram: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            text_buckets: 2048,
+            max_ngram: 2,
+        }
+    }
+}
+
+/// A feature pipeline fitted on training data.
+///
+/// `transform` may afterwards be applied to any frame sharing the training
+/// schema — including corrupted serving data, which is the whole point: the
+/// encoders' missing/unseen semantics determine how data errors propagate
+/// into the model's feature space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeaturePipeline {
+    encoders: Vec<ColumnEncoder>,
+    offsets: Vec<u32>,
+    total_width: usize,
+}
+
+impl FeaturePipeline {
+    /// Fits one encoder per schema column on the training frame.
+    pub fn fit(train: &DataFrame, config: &PipelineConfig) -> Self {
+        let mut encoders = Vec::with_capacity(train.n_cols());
+        for (i, field) in train.schema().fields().iter().enumerate() {
+            let col = train.column(i);
+            let enc = match field.ty {
+                ColumnType::Numeric => ColumnEncoder::Numeric(NumericScaler::fit(
+                    col.as_numeric().expect("schema-validated column"),
+                )),
+                ColumnType::Categorical => ColumnEncoder::Categorical(OneHotEncoder::fit(
+                    col.as_categorical().expect("schema-validated column"),
+                )),
+                ColumnType::Text => ColumnEncoder::Text(HashingTextEncoder::new(
+                    config.text_buckets,
+                    config.max_ngram,
+                )),
+                ColumnType::Image => ColumnEncoder::Image(ImageEncoder::fit(
+                    col.as_image().expect("schema-validated column"),
+                )),
+            };
+            encoders.push(enc);
+        }
+        let mut offsets = Vec::with_capacity(encoders.len());
+        let mut acc: u32 = 0;
+        for e in &encoders {
+            offsets.push(acc);
+            acc += e.width() as u32;
+        }
+        Self {
+            encoders,
+            offsets,
+            total_width: acc as usize,
+        }
+    }
+
+    /// Total dimensionality of the output feature space.
+    pub fn width(&self) -> usize {
+        self.total_width
+    }
+
+    /// Feature-space offset of column `i`'s block.
+    pub fn offset_of(&self, i: usize) -> u32 {
+        self.offsets[i]
+    }
+
+    /// Transforms a frame into a CSR feature matrix, one row per tuple.
+    pub fn transform(&self, df: &DataFrame) -> CsrMatrix {
+        let mut rows = Vec::with_capacity(df.n_rows());
+        let mut pairs: Vec<(u32, f64)> = Vec::new();
+        for r in 0..df.n_rows() {
+            pairs.clear();
+            for (i, enc) in self.encoders.iter().enumerate() {
+                enc.encode_cell(df.column(i), r, self.offsets[i], &mut pairs);
+            }
+            rows.push(
+                SparseVec::from_pairs(self.total_width, pairs.clone())
+                    .expect("encoder offsets stay in bounds"),
+            );
+        }
+        CsrMatrix::from_sparse_rows(&rows).expect("uniform row dimensionality")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_dataframe::toy_frame;
+
+    #[test]
+    fn pipeline_width_covers_all_columns() {
+        let df = toy_frame(10);
+        let p = FeaturePipeline::fit(&df, &PipelineConfig::default());
+        // 1 numeric dim + 2 one-hot categories ("even"/"odd").
+        assert_eq!(p.width(), 3);
+        assert_eq!(p.offset_of(0), 0);
+        assert_eq!(p.offset_of(1), 1);
+    }
+
+    #[test]
+    fn transform_produces_expected_shape() {
+        let df = toy_frame(8);
+        let p = FeaturePipeline::fit(&df, &PipelineConfig::default());
+        let x = p.transform(&df);
+        assert_eq!(x.rows(), 8);
+        assert_eq!(x.cols(), 3);
+    }
+
+    #[test]
+    fn transform_on_unseen_data_keeps_dimensionality() {
+        let train = toy_frame(10);
+        let serve = toy_frame(4);
+        let p = FeaturePipeline::fit(&train, &PipelineConfig::default());
+        let x = p.transform(&serve);
+        assert_eq!(x.cols(), p.width());
+        assert_eq!(x.rows(), 4);
+    }
+
+    #[test]
+    fn missing_cells_encode_to_zero_rows() {
+        let mut df = toy_frame(3);
+        df.column_mut(0).set_null(1);
+        df.column_mut(1).set_null(1);
+        let p = FeaturePipeline::fit(&toy_frame(10), &PipelineConfig::default());
+        let x = p.transform(&df);
+        let (idx, _) = x.row(1);
+        assert!(idx.is_empty(), "fully-missing row must encode to zeros");
+    }
+
+    #[test]
+    fn standardization_uses_training_statistics() {
+        let train = toy_frame(11); // x: 0..=10, mean 5
+        let p = FeaturePipeline::fit(&train, &PipelineConfig::default());
+        let x = p.transform(&train);
+        // Column 0 of row 5 holds (5 - mean)/std == 0 → stored as implicit zero.
+        let (idx, _) = x.row(5);
+        assert!(!idx.contains(&0));
+        // Row 0 holds a negative standardized value.
+        let dense = x.to_dense();
+        assert!(dense.get(0, 0) < 0.0);
+    }
+}

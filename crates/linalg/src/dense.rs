@@ -1,0 +1,345 @@
+//! Row-major dense matrix.
+
+use crate::{shape_err, ShapeError};
+use rayon::prelude::*;
+
+/// A row-major dense matrix of `f64` values.
+///
+/// This is the exchange type for model outputs across the workspace: a batch
+/// of class-probability predictions is an `n × m` dense matrix whose rows sum
+/// to one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(shape_err(format!(
+                "buffer of length {} cannot form a {}x{} matrix",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from nested rows. All rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, ShapeError> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(shape_err(format!(
+                    "row {} has length {}, expected {}",
+                    i,
+                    r.len(),
+                    cols
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Value at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the value at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable slice of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable slice of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Dense matrix multiplication `self * other`, parallelized over rows.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, ShapeError> {
+        if self.cols != other.rows {
+            return Err(shape_err(format!(
+                "cannot multiply {}x{} by {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        let oc = other.cols;
+        out.data
+            .par_chunks_mut(oc.max(1))
+            .zip(self.data.par_chunks(self.cols.max(1)))
+            .for_each(|(out_row, a_row)| {
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[k * oc..(k + 1) * oc];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            });
+        Ok(out)
+    }
+
+    /// Element-wise addition of a row vector (broadcast over rows).
+    pub fn add_row_vector(&mut self, bias: &[f64]) -> Result<(), ShapeError> {
+        if bias.len() != self.cols {
+            return Err(shape_err(format!(
+                "bias of length {} does not match {} columns",
+                bias.len(),
+                self.cols
+            )));
+        }
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f64) -> f64 + Sync) {
+        self.data.par_iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Element-wise `self += s * other`.
+    pub fn axpy(&mut self, s: f64, other: &DenseMatrix) -> Result<(), ShapeError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(shape_err("axpy shape mismatch"));
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Returns the per-row index of the maximum value (ties broken towards
+    /// the lower index), i.e. the predicted class for a probability matrix.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.row_iter().map(crate::ops::argmax).collect()
+    }
+
+    /// Builds a new matrix containing only the selected rows.
+    pub fn select_rows(&self, indices: &[usize]) -> DenseMatrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        DenseMatrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Vertically stacks matrices with identical column counts.
+    pub fn vstack(parts: &[&DenseMatrix]) -> Result<DenseMatrix, ShapeError> {
+        if parts.is_empty() {
+            return Ok(DenseMatrix::zeros(0, 0));
+        }
+        let cols = parts[0].cols;
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for p in parts {
+            if p.cols != cols {
+                return Err(shape_err("vstack column mismatch"));
+            }
+            rows += p.rows;
+            data.extend_from_slice(&p.data);
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed_product() {
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = DenseMatrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest_entry() {
+        let m = DenseMatrix::from_vec(2, 3, vec![0.1, 0.7, 0.2, 0.5, 0.2, 0.3]).unwrap();
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn add_row_vector_broadcasts() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.add_row_vector(&[1.0, 2.0]).unwrap();
+        assert_eq!(m.data(), &[1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn select_rows_extracts_in_order() {
+        let m = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.data(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = DenseMatrix::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let b = DenseMatrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let c = DenseMatrix::vstack(&[&a, &b]).unwrap();
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = DenseMatrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        let b = DenseMatrix::from_vec(1, 2, vec![2.0, 3.0]).unwrap();
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn column_extracts_values() {
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.column(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_of_unit_rows() {
+        let m = DenseMatrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

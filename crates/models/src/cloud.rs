@@ -1,0 +1,206 @@
+//! Simulated cloud ML service (the Google AutoML Tables stand-in of §6.3.2).
+//!
+//! The paper's final experiment validates a model that is *trained and
+//! hosted* by a third-party cloud service: the user uploads training data,
+//! receives an opaque model handle, and can only retrieve batched
+//! predictions. This module reproduces that contract:
+//!
+//! * [`CloudModelService::train_and_deploy`] runs an AutoML search
+//!   server-side and returns only a [`ModelHandle`],
+//! * predictions are served via [`CloudModelService::batch_predict`], which
+//!   meters request counts and row quotas like a billed endpoint,
+//! * [`RemoteModel`] adapts a handle to the [`BlackBoxModel`] trait so the
+//!   performance predictor can be trained against the remote endpoint
+//!   exactly like against a local model.
+
+use crate::automl::auto_sklearn_like;
+use crate::{BlackBoxModel, ModelError};
+use lvp_dataframe::DataFrame;
+use lvp_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Opaque identifier of a deployed cloud model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelHandle(u64);
+
+struct ServiceInner {
+    models: Mutex<HashMap<ModelHandle, Box<dyn BlackBoxModel>>>,
+    next_handle: AtomicU64,
+    requests: AtomicU64,
+    rows_scored: AtomicU64,
+}
+
+/// A simulated cloud prediction service hosting opaque models.
+#[derive(Clone)]
+pub struct CloudModelService {
+    inner: Arc<ServiceInner>,
+}
+
+impl Default for CloudModelService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CloudModelService {
+    /// Starts an empty service.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(ServiceInner {
+                models: Mutex::new(HashMap::new()),
+                next_handle: AtomicU64::new(1),
+                requests: AtomicU64::new(0),
+                rows_scored: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// "Uploads" training data, runs a server-side AutoML search and deploys
+    /// the resulting model. Only the handle is returned — the learning
+    /// algorithm and feature map stay inside the service, as with Google
+    /// AutoML Tables.
+    pub fn train_and_deploy(
+        &self,
+        train: &DataFrame,
+        seed: u64,
+    ) -> Result<ModelHandle, ModelError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = auto_sklearn_like(train, 6, &mut rng)?;
+        let handle = ModelHandle(self.inner.next_handle.fetch_add(1, Ordering::Relaxed));
+        self.inner
+            .models
+            .lock()
+            .expect("service mutex not poisoned")
+            .insert(handle, model);
+        Ok(handle)
+    }
+
+    /// Scores a batch of rows against a deployed model.
+    pub fn batch_predict(
+        &self,
+        handle: ModelHandle,
+        data: &DataFrame,
+    ) -> Result<DenseMatrix, ModelError> {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .rows_scored
+            .fetch_add(data.n_rows() as u64, Ordering::Relaxed);
+        let models = self
+            .inner
+            .models
+            .lock()
+            .expect("service mutex not poisoned");
+        let model = models
+            .get(&handle)
+            .ok_or_else(|| ModelError::new("unknown model handle"))?;
+        Ok(model.predict_proba(data))
+    }
+
+    /// Number of classes of a deployed model.
+    pub fn model_classes(&self, handle: ModelHandle) -> Result<usize, ModelError> {
+        let models = self
+            .inner
+            .models
+            .lock()
+            .expect("service mutex not poisoned");
+        models
+            .get(&handle)
+            .map(|m| m.n_classes())
+            .ok_or_else(|| ModelError::new("unknown model handle"))
+    }
+
+    /// Total prediction requests served (the "billing meter").
+    pub fn requests_served(&self) -> u64 {
+        self.inner.requests.load(Ordering::Relaxed)
+    }
+
+    /// Total rows scored across all requests.
+    pub fn rows_scored(&self) -> u64 {
+        self.inner.rows_scored.load(Ordering::Relaxed)
+    }
+
+    /// Adapts a deployed model to the [`BlackBoxModel`] trait.
+    pub fn remote_model(&self, handle: ModelHandle) -> Result<RemoteModel, ModelError> {
+        let n_classes = self.model_classes(handle)?;
+        Ok(RemoteModel {
+            service: self.clone(),
+            handle,
+            n_classes,
+        })
+    }
+}
+
+/// A client-side view of a cloud-hosted model. Every `predict_proba` call
+/// is a metered request against the service.
+pub struct RemoteModel {
+    service: CloudModelService,
+    handle: ModelHandle,
+    n_classes: usize,
+}
+
+impl BlackBoxModel for RemoteModel {
+    fn predict_proba(&self, data: &DataFrame) -> DenseMatrix {
+        self.service
+            .batch_predict(self.handle, data)
+            .expect("handle validated at construction")
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn name(&self) -> &str {
+        "cloud-automl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_dataframe::toy_frame;
+
+    #[test]
+    fn deploy_and_predict_round_trip() {
+        let service = CloudModelService::new();
+        let df = toy_frame(60);
+        let handle = service.train_and_deploy(&df, 1).unwrap();
+        let p = service.batch_predict(handle, &df).unwrap();
+        assert_eq!(p.rows(), 60);
+        assert_eq!(service.requests_served(), 1);
+        assert_eq!(service.rows_scored(), 60);
+    }
+
+    #[test]
+    fn unknown_handle_is_rejected() {
+        let service = CloudModelService::new();
+        let df = toy_frame(5);
+        assert!(service.batch_predict(ModelHandle(99), &df).is_err());
+        assert!(service.model_classes(ModelHandle(99)).is_err());
+    }
+
+    #[test]
+    fn remote_model_meters_requests() {
+        let service = CloudModelService::new();
+        let df = toy_frame(30);
+        let handle = service.train_and_deploy(&df, 2).unwrap();
+        let remote = service.remote_model(handle).unwrap();
+        let _ = remote.predict_proba(&df);
+        let _ = remote.predict_proba(&df);
+        assert_eq!(service.requests_served(), 2);
+        assert_eq!(remote.name(), "cloud-automl");
+        assert_eq!(remote.n_classes(), 2);
+    }
+
+    #[test]
+    fn handles_are_unique() {
+        let service = CloudModelService::new();
+        let df = toy_frame(30);
+        let h1 = service.train_and_deploy(&df, 3).unwrap();
+        let h2 = service.train_and_deploy(&df, 4).unwrap();
+        assert_ne!(h1, h2);
+    }
+}

@@ -1,0 +1,98 @@
+//! K-fold cross-validation and grid-search helpers.
+//!
+//! The paper trains every model with five-fold cross-validation and a grid
+//! search over its key hyperparameters (§6 "Models", §4 for the random
+//! forest meta-model). These helpers implement that protocol generically.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Produces `k` (train, validation) index partitions of `0..n`.
+///
+/// Rows are shuffled once, then each fold takes a contiguous slice as its
+/// validation set; folds are disjoint and cover all rows.
+pub fn kfold_indices(n: usize, k: usize, rng: &mut impl Rng) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least two folds");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = n * f / k;
+        let hi = n * (f + 1) / k;
+        let val: Vec<usize> = idx[lo..hi].to_vec();
+        let train: Vec<usize> = idx[..lo].iter().chain(&idx[hi..]).copied().collect();
+        folds.push((train, val));
+    }
+    folds
+}
+
+/// Exhaustive grid search: evaluates `score_fn(candidate)` (higher is
+/// better) for every candidate and returns the best one with its score.
+///
+/// Panics on an empty grid — a grid search without candidates is a bug at
+/// the call site.
+pub fn grid_search_max<C: Clone>(
+    candidates: &[C],
+    mut score_fn: impl FnMut(&C) -> f64,
+) -> (C, f64) {
+    assert!(!candidates.is_empty(), "empty hyperparameter grid");
+    let mut best: Option<(C, f64)> = None;
+    for c in candidates {
+        let s = score_fn(c);
+        let better = match &best {
+            None => true,
+            Some((_, bs)) => s > *bs,
+        };
+        if better {
+            best = Some((c.clone(), s));
+        }
+    }
+    best.expect("non-empty grid produced a winner")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn folds_partition_all_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = kfold_indices(103, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![false; 103];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 103);
+            for &i in val {
+                assert!(!seen[i], "row {i} in two validation folds");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every row validates exactly once");
+    }
+
+    #[test]
+    fn train_and_val_are_disjoint() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (train, val) in kfold_indices(50, 5, &mut rng) {
+            for v in &val {
+                assert!(!train.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_search_picks_maximum() {
+        let grid = [1, 5, 3];
+        let (best, score) = grid_search_max(&grid, |&c| f64::from(c));
+        assert_eq!(best, 5);
+        assert_eq!(score, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty hyperparameter grid")]
+    fn grid_search_rejects_empty_grid() {
+        grid_search_max::<u8>(&[], |_| 0.0);
+    }
+}

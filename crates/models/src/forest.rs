@@ -1,0 +1,239 @@
+//! Random forest regression — the meta-model of the paper's performance
+//! predictor (§4: `RandomForestRegressor` with five-fold cross-validation
+//! and a grid search over the number of trees, minimizing MAE).
+
+use crate::cv::{grid_search_max, kfold_indices};
+use crate::tree::{DenseColumns, RegressionTree, TreeParams};
+use crate::{ModelError, Regressor};
+use lvp_linalg::DenseMatrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Configuration for [`RandomForestRegressor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Minimum examples per leaf.
+    pub min_samples_leaf: usize,
+    /// Fraction of features considered per split.
+    pub colsample: f64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 50,
+            max_depth: 12,
+            min_samples_leaf: 2,
+            colsample: 0.4,
+        }
+    }
+}
+
+/// The paper's grid over the number of trees.
+pub fn default_forest_grid() -> Vec<ForestConfig> {
+    [25, 50, 100]
+        .into_iter()
+        .map(|n_trees| ForestConfig {
+            n_trees,
+            ..ForestConfig::default()
+        })
+        .collect()
+}
+
+/// A fitted random forest regressor (bagging + per-split feature
+/// subsampling; prediction is the mean over trees).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RandomForestRegressor {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForestRegressor {
+    /// Fits `config.n_trees` trees on bootstrap samples.
+    pub fn fit(
+        x: &DenseMatrix,
+        targets: &[f64],
+        config: &ForestConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, ModelError> {
+        if x.rows() != targets.len() {
+            return Err(ModelError::new("feature/target row count mismatch"));
+        }
+        if x.rows() == 0 {
+            return Err(ModelError::new("cannot fit on an empty dataset"));
+        }
+        let n = x.rows();
+        let columns = DenseColumns::from_dense(x);
+        // Regression via the Newton formulation: grad = -y, hess = 1.
+        let grad: Vec<f64> = targets.iter().map(|t| -t).collect();
+        let hess = vec![1.0; n];
+        let params = TreeParams {
+            max_depth: config.max_depth,
+            min_samples_leaf: config.min_samples_leaf,
+            lambda: 0.0,
+            colsample: config.colsample,
+            min_gain: 1e-12,
+        };
+        let seeds: Vec<u64> = (0..config.n_trees).map(|_| rng.gen()).collect();
+        let trees: Vec<RegressionTree> = seeds
+            .into_par_iter()
+            .map(|seed| {
+                let mut tree_rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let bootstrap: Vec<usize> =
+                    (0..n).map(|_| tree_rng.gen_range(0..n)).collect();
+                RegressionTree::fit(&columns, &grad, &hess, &bootstrap, &params, &mut tree_rng)
+            })
+            .collect();
+        Ok(Self { trees })
+    }
+
+    /// Fits with k-fold CV over the tree-count grid, selecting the
+    /// configuration with lowest validation MAE (the paper's objective),
+    /// then refits on all data.
+    pub fn fit_cv(
+        x: &DenseMatrix,
+        targets: &[f64],
+        grid: &[ForestConfig],
+        k_folds: usize,
+        rng: &mut impl Rng,
+    ) -> Result<(Self, ForestConfig), ModelError> {
+        if x.rows() < k_folds {
+            // Too little data to cross-validate; fall back to the first
+            // configuration.
+            let cfg = grid
+                .first()
+                .copied()
+                .ok_or_else(|| ModelError::new("empty forest grid"))?;
+            return Ok((Self::fit(x, targets, &cfg, rng)?, cfg));
+        }
+        let folds = kfold_indices(x.rows(), k_folds, rng);
+        let mut seeds: Vec<u64> = (0..grid.len()).map(|_| rng.gen()).collect();
+        let (best, _) = grid_search_max(grid, |cfg| {
+            let mut local = rand::rngs::StdRng::seed_from_u64(seeds.pop().unwrap_or(0));
+            let mut neg_mae = 0.0;
+            for (train_idx, val_idx) in &folds {
+                let xt = x.select_rows(train_idx);
+                let yt: Vec<f64> = train_idx.iter().map(|&i| targets[i]).collect();
+                let Ok(model) = Self::fit(&xt, &yt, cfg, &mut local) else {
+                    return f64::NEG_INFINITY;
+                };
+                let xv = x.select_rows(val_idx);
+                let yv: Vec<f64> = val_idx.iter().map(|&i| targets[i]).collect();
+                let pred = model.predict(&xv);
+                neg_mae -= lvp_stats::mean_absolute_error(&pred, &yv);
+            }
+            neg_mae / folds.len() as f64
+        });
+        let model = Self::fit(x, targets, &best, rng)?;
+        Ok((model, best))
+    }
+
+    /// Number of trees in the fitted ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn predict(&self, x: &DenseMatrix) -> Vec<f64> {
+        (0..x.rows())
+            .map(|r| {
+                let row = x.row(r);
+                self.trees
+                    .iter()
+                    .map(|t| t.predict_dense_row(row))
+                    .sum::<f64>()
+                    / self.trees.len() as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn friedman_like(n: usize, seed: u64) -> (DenseMatrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen();
+            let b: f64 = rng.gen();
+            let c: f64 = rng.gen();
+            rows.push(vec![a, b, c]);
+            y.push(2.0 * a + (std::f64::consts::PI * b).sin() - c * c);
+        }
+        (DenseMatrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn fits_nonlinear_regression() {
+        let (x, y) = friedman_like(400, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), &mut rng)
+            .unwrap();
+        let pred = model.predict(&x);
+        let mae = lvp_stats::mean_absolute_error(&pred, &y);
+        assert!(mae < 0.15, "MAE {mae}");
+    }
+
+    #[test]
+    fn prediction_is_mean_of_trees_in_range() {
+        let (x, y) = friedman_like(100, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let model =
+            RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), &mut rng).unwrap();
+        let (lo, hi) = y
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        for p in model.predict(&x) {
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn tree_count_matches_config() {
+        let (x, y) = friedman_like(50, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = ForestConfig {
+            n_trees: 9,
+            ..ForestConfig::default()
+        };
+        let model = RandomForestRegressor::fit(&x, &y, &cfg, &mut rng).unwrap();
+        assert_eq!(model.n_trees(), 9);
+    }
+
+    #[test]
+    fn cv_selects_grid_member() {
+        let (x, y) = friedman_like(90, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let grid = default_forest_grid();
+        let (_, cfg) = RandomForestRegressor::fit_cv(&x, &y, &grid, 3, &mut rng).unwrap();
+        assert!(grid.contains(&cfg));
+    }
+
+    #[test]
+    fn tiny_dataset_falls_back_without_cv() {
+        let x = DenseMatrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (model, _) =
+            RandomForestRegressor::fit_cv(&x, &[1.0, 2.0], &default_forest_grid(), 5, &mut rng)
+                .unwrap();
+        assert!(model.n_trees() > 0);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let x = DenseMatrix::zeros(0, 2);
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(
+            RandomForestRegressor::fit(&x, &[], &ForestConfig::default(), &mut rng).is_err()
+        );
+    }
+}

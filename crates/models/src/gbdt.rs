@@ -1,0 +1,366 @@
+//! Gradient-boosted decision trees (the paper's `xgb` model): second-order
+//! boosting on the softmax objective, one regression tree per class per
+//! round, XGBoost-style.
+
+use crate::cv::{grid_search_max, kfold_indices};
+use crate::tree::{DenseColumns, RegressionTree, TreeParams};
+use crate::{one_hot_labels, Classifier, ModelError, Regressor};
+use lvp_linalg::{stable_softmax, CsrMatrix, DenseMatrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Training configuration for gradient boosting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds.
+    pub n_rounds: usize,
+    /// Maximum depth of each tree.
+    pub max_depth: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// L2 regularization on leaf values.
+    pub lambda: f64,
+    /// Fraction of features considered per split.
+    pub colsample: f64,
+    /// Fraction of rows sampled per round.
+    pub subsample: f64,
+    /// Minimum examples per leaf.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self {
+            n_rounds: 30,
+            max_depth: 3,
+            learning_rate: 0.3,
+            lambda: 1.0,
+            colsample: 0.8,
+            subsample: 0.9,
+            min_samples_leaf: 2,
+        }
+    }
+}
+
+/// The paper's grid: number and depth of trees.
+pub fn default_gbdt_grid() -> Vec<GbdtConfig> {
+    let mut grid = Vec::new();
+    for n_rounds in [20, 40] {
+        for max_depth in [2, 3, 4] {
+            grid.push(GbdtConfig {
+                n_rounds,
+                max_depth,
+                ..GbdtConfig::default()
+            });
+        }
+    }
+    grid
+}
+
+impl GbdtConfig {
+    fn tree_params(&self) -> TreeParams {
+        TreeParams {
+            max_depth: self.max_depth,
+            min_samples_leaf: self.min_samples_leaf,
+            lambda: self.lambda,
+            colsample: self.colsample,
+            min_gain: 1e-9,
+        }
+    }
+}
+
+/// A fitted gradient-boosted classifier.
+pub struct GbdtClassifier {
+    // trees[round][class]
+    trees: Vec<Vec<RegressionTree>>,
+    learning_rate: f64,
+    n_classes: usize,
+}
+
+impl GbdtClassifier {
+    /// Fits with Newton boosting on the softmax objective.
+    pub fn fit(
+        x: &CsrMatrix,
+        labels: &[u32],
+        n_classes: usize,
+        config: &GbdtConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, ModelError> {
+        if x.rows() != labels.len() {
+            return Err(ModelError::new("feature/label row count mismatch"));
+        }
+        if x.rows() == 0 {
+            return Err(ModelError::new("cannot fit on an empty dataset"));
+        }
+        let n = x.rows();
+        let m = n_classes;
+        let columns = DenseColumns::from_csr(x);
+        let y = one_hot_labels(labels, m);
+        let mut logits = DenseMatrix::zeros(n, m);
+        let mut trees: Vec<Vec<RegressionTree>> = Vec::with_capacity(config.n_rounds);
+        let params = config.tree_params();
+        let mut all_rows: Vec<usize> = (0..n).collect();
+
+        for _round in 0..config.n_rounds {
+            let p = stable_softmax(&logits);
+            // Row subsample for this round.
+            all_rows.shuffle(rng);
+            let keep = ((n as f64 * config.subsample).ceil() as usize).clamp(1, n);
+            let round_rows = &all_rows[..keep];
+
+            let mut round_trees = Vec::with_capacity(m);
+            for k in 0..m {
+                let mut grad = vec![0.0; n];
+                let mut hess = vec![0.0; n];
+                for r in 0..n {
+                    let pk = p.get(r, k);
+                    grad[r] = pk - y.get(r, k);
+                    hess[r] = (pk * (1.0 - pk)).max(1e-12);
+                }
+                let tree = RegressionTree::fit(&columns, &grad, &hess, round_rows, &params, rng);
+                for r in 0..n {
+                    let (idx, vals) = x.row(r);
+                    let delta = tree.predict_row(idx, vals);
+                    logits.set(r, k, logits.get(r, k) + config.learning_rate * delta);
+                }
+                round_trees.push(tree);
+            }
+            trees.push(round_trees);
+        }
+        Ok(Self {
+            trees,
+            learning_rate: config.learning_rate,
+            n_classes: m,
+        })
+    }
+
+    /// Fits with k-fold CV over the (rounds, depth) grid, refitting the
+    /// winner on all data.
+    pub fn fit_cv(
+        x: &CsrMatrix,
+        labels: &[u32],
+        n_classes: usize,
+        grid: &[GbdtConfig],
+        k_folds: usize,
+        rng: &mut impl Rng,
+    ) -> Result<(Self, GbdtConfig), ModelError> {
+        let folds = kfold_indices(x.rows(), k_folds, rng);
+        let mut seeds: Vec<u64> = (0..grid.len()).map(|_| rng.gen()).collect();
+        let (best, _) = grid_search_max(grid, |cfg| {
+            let mut local = rand::rngs::StdRng::seed_from_u64(seeds.pop().unwrap_or(0));
+            let mut acc = 0.0;
+            for (train_idx, val_idx) in &folds {
+                let xt = x.select_rows(train_idx);
+                let yt: Vec<u32> = train_idx.iter().map(|&i| labels[i]).collect();
+                let Ok(model) = Self::fit(&xt, &yt, n_classes, cfg, &mut local) else {
+                    return f64::NEG_INFINITY;
+                };
+                let xv = x.select_rows(val_idx);
+                let yv: Vec<usize> = val_idx.iter().map(|&i| labels[i] as usize).collect();
+                let pred = model.predict_proba(&xv).argmax_rows();
+                acc += lvp_stats::accuracy(&pred, &yv);
+            }
+            acc / folds.len() as f64
+        });
+        let model = Self::fit(x, labels, n_classes, &best, rng)?;
+        Ok((model, best))
+    }
+
+    /// Total number of trees across rounds and classes.
+    pub fn n_trees(&self) -> usize {
+        self.trees.iter().map(Vec::len).sum()
+    }
+}
+
+impl Classifier for GbdtClassifier {
+    fn predict_proba(&self, x: &CsrMatrix) -> DenseMatrix {
+        let mut logits = DenseMatrix::zeros(x.rows(), self.n_classes);
+        for r in 0..x.rows() {
+            let (idx, vals) = x.row(r);
+            for round in &self.trees {
+                for (k, tree) in round.iter().enumerate() {
+                    let v = logits.get(r, k) + self.learning_rate * tree.predict_row(idx, vals);
+                    logits.set(r, k, v);
+                }
+            }
+        }
+        stable_softmax(&logits)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// Gradient-boosted regressor on squared loss; used as an ablation
+/// meta-model for the performance predictor and by the validator.
+pub struct GbdtRegressor {
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+    base: f64,
+}
+
+impl GbdtRegressor {
+    /// Fits boosted trees to continuous targets with squared loss.
+    pub fn fit(
+        x: &DenseMatrix,
+        targets: &[f64],
+        config: &GbdtConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, ModelError> {
+        if x.rows() != targets.len() {
+            return Err(ModelError::new("feature/target row count mismatch"));
+        }
+        if x.rows() == 0 {
+            return Err(ModelError::new("cannot fit on an empty dataset"));
+        }
+        let n = x.rows();
+        let columns = DenseColumns::from_dense(x);
+        let base = targets.iter().sum::<f64>() / n as f64;
+        let mut pred = vec![base; n];
+        let mut trees = Vec::with_capacity(config.n_rounds);
+        let params = config.tree_params();
+        let hess = vec![1.0; n];
+        let mut all_rows: Vec<usize> = (0..n).collect();
+        for _ in 0..config.n_rounds {
+            let grad: Vec<f64> = pred.iter().zip(targets).map(|(p, t)| p - t).collect();
+            all_rows.shuffle(rng);
+            let keep = ((n as f64 * config.subsample).ceil() as usize).clamp(1, n);
+            let tree =
+                RegressionTree::fit(&columns, &grad, &hess, &all_rows[..keep], &params, rng);
+            for (r, p) in pred.iter_mut().enumerate() {
+                *p += config.learning_rate * tree.predict_dense_row(x.row(r));
+            }
+            trees.push(tree);
+        }
+        Ok(Self {
+            trees,
+            learning_rate: config.learning_rate,
+            base,
+        })
+    }
+}
+
+impl Regressor for GbdtRegressor {
+    fn predict(&self, x: &DenseMatrix) -> Vec<f64> {
+        (0..x.rows())
+            .map(|r| {
+                let row = x.row(r);
+                self.base
+                    + self.learning_rate
+                        * self
+                            .trees
+                            .iter()
+                            .map(|t| t.predict_dense_row(row))
+                            .sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_linalg::SparseVec;
+    use rand::rngs::StdRng;
+
+    fn rings(n: usize, seed: u64) -> (CsrMatrix, Vec<u32>) {
+        // Inner disc vs outer ring: nonlinear, tree-friendly.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let y = u32::from(rng.gen_bool(0.5));
+            let r = if y == 0 {
+                rng.gen_range(0.0..0.5)
+            } else {
+                rng.gen_range(0.8..1.2)
+            };
+            rows.push(
+                SparseVec::from_pairs(2, vec![(0, r * a.cos()), (1, r * a.sin())]).unwrap(),
+            );
+            labels.push(y);
+        }
+        (CsrMatrix::from_sparse_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn learns_rings() {
+        let (x, y) = rings(300, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = GbdtClassifier::fit(&x, &y, 2, &GbdtConfig::default(), &mut rng).unwrap();
+        let pred = model.predict_proba(&x).argmax_rows();
+        let labels: Vec<usize> = y.iter().map(|&l| l as usize).collect();
+        let acc = lvp_stats::accuracy(&pred, &labels);
+        assert!(acc > 0.9, "rings accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_normalized_and_finite() {
+        let (x, y) = rings(100, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = GbdtClassifier::fit(&x, &y, 2, &GbdtConfig::default(), &mut rng).unwrap();
+        for row in model.predict_proba(&x).row_iter() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn tree_count_matches_config() {
+        let (x, y) = rings(60, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = GbdtConfig {
+            n_rounds: 7,
+            ..GbdtConfig::default()
+        };
+        let model = GbdtClassifier::fit(&x, &y, 2, &cfg, &mut rng).unwrap();
+        assert_eq!(model.n_trees(), 7 * 2);
+    }
+
+    #[test]
+    fn cv_returns_grid_member() {
+        let (x, y) = rings(120, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let grid = [
+            GbdtConfig {
+                n_rounds: 5,
+                ..GbdtConfig::default()
+            },
+            GbdtConfig {
+                n_rounds: 15,
+                ..GbdtConfig::default()
+            },
+        ];
+        let (_, cfg) = GbdtClassifier::fit_cv(&x, &y, 2, &grid, 3, &mut rng).unwrap();
+        assert!(grid.contains(&cfg));
+    }
+
+    #[test]
+    fn regressor_fits_quadratic() {
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 79.0]).collect();
+        let x = DenseMatrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[0]).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = GbdtConfig {
+            n_rounds: 60,
+            max_depth: 3,
+            learning_rate: 0.2,
+            lambda: 0.1,
+            ..GbdtConfig::default()
+        };
+        let model = GbdtRegressor::fit(&x, &y, &cfg, &mut rng).unwrap();
+        let pred = model.predict(&x);
+        let mae = lvp_stats::mean_absolute_error(&pred, &y);
+        assert!(mae < 0.03, "MAE {mae}");
+    }
+
+    #[test]
+    fn regressor_rejects_empty() {
+        let x = DenseMatrix::zeros(0, 3);
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(GbdtRegressor::fit(&x, &[], &GbdtConfig::default(), &mut rng).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! From-scratch classifier and regressor implementations, exposed to the
+//! rest of the workspace strictly as black boxes.
+//!
+//! The paper treats the deployed model as a black box: an executable that
+//! maps raw relational tuples to class probabilities through an *unknown*
+//! feature map φ and prediction function f. This crate enforces that
+//! contract in the type system: downstream crates (notably `lvp-core`) only
+//! ever see the [`BlackBoxModel`] trait, which exposes `predict_proba` on a
+//! raw [`DataFrame`] and nothing else.
+//!
+//! Model families (matching §6 "Models" of the paper):
+//!
+//! * [`linear::LogisticRegression`] (`lr`) — multinomial logistic regression
+//!   trained with minibatch SGD, grid-searched over regularization and
+//!   learning rate with k-fold cross-validation,
+//! * [`mlp::NeuralNet`] (`dnn`) — two ReLU hidden layers + softmax output,
+//!   trained with Adam, grid-searched over layer sizes,
+//! * [`gbdt::GbdtClassifier`] (`xgb`) — second-order (Newton) gradient
+//!   boosted regression trees on logistic loss,
+//! * [`convnet::ConvNet`] (`conv`) — conv(32)→conv(64)→maxpool→dense(128)
+//!   with ReLU and dropout for the image tasks,
+//! * [`forest::RandomForestRegressor`] — the meta-model of the paper's
+//!   performance predictor,
+//! * [`automl`] — three AutoML-style searchers producing opaque pipelines,
+//! * [`cloud`] — a simulated cloud prediction service (Google AutoML Tables
+//!   stand-in) that only exposes batched scoring over a handle.
+//!
+//! [`DataFrame`]: lvp_dataframe::DataFrame
+
+pub mod automl;
+pub mod calibration;
+pub mod cloud;
+pub mod convnet;
+pub mod cv;
+pub mod forest;
+pub mod gbdt;
+pub mod linear;
+pub mod mlp;
+pub mod naive_bayes;
+pub mod tree;
+
+mod opt;
+mod pipeline;
+
+pub use pipeline::{
+    train_convnet, train_gbdt, train_logistic_regression, train_model, train_model_quick,
+    train_neural_net, ModelKind, PipelineModel, CV_FOLDS,
+};
+
+use lvp_dataframe::DataFrame;
+use lvp_linalg::{CsrMatrix, DenseMatrix};
+
+/// Error produced when a model cannot be trained or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ModelError {
+    /// Creates an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A classifier over featurized data: maps a sparse feature matrix to an
+/// `n × m` matrix of class probabilities.
+pub trait Classifier: Send + Sync {
+    /// Predicted class-probability matrix, rows summing to 1.
+    fn predict_proba(&self, x: &CsrMatrix) -> DenseMatrix;
+    /// Number of classes `m`.
+    fn n_classes(&self) -> usize;
+}
+
+/// A regressor over dense feature vectors.
+pub trait Regressor: Send + Sync {
+    /// Predicted target for each row of `x`.
+    fn predict(&self, x: &DenseMatrix) -> Vec<f64>;
+}
+
+/// The black box contract of the paper (§2): raw tuples in, class
+/// probabilities out, nothing else observable.
+///
+/// Implementations bundle a private feature map and a private prediction
+/// function; neither is reachable through this trait.
+pub trait BlackBoxModel: Send + Sync {
+    /// Class probabilities for a batch of raw tuples (`n × m`).
+    fn predict_proba(&self, data: &DataFrame) -> DenseMatrix;
+    /// Number of classes `m`.
+    fn n_classes(&self) -> usize;
+    /// Short display name (e.g. `"lr"`).
+    fn name(&self) -> &str;
+}
+
+/// Accuracy of a black box model on labeled data (harness-side helper; the
+/// performance predictor itself never has labels for serving data).
+pub fn model_accuracy(model: &dyn BlackBoxModel, df: &DataFrame) -> f64 {
+    let proba = model.predict_proba(df);
+    lvp_stats::accuracy(&proba.argmax_rows(), &df.labels_usize())
+}
+
+/// ROC AUC of a binary black box model on labeled data.
+pub fn model_auc(model: &dyn BlackBoxModel, df: &DataFrame) -> f64 {
+    let proba = model.predict_proba(df);
+    let scores = proba.column(1.min(proba.cols().saturating_sub(1)));
+    let labels: Vec<bool> = df.labels().iter().map(|&l| l == 1).collect();
+    lvp_stats::auc_binary(&scores, &labels)
+}
+
+/// One-hot encodes integer labels as an `n × m` indicator matrix.
+pub fn one_hot_labels(labels: &[u32], n_classes: usize) -> DenseMatrix {
+    let mut y = DenseMatrix::zeros(labels.len(), n_classes);
+    for (i, &l) in labels.iter().enumerate() {
+        y.set(i, l as usize, 1.0);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_labels_sets_indicators() {
+        let y = one_hot_labels(&[0, 2, 1], 3);
+        assert_eq!(y.row(0), &[1.0, 0.0, 0.0]);
+        assert_eq!(y.row(1), &[0.0, 0.0, 1.0]);
+        assert_eq!(y.row(2), &[0.0, 1.0, 0.0]);
+    }
+}

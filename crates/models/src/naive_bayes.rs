@@ -1,0 +1,245 @@
+//! Gaussian naive Bayes — an additional cheap black box model family.
+//!
+//! Useful to the workspace for two reasons: it broadens the set of "varied
+//! black box models" the validator is exercised against (its output
+//! distribution is very unlike the margin-based models'), and it gives the
+//! AutoML searchers a low-cost candidate family.
+
+use crate::{Classifier, ModelError};
+use lvp_linalg::{softmax_in_place, CsrMatrix, DenseMatrix};
+
+/// Configuration for [`GaussianNaiveBayes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaiveBayesConfig {
+    /// Variance smoothing added to every per-feature variance, as a
+    /// fraction of the largest feature variance (scikit-learn's
+    /// `var_smoothing`).
+    pub var_smoothing: f64,
+}
+
+impl Default for NaiveBayesConfig {
+    fn default() -> Self {
+        Self {
+            var_smoothing: 1e-9,
+        }
+    }
+}
+
+/// A fitted Gaussian naive Bayes classifier over (sparse) feature vectors.
+///
+/// Implicit zeros of the CSR input participate in the per-feature Gaussian
+/// estimates, which matches how standardized/one-hot pipelines encode
+/// missing data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianNaiveBayes {
+    // Per class: prior log-probability, per-feature mean and variance.
+    log_priors: Vec<f64>,
+    means: DenseMatrix,     // m × d
+    variances: DenseMatrix, // m × d
+    n_classes: usize,
+}
+
+impl GaussianNaiveBayes {
+    /// Fits per-class feature Gaussians and class priors.
+    #[allow(clippy::needless_range_loop)] // loops index several parallel per-class arrays
+    pub fn fit(
+        x: &CsrMatrix,
+        labels: &[u32],
+        n_classes: usize,
+        config: &NaiveBayesConfig,
+    ) -> Result<Self, ModelError> {
+        if x.rows() != labels.len() {
+            return Err(ModelError::new("feature/label row count mismatch"));
+        }
+        if x.rows() == 0 {
+            return Err(ModelError::new("cannot fit on an empty dataset"));
+        }
+        let (n, d, m) = (x.rows(), x.cols(), n_classes);
+        let mut counts = vec![0usize; m];
+        let mut means = DenseMatrix::zeros(m, d);
+        for r in 0..n {
+            let k = labels[r] as usize;
+            counts[k] += 1;
+            let (idx, vals) = x.row(r);
+            let mean_row = means.row_mut(k);
+            for (&c, &v) in idx.iter().zip(vals) {
+                mean_row[c as usize] += v;
+            }
+        }
+        for k in 0..m {
+            if counts[k] == 0 {
+                continue;
+            }
+            let inv = 1.0 / counts[k] as f64;
+            for v in means.row_mut(k) {
+                *v *= inv;
+            }
+        }
+        // Variances, implicit zeros included: accumulate (v - mean)² for
+        // stored entries, then add mean² for the implicit-zero rows.
+        let mut variances = DenseMatrix::zeros(m, d);
+        let mut nnz_per_class_feature = vec![vec![0usize; d]; m];
+        for r in 0..n {
+            let k = labels[r] as usize;
+            let (idx, vals) = x.row(r);
+            for (&c, &v) in idx.iter().zip(vals) {
+                let c = c as usize;
+                let diff = v - means.get(k, c);
+                variances.set(k, c, variances.get(k, c) + diff * diff);
+                nnz_per_class_feature[k][c] += 1;
+            }
+        }
+        for k in 0..m {
+            if counts[k] == 0 {
+                continue;
+            }
+            for c in 0..d {
+                let zeros = counts[k] - nnz_per_class_feature[k][c];
+                let mean = means.get(k, c);
+                let acc = variances.get(k, c) + zeros as f64 * mean * mean;
+                variances.set(k, c, acc / counts[k] as f64);
+            }
+        }
+        let max_var = variances
+            .data()
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let eps = config.var_smoothing * max_var + 1e-12;
+        for v in variances.data_mut() {
+            *v += eps;
+        }
+        let log_priors: Vec<f64> = counts
+            .iter()
+            .map(|&c| ((c.max(1)) as f64 / n as f64).ln())
+            .collect();
+        Ok(Self {
+            log_priors,
+            means,
+            variances,
+            n_classes: m,
+        })
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    #[allow(clippy::needless_range_loop)] // loops index several parallel per-class arrays
+    fn predict_proba(&self, x: &CsrMatrix) -> DenseMatrix {
+        let (m, d) = (self.n_classes, self.means.cols());
+        let mut out = DenseMatrix::zeros(x.rows(), m);
+        // Precompute the log-likelihood of an all-zero row per class; each
+        // stored entry then only needs a correction term.
+        let mut zero_ll = vec![0.0; m];
+        for k in 0..m {
+            let mut acc = 0.0;
+            for c in 0..d {
+                let var = self.variances.get(k, c);
+                let mean = self.means.get(k, c);
+                acc += -0.5 * (2.0 * std::f64::consts::PI * var).ln()
+                    - 0.5 * mean * mean / var;
+            }
+            zero_ll[k] = acc;
+        }
+        for r in 0..x.rows() {
+            let (idx, vals) = x.row(r);
+            let row = out.row_mut(r);
+            for k in 0..m {
+                let mut ll = self.log_priors[k] + zero_ll[k];
+                for (&c, &v) in idx.iter().zip(vals) {
+                    let c = c as usize;
+                    let var = self.variances.get(k, c);
+                    let mean = self.means.get(k, c);
+                    // Replace the zero-value contribution with the actual one.
+                    ll += -0.5 * (v - mean) * (v - mean) / var + 0.5 * mean * mean / var;
+                }
+                row[k] = ll;
+            }
+            softmax_in_place(row);
+        }
+        out
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_linalg::SparseVec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(n: usize, seed: u64) -> (CsrMatrix, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let y = (i % 2) as u32;
+            let cx = if y == 0 { -1.5 } else { 1.5 };
+            rows.push(
+                SparseVec::from_pairs(
+                    2,
+                    vec![
+                        (0, cx + rng.gen_range(-0.7..0.7)),
+                        (1, cx + rng.gen_range(-0.7..0.7)),
+                    ],
+                )
+                .unwrap(),
+            );
+            labels.push(y);
+        }
+        (CsrMatrix::from_sparse_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn learns_gaussian_blobs() {
+        let (x, y) = blobs(300, 1);
+        let model = GaussianNaiveBayes::fit(&x, &y, 2, &NaiveBayesConfig::default()).unwrap();
+        let pred = model.predict_proba(&x).argmax_rows();
+        let labels: Vec<usize> = y.iter().map(|&l| l as usize).collect();
+        assert!(lvp_stats::accuracy(&pred, &labels) > 0.95);
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let (x, y) = blobs(50, 2);
+        let model = GaussianNaiveBayes::fit(&x, &y, 2, &NaiveBayesConfig::default()).unwrap();
+        for row in model.predict_proba(&x).row_iter() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_zero_handling_matches_dense() {
+        // A dataset where zeros are meaningful: class 0 rows are all-zero.
+        let rows = vec![
+            SparseVec::from_pairs(2, vec![]).unwrap(),
+            SparseVec::from_pairs(2, vec![(0, 2.0), (1, 2.0)]).unwrap(),
+            SparseVec::from_pairs(2, vec![]).unwrap(),
+            SparseVec::from_pairs(2, vec![(0, 2.2), (1, 1.8)]).unwrap(),
+        ];
+        let x = CsrMatrix::from_sparse_rows(&rows).unwrap();
+        let y = vec![0, 1, 0, 1];
+        let model = GaussianNaiveBayes::fit(&x, &y, 2, &NaiveBayesConfig::default()).unwrap();
+        let pred = model.predict_proba(&x).argmax_rows();
+        assert_eq!(pred, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let x = CsrMatrix::from_sparse_rows(&[]).unwrap();
+        assert!(GaussianNaiveBayes::fit(&x, &[], 2, &NaiveBayesConfig::default()).is_err());
+    }
+
+    #[test]
+    fn handles_single_class_training_data() {
+        let (x, _) = blobs(20, 3);
+        let y = vec![0u32; 20];
+        let model = GaussianNaiveBayes::fit(&x, &y, 2, &NaiveBayesConfig::default()).unwrap();
+        let p = model.predict_proba(&x);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+    }
+}

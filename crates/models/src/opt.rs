@@ -1,0 +1,61 @@
+//! Shared first-order optimizers.
+
+/// Adam optimizer state for one flat parameter tensor.
+#[derive(Debug, Clone)]
+pub(crate) struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: usize,
+    lr: f64,
+}
+
+impl Adam {
+    const BETA1: f64 = 0.9;
+    const BETA2: f64 = 0.999;
+    const EPS: f64 = 1e-8;
+
+    /// Creates optimizer state for `len` parameters with learning rate `lr`.
+    pub(crate) fn new(len: usize, lr: f64) -> Self {
+        Self {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+            lr,
+        }
+    }
+
+    /// One Adam update of `params` given `grads`.
+    pub(crate) fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        debug_assert_eq!(params.len(), grads.len());
+        self.t += 1;
+        let bc1 = 1.0 - Self::BETA1.powi(self.t as i32);
+        let bc2 = 1.0 - Self::BETA2.powi(self.t as i32);
+        for ((p, &g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            *m = Self::BETA1 * *m + (1.0 - Self::BETA1) * g;
+            *v = Self::BETA2 * *v + (1.0 - Self::BETA2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + Self::EPS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut params = vec![3.0, -2.0];
+        let mut opt = Adam::new(2, 0.1);
+        for _ in 0..200 {
+            let grads: Vec<f64> = params.iter().map(|p| 2.0 * p).collect();
+            opt.step(&mut params, &grads);
+        }
+        assert!(params.iter().all(|p| p.abs() < 0.05), "{params:?}");
+    }
+}

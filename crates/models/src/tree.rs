@@ -1,0 +1,494 @@
+//! Depth-limited regression trees with second-order (Newton) split gains.
+//!
+//! One tree type serves three consumers:
+//!
+//! * [`crate::gbdt`] fits trees to per-example gradients/hessians of the
+//!   logistic loss (XGBoost-style Newton boosting),
+//! * [`crate::forest`] fits trees to raw targets (gradient `-y`, hessian 1
+//!   makes the Newton leaf value the plain mean and the gain the classical
+//!   variance reduction),
+//! * the validator's gradient-boosted classifier in `lvp-core`.
+
+use lvp_linalg::{CsrMatrix, DenseMatrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Column-major dense view of a feature matrix, built once per training run
+/// so split finding can scan contiguous feature values.
+#[derive(Debug, Clone)]
+pub struct DenseColumns {
+    n_rows: usize,
+    cols: Vec<Vec<f64>>,
+}
+
+impl DenseColumns {
+    /// Materializes all columns of a CSR matrix (implicit zeros included).
+    #[allow(clippy::needless_range_loop)] // parallel row/col index bookkeeping
+    pub fn from_csr(x: &CsrMatrix) -> Self {
+        let mut cols = vec![vec![0.0; x.rows()]; x.cols()];
+        for r in 0..x.rows() {
+            let (idx, vals) = x.row(r);
+            for (&c, &v) in idx.iter().zip(vals) {
+                cols[c as usize][r] = v;
+            }
+        }
+        Self {
+            n_rows: x.rows(),
+            cols,
+        }
+    }
+
+    /// Column-major view of a dense matrix.
+    pub fn from_dense(x: &DenseMatrix) -> Self {
+        let cols = (0..x.cols()).map(|c| x.column(c)).collect();
+        Self {
+            n_rows: x.rows(),
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Value of feature `c` for row `r`.
+    #[inline]
+    pub fn value(&self, r: usize, c: usize) -> f64 {
+        self.cols[c][r]
+    }
+}
+
+/// Hyperparameters for a single regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (a depth-0 tree is a single leaf).
+    pub max_depth: usize,
+    /// Minimum number of examples in each child of a split.
+    pub min_samples_leaf: usize,
+    /// L2 regularization on leaf values (XGBoost's λ).
+    pub lambda: f64,
+    /// Fraction of features considered at each split (`(0, 1]`).
+    pub colsample: f64,
+    /// Minimum gain required to accept a split (XGBoost's γ).
+    pub min_gain: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 4,
+            min_samples_leaf: 2,
+            lambda: 1.0,
+            colsample: 1.0,
+            min_gain: 1e-9,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree to per-example gradients and hessians over the rows in
+    /// `rows`. The returned tree predicts the Newton step `-G/(H+λ)` in each
+    /// leaf.
+    pub fn fit(
+        columns: &DenseColumns,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(grad.len(), columns.n_rows());
+        assert_eq!(hess.len(), columns.n_rows());
+        let mut tree = Self { nodes: Vec::new() };
+        let mut rows = rows.to_vec();
+        tree.build(columns, grad, hess, &mut rows, 0, params, rng);
+        tree
+    }
+
+    fn leaf_value(grad_sum: f64, hess_sum: f64, lambda: f64) -> f64 {
+        -grad_sum / (hess_sum + lambda)
+    }
+
+    /// Recursively grows the tree; returns the created node's index.
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &mut self,
+        columns: &DenseColumns,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &mut [usize],
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let g_total: f64 = rows.iter().map(|&r| grad[r]).sum();
+        let h_total: f64 = rows.iter().map(|&r| hess[r]).sum();
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf {
+                value: Self::leaf_value(g_total, h_total, params.lambda),
+            });
+            nodes.len() - 1
+        };
+
+        if depth >= params.max_depth || rows.len() < 2 * params.min_samples_leaf {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let Some(split) = self.find_best_split(columns, grad, hess, rows, params, rng) else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        // Partition rows in place around the winning split.
+        let mid = partition_rows(columns, rows, split.feature, split.threshold);
+        if mid == 0 || mid == rows.len() {
+            // Cannot happen for thresholds validated by find_best_split,
+            // but guard against pathological float behaviour.
+            return make_leaf(&mut self.nodes);
+        }
+
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder, patched below
+        let (left_rows, right_rows) = rows.split_at_mut(mid);
+        let left = self.build(columns, grad, hess, left_rows, depth + 1, params, rng);
+        let right = self.build(columns, grad, hess, right_rows, depth + 1, params, rng);
+        self.nodes[node_idx] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
+        node_idx
+    }
+
+    fn find_best_split(
+        &self,
+        columns: &DenseColumns,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> Option<SplitCandidate> {
+        let n_features = columns.n_cols();
+        let mut features: Vec<usize> = (0..n_features).collect();
+        if params.colsample < 1.0 {
+            features.shuffle(rng);
+            let keep = ((n_features as f64 * params.colsample).ceil() as usize).max(1);
+            features.truncate(keep);
+        }
+
+        let g_total: f64 = rows.iter().map(|&r| grad[r]).sum();
+        let h_total: f64 = rows.iter().map(|&r| hess[r]).sum();
+        let lambda = params.lambda;
+        let base_score = g_total * g_total / (h_total + lambda);
+
+        let mut best: Option<SplitCandidate> = None;
+        let mut order: Vec<usize> = Vec::with_capacity(rows.len());
+        for &f in &features {
+            order.clear();
+            order.extend_from_slice(rows);
+            order.sort_unstable_by(|&a, &b| {
+                columns
+                    .value(a, f)
+                    .partial_cmp(&columns.value(b, f))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut g_left = 0.0;
+            let mut h_left = 0.0;
+            for i in 0..order.len() - 1 {
+                let r = order[i];
+                g_left += grad[r];
+                h_left += hess[r];
+                let v = columns.value(r, f);
+                let v_next = columns.value(order[i + 1], f);
+                if v == v_next {
+                    continue; // cannot split between equal values
+                }
+                let n_left = i + 1;
+                let n_right = order.len() - n_left;
+                if n_left < params.min_samples_leaf || n_right < params.min_samples_leaf {
+                    continue;
+                }
+                let g_right = g_total - g_left;
+                let h_right = h_total - h_left;
+                let gain = 0.5
+                    * (g_left * g_left / (h_left + lambda)
+                        + g_right * g_right / (h_right + lambda)
+                        - base_score);
+                // The midpoint of two adjacent floats can round up to
+                // `v_next`, in which case `value <= threshold` fails to
+                // separate them; require a strictly separating threshold.
+                let threshold = 0.5 * (v + v_next);
+                if !threshold.is_finite() || threshold < v || threshold >= v_next {
+                    continue;
+                }
+                if gain > params.min_gain
+                    && best.as_ref().is_none_or(|b| gain > b.gain)
+                {
+                    best = Some(SplitCandidate {
+                        feature: f,
+                        threshold,
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts the tree output for one CSR row.
+    pub fn predict_row(&self, indices: &[u32], values: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = match indices.binary_search(&(*feature as u32)) {
+                        Ok(pos) => values[pos],
+                        Err(_) => 0.0,
+                    };
+                    node = if v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicts the tree output for one dense row.
+    pub fn predict_dense_row(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics / tests).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SplitCandidate {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+/// Partitions `rows` so rows with `value <= threshold` come first; returns
+/// the boundary index.
+fn partition_rows(
+    columns: &DenseColumns,
+    rows: &mut [usize],
+    feature: usize,
+    threshold: f64,
+) -> usize {
+    let mut i = 0usize;
+    let mut j = rows.len();
+    while i < j {
+        if columns.value(rows[i], feature) <= threshold {
+            i += 1;
+        } else {
+            j -= 1;
+            rows.swap(i, j);
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Fits a plain regression tree to targets by the grad=-y, hess=1 trick.
+    fn fit_regression(
+        columns: &DenseColumns,
+        y: &[f64],
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> RegressionTree {
+        let grad: Vec<f64> = y.iter().map(|v| -v).collect();
+        let hess = vec![1.0; y.len()];
+        let rows: Vec<usize> = (0..y.len()).collect();
+        RegressionTree::fit(columns, &grad, &hess, &rows, params, rng)
+    }
+
+    fn step_data() -> (DenseColumns, Vec<f64>) {
+        // y = 10 if x > 0.5 else 0.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+        let x = DenseMatrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..40)
+            .map(|i| if i as f64 / 39.0 > 0.5 { 10.0 } else { 0.0 })
+            .collect();
+        (DenseColumns::from_dense(&x), y)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let (cols, y) = step_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = TreeParams {
+            lambda: 0.0,
+            ..TreeParams::default()
+        };
+        let tree = fit_regression(&cols, &y, &params, &mut rng);
+        for (i, &target) in y.iter().enumerate() {
+            let pred = tree.predict_dense_row(&[i as f64 / 39.0]);
+            assert!((pred - target).abs() < 1e-9, "row {i}: {pred} vs {target}");
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf_mean() {
+        let (cols, y) = step_data();
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = TreeParams {
+            max_depth: 0,
+            lambda: 0.0,
+            ..TreeParams::default()
+        };
+        let tree = fit_regression(&cols, &y, &params, &mut rng);
+        assert_eq!(tree.n_nodes(), 1);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((tree.predict_dense_row(&[0.3]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_feature_yields_leaf() {
+        let x = DenseMatrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let cols = DenseColumns::from_dense(&x);
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = fit_regression(
+            &cols,
+            &[1.0, 2.0, 3.0, 4.0],
+            &TreeParams::default(),
+            &mut rng,
+        );
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (cols, y) = step_data();
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = TreeParams {
+            min_samples_leaf: 40, // cannot split at all
+            ..TreeParams::default()
+        };
+        let tree = fit_regression(&cols, &y, &params, &mut rng);
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn lambda_shrinks_leaf_values() {
+        let x = DenseMatrix::from_rows(&[vec![0.0], vec![0.0]]).unwrap();
+        let cols = DenseColumns::from_dense(&x);
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = TreeParams {
+            max_depth: 0,
+            lambda: 2.0,
+            ..TreeParams::default()
+        };
+        let tree = fit_regression(&cols, &[3.0, 3.0], &params, &mut rng);
+        // leaf = sum(y) / (n + lambda) = 6 / 4
+        assert!((tree.predict_dense_row(&[0.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_and_dense_prediction_agree() {
+        let (cols, y) = step_data();
+        let mut rng = StdRng::seed_from_u64(6);
+        let tree = fit_regression(&cols, &y, &TreeParams::default(), &mut rng);
+        for i in 0..40 {
+            let v = i as f64 / 39.0;
+            let dense = tree.predict_dense_row(&[v]);
+            let sparse = if v == 0.0 {
+                tree.predict_row(&[], &[])
+            } else {
+                tree.predict_row(&[0], &[v])
+            };
+            assert_eq!(dense, sparse);
+        }
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // y = 5 only in the quadrant x0>0.5 && x1>0.5; needs depth 2.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (a, b) = (i as f64 / 9.0, j as f64 / 9.0);
+                rows.push(vec![a, b]);
+                y.push(if a > 0.5 && b > 0.5 { 5.0 } else { 0.0 });
+            }
+        }
+        let cols = DenseColumns::from_dense(&DenseMatrix::from_rows(&rows).unwrap());
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = TreeParams {
+            max_depth: 3,
+            lambda: 0.0,
+            min_samples_leaf: 1,
+            ..TreeParams::default()
+        };
+        let tree = fit_regression(&cols, &y, &params, &mut rng);
+        assert!((tree.predict_dense_row(&[0.9, 0.9]) - 5.0).abs() < 1e-9);
+        assert!(tree.predict_dense_row(&[0.9, 0.1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_columns_from_csr_matches() {
+        let d = DenseMatrix::from_rows(&[vec![0.0, 2.0], vec![3.0, 0.0]]).unwrap();
+        let csr = CsrMatrix::from_dense(&d);
+        let cols = DenseColumns::from_csr(&csr);
+        assert_eq!(cols.value(0, 1), 2.0);
+        assert_eq!(cols.value(1, 0), 3.0);
+        assert_eq!(cols.value(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Classification and regression metrics used in the paper's evaluation.
+
+/// Fraction of positions where `predicted == actual`.
+///
+/// Returns 0.0 for empty input. Panics if lengths differ.
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(p, a)| p == a)
+        .count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// Mean absolute error between two numeric slices.
+pub fn mean_absolute_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Confusion counts for a binary problem with positive class `1`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+/// Builds binary confusion counts; any nonzero label is treated as positive.
+pub fn confusion_binary(predicted: &[bool], actual: &[bool]) -> BinaryConfusion {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    let mut c = BinaryConfusion::default();
+    for (&p, &a) in predicted.iter().zip(actual) {
+        match (p, a) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, false) => c.tn += 1,
+            (false, true) => c.fn_ += 1,
+        }
+    }
+    c
+}
+
+/// Precision, recall and F1 for the positive class.
+///
+/// Degenerate denominators yield 0.0 (consistent with scikit-learn's
+/// `zero_division=0`).
+pub fn precision_recall_f1(c: &BinaryConfusion) -> (f64, f64, f64) {
+    let precision = if c.tp + c.fp == 0 {
+        0.0
+    } else {
+        c.tp as f64 / (c.tp + c.fp) as f64
+    };
+    let recall = if c.tp + c.fn_ == 0 {
+        0.0
+    } else {
+        c.tp as f64 / (c.tp + c.fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+/// F1 score of boolean predictions against boolean truth.
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> f64 {
+    precision_recall_f1(&confusion_binary(predicted, actual)).2
+}
+
+/// Area under the ROC curve for binary labels via the rank statistic
+/// (equivalent to the Mann–Whitney U normalization), with midrank tie
+/// handling.
+///
+/// `scores[i]` is the predicted probability of the positive class,
+/// `labels[i]` is the true class. Returns 0.5 when either class is absent.
+pub fn auc_binary(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Midranks over tied score groups.
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            if labels[k] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mean_absolute_error(&[1.0, 2.0], &[2.0, 0.0]), 1.5);
+        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let c = confusion_binary(
+            &[true, true, false, false],
+            &[true, false, true, false],
+        );
+        assert_eq!(c, BinaryConfusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn perfect_f1() {
+        assert_eq!(f1_score(&[true, false], &[true, false]), 1.0);
+    }
+
+    #[test]
+    fn degenerate_f1_is_zero() {
+        // No predicted positives and no actual positives.
+        assert_eq!(f1_score(&[false, false], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn precision_recall_hand_case() {
+        let c = BinaryConfusion { tp: 6, fp: 2, tn: 0, fn_: 4 };
+        let (p, r, f1) = precision_recall_f1(&c);
+        assert!((p - 0.75).abs() < 1e-12);
+        assert!((r - 0.6).abs() < 1e-12);
+        assert!((f1 - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_separation() {
+        let auc = auc_binary(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]);
+        assert_eq!(auc, 1.0);
+    }
+
+    #[test]
+    fn auc_inverted_scores() {
+        let auc = auc_binary(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]);
+        assert_eq!(auc, 0.0);
+    }
+
+    #[test]
+    fn auc_random_ties_give_half() {
+        let auc = auc_binary(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]);
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_returns_half() {
+        assert_eq!(auc_binary(&[0.3, 0.7], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn auc_matches_hand_computed_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}; pairs won: (0.8>0.6),(0.8>0.2),(0.4<0.6),(0.4>0.2) => 3/4
+        let auc = auc_binary(&[0.8, 0.4, 0.6, 0.2], &[true, true, false, false]);
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Percentile summaries of model outputs.
+//!
+//! The paper featurizes a batch of black box predictions by the class-wise
+//! percentiles of the predicted probabilities, collected at
+//! 0, 5, 10, …, 100 (§4). [`vigintile_grid`] produces exactly that grid.
+
+/// Number of percentile positions in the paper's 0,5,…,100 grid.
+pub const VIGINTILE_COUNT: usize = 21;
+
+/// Percentile of an already-sorted slice using linear interpolation
+/// (the same `linear` convention as NumPy's default).
+///
+/// `q` must be in `[0, 100]`. Empty input returns NaN.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!((0.0..=100.0).contains(&q));
+    match sorted.len() {
+        0 => f64::NAN,
+        1 => sorted[0],
+        n => {
+            let rank = q / 100.0 * (n - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let w = rank - lo as f64;
+                sorted[lo] * (1.0 - w) + sorted[hi] * w
+            }
+        }
+    }
+}
+
+/// Computes the requested percentiles of `values` (need not be sorted).
+///
+/// Non-finite values are dropped first; if nothing remains, all outputs are
+/// 0.0 (a neutral featurization for an empty batch).
+pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return vec![0.0; qs.len()];
+    }
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    qs.iter().map(|&q| percentile_sorted(&v, q)).collect()
+}
+
+/// The paper's percentile grid: 0, 5, 10, …, 100.
+pub fn vigintile_grid() -> Vec<f64> {
+    (0..VIGINTILE_COUNT).map(|i| i as f64 * 5.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_21_points_ending_at_100() {
+        let g = vigintile_grid();
+        assert_eq!(g.len(), VIGINTILE_COUNT);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(*g.last().unwrap(), 100.0);
+    }
+
+    #[test]
+    fn percentile_of_singleton_is_the_value() {
+        assert_eq!(percentile_sorted(&[42.0], 0.0), 42.0);
+        assert_eq!(percentile_sorted(&[42.0], 100.0), 42.0);
+    }
+
+    #[test]
+    fn median_interpolates() {
+        assert_eq!(percentile_sorted(&[1.0, 3.0], 50.0), 2.0);
+        assert_eq!(percentile_sorted(&[1.0, 2.0, 3.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn extremes_are_min_and_max() {
+        let v = [5.0, 1.0, 9.0, 3.0];
+        let out = percentiles(&v, &[0.0, 100.0]);
+        assert_eq!(out, vec![1.0, 9.0]);
+    }
+
+    #[test]
+    fn quartiles_match_numpy_linear() {
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        let out = percentiles(&[1.0, 2.0, 3.0, 4.0], &[25.0, 75.0]);
+        assert!((out[0] - 1.75).abs() < 1e-12);
+        assert!((out[1] - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_values_are_ignored() {
+        let out = percentiles(&[f64::NAN, 1.0, 2.0], &[100.0]);
+        assert_eq!(out, vec![2.0]);
+    }
+
+    #[test]
+    fn empty_input_yields_zeros() {
+        let out = percentiles(&[], &[0.0, 50.0, 100.0]);
+        assert_eq!(out, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q() {
+        let v: Vec<f64> = (0..100).map(|i| (i * 7 % 31) as f64).collect();
+        let qs = vigintile_grid();
+        let out = percentiles(&v, &qs);
+        for w in out.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+}

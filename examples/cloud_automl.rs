@@ -1,0 +1,67 @@
+//! Cloud-hosted AutoML scenario (§6.3.2): the model is trained and hosted
+//! by a third-party service. We never see its learning algorithm or feature
+//! map — only an opaque handle that serves batched predictions. The
+//! performance predictor is trained purely against that endpoint.
+//!
+//! Run with `cargo run --release --example cloud_automl`.
+
+use lvp::prelude::*;
+use lvp_corruptions::Mixture;
+use lvp_models::cloud::CloudModelService;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2020);
+
+    println!("uploading income data to the cloud service and running AutoML...");
+    let df = lvp::datasets::income(2_000, &mut rng);
+    let (source, serving) = df.split_frac(0.5, &mut rng);
+    let (train, test) = source.split_frac(0.75, &mut rng);
+
+    let service = CloudModelService::new();
+    let handle = service.train_and_deploy(&train, 42).unwrap();
+    let remote: Arc<dyn BlackBoxModel> = Arc::new(service.remote_model(handle).unwrap());
+    println!(
+        "deployed; held-out test accuracy via the endpoint: {:.3}",
+        lvp::models::model_accuracy(remote.as_ref(), &test)
+    );
+
+    println!("fitting performance predictor against the remote endpoint...");
+    let errors = lvp::corruptions::standard_tabular_suite(test.schema());
+    let predictor = PerformancePredictor::fit(
+        Arc::clone(&remote),
+        &test,
+        &errors,
+        &PredictorConfig::fast(),
+        &mut rng,
+    )
+    .unwrap();
+
+    // Serve mixture-corrupted batches (the Figure 7 protocol) and compare
+    // the predicted against the true accuracy.
+    let mixture = Mixture::from_boxes(lvp::corruptions::standard_tabular_suite(serving.schema()));
+    println!("\n{:<10} {:>10} {:>10} {:>8}", "batch", "estimated", "true", "|err|");
+    let mut abs_errors = Vec::new();
+    for batch_id in 1..=8 {
+        let batch = mixture.corrupt(&serving.sample_n(300, &mut rng), &mut rng);
+        let est = predictor.predict(&batch).unwrap();
+        let truth = lvp::models::model_accuracy(remote.as_ref(), &batch);
+        abs_errors.push((est - truth).abs());
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>8.3}",
+            format!("batch {batch_id}"),
+            est,
+            truth,
+            (est - truth).abs()
+        );
+    }
+    let mae = abs_errors.iter().sum::<f64>() / abs_errors.len() as f64;
+    println!("\nMAE of the predictor against the cloud model: {mae:.4}");
+    println!(
+        "cloud billing meter: {} prediction requests, {} rows scored",
+        service.requests_served(),
+        service.rows_scored()
+    );
+}

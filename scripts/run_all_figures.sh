@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every figure of the paper at the given scale (default: small).
+# Usage: scripts/run_all_figures.sh [smoke|small|paper] [seed]
+set -uo pipefail
+SCALE="${1:-small}"
+SEED="${2:-42}"
+cd "$(dirname "$0")/.."
+mkdir -p results logs
+for fig in fig2 fig3 fig4 fig5 fig6 fig7 ablations; do
+    echo "=== $fig (scale=$SCALE seed=$SEED) ==="
+    cargo run --release -p lvp-bench --bin "$fig" -- --scale "$SCALE" --seed "$SEED" \
+        2>&1 | tee "logs/$fig.log"
+done
+echo "=== fig5 --known (scale=$SCALE seed=$SEED) ==="
+cargo run --release -p lvp-bench --bin fig5 -- --scale "$SCALE" --seed "$SEED" --known \
+    2>&1 | tee "logs/fig5_known.log"
+echo "all figures done"

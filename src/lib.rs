@@ -1,0 +1,70 @@
+//! # lvp — Learning to Validate the Predictions of Black Box Classifiers
+//!
+//! A from-scratch Rust reproduction of Schelter, Rukat & Biessmann,
+//! *"Learning to Validate the Predictions of Black Box Classifiers on Unseen
+//! Data"*, SIGMOD 2020.
+//!
+//! The workspace implements the full system described by the paper:
+//!
+//! * a typed columnar [`dataframe`] with per-cell nullability,
+//! * feature pipelines ([`featurize`]) — standardization, one-hot encoding
+//!   and hashed n-grams — fitted on training data only,
+//! * several classifier families trained from scratch ([`models`]):
+//!   logistic regression, feed-forward networks, gradient-boosted trees,
+//!   convolutional networks, plus AutoML-style searchers and a simulated
+//!   cloud prediction service,
+//! * programmatic error generators ([`corruptions`]) for typical dataset
+//!   shifts (missing values, outliers, swapped columns, scaling, adversarial
+//!   text, image noise/rotation, …),
+//! * and the paper's contribution ([`core`]): a learned **performance
+//!   predictor** that estimates a black box model's score on unseen,
+//!   unlabeled serving data, a threshold-based **performance validator**, and
+//!   the REL / BBSE / BBSEh baselines it is evaluated against.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use lvp::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // 1. Generate data and train a black box model on the source split.
+//! let df = lvp::datasets::income(2_000, &mut rng);
+//! let (source, serving) = df.split_frac(0.5, &mut rng);
+//! let (train, test) = source.split_frac(0.8, &mut rng);
+//! let model: std::sync::Arc<dyn BlackBoxModel> =
+//!     std::sync::Arc::from(lvp::models::train_logistic_regression(&train, &mut rng).unwrap());
+//!
+//! // 2. Specify the error types we may see in production.
+//! let errors = lvp::corruptions::standard_tabular_suite(test.schema());
+//!
+//! // 3. Learn a performance predictor (Algorithm 1).
+//! let predictor = PerformancePredictor::fit(
+//!     model, &test, &errors, &PredictorConfig::default(), &mut rng,
+//! ).unwrap();
+//!
+//! // 4. Estimate the score on unseen serving data (Algorithm 2).
+//! let estimate = predictor.predict(&serving).unwrap();
+//! println!("estimated accuracy on serving batch: {estimate:.3}");
+//! ```
+
+pub use lvp_core as core;
+pub use lvp_corruptions as corruptions;
+pub use lvp_dataframe as dataframe;
+pub use lvp_datasets as datasets;
+pub use lvp_featurize as featurize;
+pub use lvp_linalg as linalg;
+pub use lvp_models as models;
+pub use lvp_stats as stats;
+
+/// Convenience re-exports covering the common end-to-end workflow.
+pub mod prelude {
+    pub use lvp_core::{
+        Baseline, BbseDetector, BbseHardDetector, Metric, PerformancePredictor,
+        PerformanceValidator, PredictorConfig, RelationalShiftDetector, ValidatorConfig,
+    };
+    pub use lvp_corruptions::ErrorGen;
+    pub use lvp_dataframe::{ColumnType, DataFrame, Schema};
+    pub use lvp_linalg::{CsrMatrix, DenseMatrix};
+    pub use lvp_models::BlackBoxModel;
+}

@@ -1,0 +1,63 @@
+//! Determinism: every pipeline stage must be reproducible under a fixed
+//! seed — a requirement for debuggable experiments.
+
+use lvp_core::{PerformancePredictor, PredictorConfig};
+use lvp_corruptions::{standard_tabular_suite, ErrorGen};
+use lvp_models::{train_model_quick, BlackBoxModel, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn datasets_are_deterministic() {
+    for kind in lvp::datasets::DatasetKind::ALL {
+        let a = lvp::datasets::generate(kind, 80, &mut StdRng::seed_from_u64(5));
+        let b = lvp::datasets::generate(kind, 80, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b, "{}", kind.name());
+    }
+}
+
+#[test]
+fn corruption_is_deterministic() {
+    let df = lvp::datasets::income(100, &mut StdRng::seed_from_u64(1));
+    for gen in standard_tabular_suite(df.schema()) {
+        let a = gen.corrupt(&df, &mut StdRng::seed_from_u64(9));
+        let b = gen.corrupt(&df, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b, "{}", gen.name());
+    }
+}
+
+#[test]
+fn model_training_is_deterministic() {
+    let df = lvp::datasets::heart(300, &mut StdRng::seed_from_u64(2));
+    let m1 = train_model_quick(ModelKind::Lr, &df, &mut StdRng::seed_from_u64(3)).unwrap();
+    let m2 = train_model_quick(ModelKind::Lr, &df, &mut StdRng::seed_from_u64(3)).unwrap();
+    let p1 = m1.predict_proba(&df);
+    let p2 = m2.predict_proba(&df);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn predictor_estimates_are_deterministic() {
+    let df = lvp::datasets::income(400, &mut StdRng::seed_from_u64(4));
+    let (source, serving) = df.split_frac(0.5, &mut StdRng::seed_from_u64(5));
+    let (train, test) = source.split_frac(0.7, &mut StdRng::seed_from_u64(6));
+
+    let estimate = |seed: u64| -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_model_quick(ModelKind::Lr, &train, &mut rng).unwrap());
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            model,
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        predictor.predict(&serving).unwrap()
+    };
+
+    assert_eq!(estimate(11), estimate(11));
+}

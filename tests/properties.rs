@@ -1,0 +1,173 @@
+//! Property-based tests over the workspace's core invariants.
+
+use lvp_corruptions::{standard_tabular_suite, ErrorGen};
+use lvp_dataframe::{CellValue, ColumnType, DataFrameBuilder, Field, Schema};
+use lvp_featurize::{FeaturePipeline, PipelineConfig};
+use lvp_linalg::{stable_softmax, DenseMatrix};
+use lvp_stats::{ks_two_sample, percentiles, vigintile_grid};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random small mixed frame from proptest-generated cells.
+fn build_frame(nums: &[f64], cats: &[u8]) -> lvp_dataframe::DataFrame {
+    let n = nums.len().min(cats.len());
+    let schema = Schema::new(vec![
+        Field::new("x", ColumnType::Numeric),
+        Field::new("c", ColumnType::Categorical),
+    ])
+    .unwrap();
+    let mut b = DataFrameBuilder::new(schema, vec!["n".into(), "y".into()]);
+    for i in 0..n {
+        b.push_row(
+            vec![
+                CellValue::Num(nums[i]),
+                CellValue::Cat(format!("c{}", cats[i] % 5)),
+            ],
+            (i % 2) as u32,
+        )
+        .unwrap();
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentiles_are_bounded_and_monotone(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let qs = vigintile_grid();
+        let out = percentiles(&values, &qs);
+        let (min, max) = values.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        for w in out.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        prop_assert!(out[0] >= min - 1e-9);
+        prop_assert!(*out.last().unwrap() <= max + 1e-9);
+    }
+
+    #[test]
+    fn ks_statistic_is_in_unit_interval(
+        a in prop::collection::vec(-100f64..100.0, 1..100),
+        b in prop::collection::vec(-100f64..100.0, 1..100),
+    ) {
+        let out = ks_two_sample(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&out.statistic));
+        prop_assert!((0.0..=1.0).contains(&out.p_value));
+    }
+
+    #[test]
+    fn ks_is_symmetric(
+        a in prop::collection::vec(-100f64..100.0, 1..60),
+        b in prop::collection::vec(-100f64..100.0, 1..60),
+    ) {
+        let ab = ks_two_sample(&a, &b);
+        let ba = ks_two_sample(&b, &a);
+        prop_assert!((ab.statistic - ba.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_sample_never_rejects(a in prop::collection::vec(-100f64..100.0, 1..100)) {
+        let out = ks_two_sample(&a, &a);
+        prop_assert_eq!(out.statistic, 0.0);
+        prop_assert!(out.p_value > 0.99);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(
+        logits in prop::collection::vec(-50f64..50.0, 2..40),
+    ) {
+        let cols = 2;
+        let rows = logits.len() / cols;
+        let m = DenseMatrix::from_vec(rows, cols, logits[..rows * cols].to_vec()).unwrap();
+        let p = stable_softmax(&m);
+        for row in p.row_iter() {
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn corruption_preserves_shape_schema_and_labels(
+        nums in prop::collection::vec(-1000f64..1000.0, 4..60),
+        cats in prop::collection::vec(0u8..255, 4..60),
+        seed in 0u64..1000,
+    ) {
+        let df = build_frame(&nums, &cats);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for gen in standard_tabular_suite(df.schema()) {
+            let out = gen.corrupt(&df, &mut rng);
+            prop_assert_eq!(out.n_rows(), df.n_rows());
+            prop_assert_eq!(out.schema(), df.schema());
+            prop_assert_eq!(out.labels(), df.labels());
+        }
+    }
+
+    #[test]
+    fn featurization_dimensionality_is_stable_under_corruption(
+        nums in prop::collection::vec(-100f64..100.0, 8..40),
+        cats in prop::collection::vec(0u8..255, 8..40),
+        seed in 0u64..1000,
+    ) {
+        let df = build_frame(&nums, &cats);
+        let pipeline = FeaturePipeline::fit(&df, &PipelineConfig::default());
+        let clean = pipeline.transform(&df);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for gen in standard_tabular_suite(df.schema()) {
+            let corrupted = gen.corrupt(&df, &mut rng);
+            let x = pipeline.transform(&corrupted);
+            prop_assert_eq!(x.cols(), clean.cols(), "{}", gen.name());
+            prop_assert_eq!(x.rows(), clean.rows(), "{}", gen.name());
+        }
+    }
+
+    #[test]
+    fn split_frac_partitions_rows(
+        nums in prop::collection::vec(-10f64..10.0, 4..80),
+        cats in prop::collection::vec(0u8..255, 4..80),
+        frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let df = build_frame(&nums, &cats);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b) = df.split_frac(frac, &mut rng);
+        prop_assert_eq!(a.n_rows() + b.n_rows(), df.n_rows());
+    }
+
+    #[test]
+    fn prediction_statistics_is_permutation_invariant(
+        probs in prop::collection::vec(0.0f64..1.0, 4..50),
+        seed in 0u64..1000,
+    ) {
+        use rand::seq::SliceRandom;
+        let rows: Vec<Vec<f64>> = probs.iter().map(|&p| vec![p, 1.0 - p]).collect();
+        let m = DenseMatrix::from_rows(&rows).unwrap();
+        let f1 = lvp_core::prediction_statistics(&m);
+        let mut shuffled = rows.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+        let m2 = DenseMatrix::from_rows(&shuffled).unwrap();
+        let f2 = lvp_core::prediction_statistics(&m2);
+        for (a, b) in f1.iter().zip(&f2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_hot_unseen_rows_encode_to_zero_block(
+        cats in prop::collection::vec(0u8..5, 8..40),
+    ) {
+        let nums: Vec<f64> = (0..cats.len()).map(|i| i as f64).collect();
+        let df = build_frame(&nums, &cats);
+        let pipeline = FeaturePipeline::fit(&df, &PipelineConfig::default());
+        // A frame with a category never seen during fitting.
+        let schema = df.schema().clone();
+        let mut b = DataFrameBuilder::new(schema, vec!["n".into(), "y".into()]);
+        b.push_row(vec![CellValue::Num(0.0), CellValue::Cat("UNSEEN".into())], 0).unwrap();
+        let unseen = b.finish().unwrap();
+        let x = pipeline.transform(&unseen);
+        // Only the numeric dim may be nonzero.
+        let (idx, _) = x.row(0);
+        prop_assert!(idx.iter().all(|&c| c == 0));
+    }
+}
