@@ -1,0 +1,186 @@
+//! Distributions: the [`Distribution`] trait, the [`Standard`]
+//! distribution, and uniform range sampling used by `Rng::gen_range`.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value using `rng` as the entropy source.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution per type: unit interval for floats, full
+/// range for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// Converts 53 random bits into a `f64` in `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Converts 24 random bits into a `f32` in `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f32(bits: u32) -> f32 {
+    (bits >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f32(rng.next_u32())
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod uniform {
+    //! Uniform sampling over `Range` / `RangeInclusive`, powering
+    //! `Rng::gen_range`.
+
+    use super::unit_f64;
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Samples from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range argument accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range called with empty range");
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "gen_range called with empty inclusive range");
+            T::sample_uniform(rng, lo, hi, true)
+        }
+    }
+
+    /// Multiplies a random `u64` into `[0, span)` without modulo bias
+    /// (fixed-point multiply, Lemire's technique minus the rejection step;
+    /// residual bias is ≤ span / 2^64).
+    #[inline]
+    fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let lo64 = lo as u64;
+                    let hi64 = hi as u64;
+                    let span = hi64 - lo64;
+                    if inclusive && span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = if inclusive { span + 1 } else { span };
+                    (lo64 + bounded_u64(rng, span)) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                    if inclusive && span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = if inclusive { span + 1 } else { span };
+                    ((lo as i64).wrapping_add(bounded_u64(rng, span) as i64)) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let u = unit_f64(rng.next_u64());
+            let v = lo + (hi - lo) * u;
+            // Guard against rounding up to an excluded upper bound.
+            if v < hi {
+                v
+            } else {
+                lo.max(hi - (hi - lo) * f64::EPSILON)
+            }
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+        ) -> Self {
+            f64::sample_uniform(rng, lo as f64, hi as f64, inclusive) as f32
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Slice helpers: [`SliceRandom`] with Fisher–Yates [`SliceRandom::shuffle`].
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, one `gen_range` per
+    /// element from the back).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = rng.gen_range(0..self.len());
+            Some(&self[i])
+        }
+    }
+}

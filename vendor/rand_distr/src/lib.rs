@@ -1,0 +1,159 @@
+//! Offline vendored stand-in for the `rand_distr` crate.
+//!
+//! Implements the subset this workspace uses: [`Normal`], [`LogNormal`],
+//! and [`StandardNormal`] (for `f32` and `f64`), plus a re-export of the
+//! [`Distribution`] trait. Sampling uses the Box–Muller transform, which
+//! consumes exactly two `u64` draws per sample — deterministic for a
+//! fixed generator state.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Error type returned by [`Normal::new`] / [`LogNormal::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Mean or standard deviation was NaN / infinite.
+    BadParameters,
+    /// Standard deviation was negative.
+    StdDevTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadParameters => write!(f, "normal distribution parameters not finite"),
+            NormalError::StdDevTooSmall => write!(f, "standard deviation must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Samples one standard-normal deviate via Box–Muller (two uniform draws).
+#[inline]
+fn standard_normal_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Map to (0, 1]: never take ln(0).
+    let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        standard_normal_f64(rng)
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        standard_normal_f64(rng) as f32
+    }
+}
+
+/// The normal distribution N(mean, std_dev²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates N(mean, std_dev²); errors on non-finite parameters or a
+    /// negative standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() {
+            return Err(NormalError::BadParameters);
+        }
+        if std_dev < 0.0 {
+            return Err(NormalError::StdDevTooSmall);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal_f64(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+///
+/// Generic over the output float like upstream (`LogNormal<f64>` in type
+/// annotations), but only `f64` is implemented.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F = f64> {
+    norm: Normal,
+    _float: std::marker::PhantomData<F>,
+}
+
+impl LogNormal<f64> {
+    /// Creates a log-normal whose logarithm is N(mu, sigma²).
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Ok(Self {
+            norm: Normal::new(mu, sigma)?,
+            _float: std::marker::PhantomData,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let dist = LogNormal::new(1.0, 0.5).unwrap();
+        for _ in 0..1000 {
+            assert!(dist.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn standard_normal_samples_f32_and_f64() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a: f32 = rng.sample(StandardNormal);
+        let b: f64 = rng.sample(StandardNormal);
+        assert!(a.is_finite() && b.is_finite());
+    }
+}

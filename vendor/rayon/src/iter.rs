@@ -1,0 +1,294 @@
+//! Parallel iterator adaptors.
+//!
+//! Everything is eager: a "parallel iterator" here is a materialized list
+//! of work items; `map`/`for_each`/`collect` hand that list to
+//! [`crate::run_map`], which splits it into one contiguous block per
+//! worker thread and concatenates results in input order.
+
+use crate::{run_for_each, run_map};
+use std::ops::Range;
+
+/// An eager parallel iterator over `Item`s.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Materializes the remaining work items in order.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Applies `f` to every item in parallel (lazily — runs at
+    /// `collect`/`for_each` time).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_for_each(self.into_items(), f);
+    }
+
+    /// Collects all items, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_items().into_iter().collect()
+    }
+
+    /// Sums all items in parallel (pairwise within blocks).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.into_items().into_iter().sum()
+    }
+
+    /// Number of items remaining.
+    fn count(self) -> usize {
+        self.into_items().len()
+    }
+}
+
+/// Parallel iterators with a known, stable order (all of ours).
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Pairs items positionally with `other`'s items.
+    fn zip<B: IndexedParallelIterator>(self, other: B) -> Zip<Self::Item, B::Item> {
+        Zip {
+            items: self
+                .into_items()
+                .into_iter()
+                .zip(other.into_items())
+                .collect(),
+        }
+    }
+
+    /// Attaches each item's input position.
+    fn enumerate(self) -> Enumerate<Self::Item> {
+        Enumerate {
+            items: self.into_items().into_iter().enumerate().collect(),
+        }
+    }
+}
+
+/// Lazy map adaptor; the parallel apply happens on consumption.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn into_items(self) -> Vec<R> {
+        run_map(self.base.into_items(), self.f)
+    }
+
+    fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync + Send,
+    {
+        let f = self.f;
+        run_for_each(self.base.into_items(), move |item| g(f(item)));
+    }
+}
+
+impl<B, R, F> IndexedParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+}
+
+/// Positional pairing of two parallel iterators.
+pub struct Zip<A: Send, B: Send> {
+    items: Vec<(A, B)>,
+}
+
+impl<A: Send, B: Send> ParallelIterator for Zip<A, B> {
+    type Item = (A, B);
+
+    fn into_items(self) -> Vec<(A, B)> {
+        self.items
+    }
+}
+
+impl<A: Send, B: Send> IndexedParallelIterator for Zip<A, B> {}
+
+/// Items tagged with their input position.
+pub struct Enumerate<I: Send> {
+    items: Vec<(usize, I)>,
+}
+
+impl<I: Send> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I);
+
+    fn into_items(self) -> Vec<(usize, I)> {
+        self.items
+    }
+}
+
+impl<I: Send> IndexedParallelIterator for Enumerate<I> {}
+
+/// Owning parallel iterator over a vector or range.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParIter<T> {}
+
+/// Parallel iterator over immutable chunks of a slice.
+pub struct ParChunks<'a, T: Sync> {
+    chunks: Vec<&'a [T]>,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+
+    fn into_items(self) -> Vec<&'a [T]> {
+        self.chunks
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParChunks<'a, T> {}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn into_items(self) -> Vec<&'a mut [T]> {
+        self.chunks
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParChunksMut<'a, T> {}
+
+/// Parallel iterator over mutable references to a collection's elements.
+pub struct ParIterMut<'a, T: Send> {
+    items: Vec<&'a mut T>,
+}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn into_items(self) -> Vec<&'a mut T> {
+        self.items
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParIterMut<'a, T> {}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<$t>;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(usize, u32, u64, i32, i64);
+
+/// Adds `par_iter_mut` to collections (`Vec`, slices).
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Adds `par_chunks` to slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunks {
+            chunks: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Adds `par_chunks_mut` to slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}

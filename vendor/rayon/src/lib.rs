@@ -1,0 +1,269 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! Provides the data-parallel subset this workspace uses — `par_chunks`,
+//! `par_chunks_mut`, `par_iter_mut`, `into_par_iter` (vectors and ranges),
+//! `zip`, `enumerate`, `map`, `for_each`, ordered `collect`, plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] — implemented with
+//! `std::thread::scope` instead of a work-stealing pool.
+//!
+//! Execution model: each adaptor is eager. Work items are split into one
+//! contiguous block per worker thread; block results are concatenated in
+//! input order, so `collect` always preserves ordering regardless of the
+//! thread count. Nested parallel calls run sequentially on the worker
+//! thread that encounters them (no oversubscription), mirroring how a
+//! work-stealing pool degrades.
+//!
+//! Thread count resolution order: [`ThreadPool::install`] override, then
+//! the `RAYON_NUM_THREADS` environment variable, then
+//! `std::thread::available_parallelism`.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+mod iter;
+pub use iter::*;
+
+pub mod prelude {
+    //! The traits that put `par_*` methods on slices, vectors and ranges.
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    /// Set while inside a worker thread: nested parallelism runs inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Number of threads parallel operations will use in this context.
+pub fn current_num_threads() -> usize {
+    POOL_OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(env_default_threads)
+}
+
+/// Runs `items` through `f`, in parallel when profitable, preserving
+/// input order in the result. The backbone of every adaptor in this crate.
+pub(crate) fn run_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    let inline = IN_WORKER.with(|w| w.get());
+    if threads <= 1 || items.len() <= 1 || inline {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let workers = threads.min(n);
+    let chunk_len = n.div_ceil(workers);
+
+    let mut blocks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    // Split from the back so each block keeps its original order.
+    while items.len() > chunk_len {
+        let tail = items.split_off(items.len() - chunk_len);
+        blocks.push(tail);
+    }
+    blocks.push(items);
+    blocks.reverse();
+
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(blocks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .into_iter()
+            .map(|block| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    block.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("rayon worker thread panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Runs `f` over `items` purely for effects, in parallel when profitable.
+pub(crate) fn run_for_each<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    run_map(items, f);
+}
+
+/// Executes `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let inline = IN_WORKER.with(|w| w.get());
+    if current_num_threads() <= 1 || inline {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(move || {
+            IN_WORKER.with(|w| w.set(true));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("rayon worker thread panicked"))
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; this stand-in never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool's thread count (0 = use the environment default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(env_default_threads),
+        })
+    }
+}
+
+/// A scoped thread-count context. Parallel operations invoked inside
+/// [`ThreadPool::install`] use this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count as the ambient default.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let previous = POOL_OVERRIDE.with(|o| o.replace(Some(self.num_threads)));
+        let result = op();
+        POOL_OVERRIDE.with(|o| o.set(previous));
+        result
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_par_iter_matches_sequential() {
+        let out: Vec<usize> = (0..97usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..98).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_zip_writes_all_chunks() {
+        let mut dst = vec![0.0f64; 64];
+        let src: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        dst.par_chunks_mut(8)
+            .zip(src.par_chunks(8))
+            .for_each(|(d, s)| {
+                for (a, b) in d.iter_mut().zip(s) {
+                    *a = *b * 3.0;
+                }
+            });
+        for (i, v) in dst.iter().enumerate() {
+            assert_eq!(*v, i as f64 * 3.0);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_sees_ordered_indices() {
+        let mut data = vec![0usize; 40];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i;
+            }
+        });
+        for (pos, v) in data.iter().enumerate() {
+            assert_eq!(*v, pos / 7);
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        v.par_iter_mut().for_each(|x| *x += 1.0);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> =
+            single.install(|| (0..50usize).into_par_iter().map(|x| x * x).collect());
+        assert_eq!(out, (0..50).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates [`Serialize`]/[`Deserialize`] impls for the value-tree serde
+//! stand-in in `vendor/serde`. Parses the derive input token stream by
+//! hand (no `syn`/`quote` available offline) — which is tractable because
+//! only field and variant *names* are needed; field types are resolved by
+//! trait inference in the generated code.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - structs with named fields,
+//! - enums with unit variants (serialized as `"Variant"` strings),
+//! - enums with struct variants (externally tagged: `{"Variant": {...}}`).
+//!
+//! Tuple structs, tuple variants, and generic types produce a
+//! `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// `(variant_name, Some(fields) | None)`; `None` fields = unit variant.
+type Variant = (String, Option<Vec<String>>);
+
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum of unit and/or struct variants.
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(shape) => shape,
+        Err(msg) => {
+            return format!("::core::compile_error!({msg:?});")
+                .parse()
+                .expect("compile_error tokens")
+        }
+    };
+    let code = match (&shape, mode) {
+        (Shape::Struct { name, fields }, Mode::Serialize) => struct_serialize(name, fields),
+        (Shape::Struct { name, fields }, Mode::Deserialize) => struct_deserialize(name, fields),
+        (Shape::Enum { name, variants }, Mode::Serialize) => enum_serialize(name, variants),
+        (Shape::Enum { name, variants }, Mode::Deserialize) => enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated impl tokens")
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                idx += 2; // `#` + `[...]`
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                idx += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(idx) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        idx += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(idx) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: expected `struct` or `enum`".to_string()),
+    };
+    idx += 1;
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: expected a type name".to_string()),
+    };
+    idx += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive: generic type `{name}` is not supported by the vendored serde"
+            ));
+        }
+    }
+
+    let body = match tokens.get(idx) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde derive: `{name}` must have a braced body (tuple/unit shapes unsupported)"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Shape::Struct {
+            name,
+            fields: named_fields(body)?,
+        }),
+        "enum" => Ok(Shape::Enum {
+            name,
+            variants: enum_variants(body)?,
+        }),
+        other => Err(format!("serde derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Extracts field names from a named-field body: idents followed by a
+/// lone `:` at angle-bracket depth 0. (Path separators `::` tokenize as a
+/// *joint* colon, so they never match; commas inside generics are guarded
+/// by the depth counter.)
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    for pair in tokens.windows(2) {
+        if let TokenTree::Punct(p) = &pair[0] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+            continue;
+        }
+        if angle_depth != 0 {
+            continue;
+        }
+        if let (TokenTree::Ident(id), TokenTree::Punct(colon)) = (&pair[0], &pair[1]) {
+            if colon.as_char() == ':' && colon.spacing() == Spacing::Alone {
+                fields.push(id.to_string());
+            }
+        }
+    }
+    if fields.is_empty() && !tokens.is_empty() {
+        return Err("serde derive: only named fields are supported".to_string());
+    }
+    Ok(fields)
+}
+
+/// Extracts `(variant_name, Some(fields) | None)` pairs from an enum body.
+fn enum_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        // Skip variant attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+            if p.as_char() == '#' {
+                idx += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde derive: unexpected token `{other}` in enum body"
+                ))
+            }
+            None => break,
+        };
+        idx += 1;
+        let fields = match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                idx += 1;
+                Some(named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde derive: tuple variant `{name}` is not supported by the vendored serde"
+                ));
+            }
+            _ => None,
+        };
+        variants.push((name, fields));
+        // Skip to past the next comma (covers discriminants, trailing commas).
+        while idx < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[idx] {
+                if p.as_char() == ',' {
+                    idx += 1;
+                    break;
+                }
+            }
+            idx += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn field_to_entry(field: &str, access: &str) -> String {
+    format!("(::std::string::String::from({field:?}), ::serde::Serialize::to_value({access})),")
+}
+
+fn field_from_obj(field: &str, obj: &str) -> String {
+    format!(
+        "{field}: match {obj}.get({field:?}) {{ \
+            ::std::option::Option::Some(v) => <_ as ::serde::Deserialize>::from_value(v)?, \
+            ::std::option::Option::None => ::serde::missing_field({field:?})?, \
+        }},"
+    )
+}
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| field_to_entry(f, &format!("&self.{f}")))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+            fn to_value(&self) -> ::serde::Value {{ \
+                ::serde::Value::Obj(::std::vec![{entries}]) \
+            }} \
+        }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let field_inits: String = fields.iter().map(|f| field_from_obj(f, "value")).collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+            fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                if !::std::matches!(value, ::serde::Value::Obj(_)) {{ \
+                    return ::std::result::Result::Err(::serde::Error::msg( \
+                        \"expected object for `{name}`\")); \
+                }} \
+                ::std::result::Result::Ok({name} {{ {field_inits} }}) \
+            }} \
+        }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(variant, fields)| match fields {
+            None => format!(
+                "{name}::{variant} => \
+                 ::serde::Value::Str(::std::string::String::from({variant:?})),"
+            ),
+            Some(fields) => {
+                let bindings = fields.join(", ");
+                let entries: String = fields.iter().map(|f| field_to_entry(f, f)).collect();
+                format!(
+                    "{name}::{variant} {{ {bindings} }} => ::serde::Value::Obj(::std::vec![( \
+                        ::std::string::String::from({variant:?}), \
+                        ::serde::Value::Obj(::std::vec![{entries}]) \
+                    )]),"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+            fn to_value(&self) -> ::serde::Value {{ \
+                match self {{ {arms} }} \
+            }} \
+        }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[(String, Option<Vec<String>>)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, fields)| fields.is_none())
+        .map(|(variant, _)| {
+            format!("{variant:?} => return ::std::result::Result::Ok({name}::{variant}),")
+        })
+        .collect();
+    let struct_arms: String = variants
+        .iter()
+        .filter_map(|(variant, fields)| fields.as_ref().map(|f| (variant, f)))
+        .map(|(variant, fields)| {
+            let field_inits: String = fields.iter().map(|f| field_from_obj(f, "inner")).collect();
+            format!(
+                "{variant:?} => return ::std::result::Result::Ok( \
+                    {name}::{variant} {{ {field_inits} }}),"
+            )
+        })
+        .collect();
+
+    let unit_block = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::std::option::Option::Some(tag) = value.as_str() {{ \
+                match tag {{ {unit_arms} _ => {{}} }} \
+            }}"
+        )
+    };
+    let struct_block = if struct_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::std::option::Option::Some((tag, inner)) = value.as_single_entry() {{ \
+                match tag {{ {struct_arms} _ => {{}} }} \
+            }}"
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+            fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                {unit_block} \
+                {struct_block} \
+                ::std::result::Result::Err(::serde::Error::msg( \
+                    \"unknown variant for enum `{name}`\")) \
+            }} \
+        }}"
+    )
+}

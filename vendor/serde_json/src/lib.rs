@@ -1,0 +1,358 @@
+//! Offline vendored stand-in for `serde_json`: renders the vendored
+//! serde's [`Value`] tree to JSON text and parses JSON text back.
+//!
+//! Numbers are emitted with Rust's shortest round-trip `f64` formatting,
+//! so `f64` values survive `to_string` → `from_str` bit-exactly (the
+//! property the persistence tests rely on). Non-finite numbers serialize
+//! as `null`, as upstream serde_json does for `f64`.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => {
+            if n.is_finite() {
+                let _ = write!(out, "{n}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_value(out, &items[i], indent, depth + 1);
+        }),
+        Value::Obj(entries) => write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+            let (key, item) = &entries[i];
+            write_string(out, key);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, item, indent, depth + 1);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::msg(format!(
+                "unexpected character `{}` at offset {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error::msg("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error::msg(format!("invalid number `{text}` at offset {start}")))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut chars = std::str::from_utf8(&self.bytes[self.pos..])
+            .map_err(|_| Error::msg("invalid utf-8 in string"))?
+            .char_indices();
+        while let Some((offset, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += offset + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{0008}'),
+                        'f' => out.push('\u{000c}'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars
+                                    .next()
+                                    .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                                code = code * 16
+                                    + h.to_digit(16)
+                                        .ok_or_else(|| Error::msg("invalid \\u escape"))?;
+                            }
+                            // Surrogate pairs are out of scope for this
+                            // stand-in; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(Error::msg(format!("invalid escape `\\{other}`"))),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err(Error::msg("unterminated string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        let values = vec![
+            0.1f64,
+            -3.25e-7,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            0.0,
+            -123456.789,
+        ];
+        let json = to_string(&values).unwrap();
+        let back: Vec<f64> = from_str(&json).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let s = "line\nbreak \"quoted\" back\\slash\ttab".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parseable() {
+        let v = Value::Obj(vec![
+            ("a".to_string(), Value::Num(1.0)),
+            (
+                "b".to_string(),
+                Value::Arr(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
