@@ -1,0 +1,55 @@
+//! Criterion bench: the Algorithm 1 data-generation loop, sequential vs
+//! parallel.
+//!
+//! The generation loop dominates predictor fitting cost (hundreds of
+//! corrupt → predict → featurize rounds), so it is the target of the
+//! deterministic batch engine. Both variants produce bit-identical output;
+//! this bench records the wall-clock gap. Before/after numbers live in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lvp_core::{generate_training_examples_seeded, Metric};
+use lvp_corruptions::standard_tabular_suite;
+use lvp_models::{train_model_quick, BlackBoxModel, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_alg1_generation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let df = lvp_datasets::income(600, &mut rng);
+    let (train, test) = df.split_frac(0.6, &mut rng);
+    let model: Arc<dyn BlackBoxModel> =
+        Arc::from(train_model_quick(ModelKind::Lr, &train, &mut rng).unwrap());
+    let gens = standard_tabular_suite(test.schema());
+
+    let run = |parallel: bool| {
+        generate_training_examples_seeded(
+            model.as_ref(),
+            &test,
+            &gens,
+            25,
+            5,
+            Metric::Accuracy,
+            42,
+            parallel,
+        )
+    };
+
+    // Sanity: the two paths must agree before we time them.
+    assert_eq!(run(false), run(true));
+
+    c.bench_function("alg1_generation_sequential_4gens_x25", |b| {
+        b.iter(|| run(false))
+    });
+    c.bench_function("alg1_generation_parallel_4gens_x25", |b| {
+        b.iter(|| run(true))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_alg1_generation
+}
+criterion_main!(benches);

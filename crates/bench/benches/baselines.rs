@@ -21,8 +21,12 @@ fn bench_baselines(c: &mut Criterion) {
     let bbse = BbseDetector::new(Arc::clone(&model), &test);
     let bbseh = BbseHardDetector::new(Arc::clone(&model), &test);
 
-    c.bench_function("rel_detect_250x250", |b| b.iter(|| rel.detects_shift(&serving)));
-    c.bench_function("bbse_detect_250x250", |b| b.iter(|| bbse.detects_shift(&serving)));
+    c.bench_function("rel_detect_250x250", |b| {
+        b.iter(|| rel.detects_shift(&serving))
+    });
+    c.bench_function("bbse_detect_250x250", |b| {
+        b.iter(|| bbse.detects_shift(&serving))
+    });
     c.bench_function("bbseh_detect_250x250", |b| {
         b.iter(|| bbseh.detects_shift(&serving))
     });

@@ -14,14 +14,10 @@ fn bench_corruptions(c: &mut Criterion) {
     let mut gens = standard_tabular_suite(df.schema());
     gens.extend(unknown_tabular_suite(df.schema()));
     for gen in gens {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(gen.name()),
-            &gen,
-            |b, gen| {
-                let mut inner_rng = StdRng::seed_from_u64(2);
-                b.iter(|| gen.corrupt(&df, &mut inner_rng));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(gen.name()), &gen, |b, gen| {
+            let mut inner_rng = StdRng::seed_from_u64(2);
+            b.iter(|| gen.corrupt(&df, &mut inner_rng));
+        });
     }
     group.finish();
 }

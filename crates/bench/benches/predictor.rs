@@ -25,8 +25,7 @@ fn bench_predictor(c: &mut Criterion) {
     c.bench_function("predictor_fit_income_240_test_rows", |b| {
         b.iter(|| {
             let mut fit_rng = StdRng::seed_from_u64(2);
-            PerformancePredictor::fit(Arc::clone(&model), &test, &gens, &cfg, &mut fit_rng)
-                .unwrap()
+            PerformancePredictor::fit(Arc::clone(&model), &test, &gens, &cfg, &mut fit_rng).unwrap()
         })
     });
 

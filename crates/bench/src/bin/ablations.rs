@@ -15,8 +15,8 @@ use lvp_core::{
     PerformanceValidator, PredictorConfig, ValidatorConfig,
 };
 use lvp_corruptions::{standard_tabular_suite, ErrorGen, Mixture};
-use lvp_datasets::DatasetKind;
 use lvp_dataframe::DataFrame;
+use lvp_datasets::DatasetKind;
 use lvp_linalg::DenseMatrix;
 use lvp_models::gbdt::{GbdtConfig, GbdtRegressor};
 use lvp_models::{model_accuracy, BlackBoxModel, ModelKind, Regressor};
@@ -136,9 +136,7 @@ fn main() {
     ] {
         let mae = featurization_mae(&data, &env, f, &mut rng);
         println!("{name:<22} MAE {mae:.4}");
-        rows.push(
-            ResultRow::new("ablation-features", "income", "xgb", name).with("mae", mae),
-        );
+        rows.push(ResultRow::new("ablation-features", "income", "xgb", name).with("mae", mae));
     }
 
     // --- Ablation 2: meta-model ----------------------------------------
@@ -155,7 +153,10 @@ fn main() {
         &mut rng,
     );
     let x = DenseMatrix::from_rows(
-        &examples.iter().map(|e| e.features.clone()).collect::<Vec<_>>(),
+        &examples
+            .iter()
+            .map(|e| e.features.clone())
+            .collect::<Vec<_>>(),
     )
     .expect("uniform rows");
     let y: Vec<f64> = examples.iter().map(|e| e.score).collect();
@@ -186,7 +187,9 @@ fn main() {
     let mut gbr_est = Vec::new();
     let mut mean_est = Vec::new();
     for _ in 0..env.scale.serving_batches() {
-        let batch = data.serving.sample_n(env.scale.serving_batch_rows(), &mut rng);
+        let batch = data
+            .serving
+            .sample_n(env.scale.serving_batch_rows(), &mut rng);
         let corrupted = mixture.corrupt(&batch, &mut rng);
         let proba = data.model.predict_proba(&corrupted);
         let f = DenseMatrix::from_rows(&[prediction_statistics(&proba)]).expect("row");
@@ -208,7 +211,10 @@ fn main() {
     // --- Ablation 3: validator features ---------------------------------
     println!("\n## ablation 3: validator features (t = 5%)");
     let mut rng = env.rng("ablations/validator");
-    for (name, use_ks) in [("percentiles + KS (paper)", true), ("percentiles only", false)] {
+    for (name, use_ks) in [
+        ("percentiles + KS (paper)", true),
+        ("percentiles only", false),
+    ] {
         let cfg = ValidatorConfig {
             use_ks_features: use_ks,
             ..env.scale.validator_config(0.05)
@@ -226,14 +232,21 @@ fn main() {
         let mut truth = Vec::new();
         let mut pred = Vec::new();
         for i in 0..env.scale.serving_batches() {
-            let batch = data.serving.sample_n(env.scale.serving_batch_rows(), &mut rng);
+            let batch = data
+                .serving
+                .sample_n(env.scale.serving_batch_rows(), &mut rng);
             let batch = if i % 3 == 0 {
                 batch
             } else {
                 mixture.corrupt(&batch, &mut rng)
             };
             truth.push(model_accuracy(data.model.as_ref(), &batch) < cutoff);
-            pred.push(!validator.validate(&batch).expect("non-empty").within_threshold);
+            pred.push(
+                !validator
+                    .validate(&batch)
+                    .expect("non-empty")
+                    .within_threshold,
+            );
         }
         let f1 = f1_score(&pred, &truth);
         println!("{name:<26} F1 {f1:.3}");
@@ -261,7 +274,9 @@ fn main() {
         let mixture = Mixture::from_boxes(standard_tabular_suite(data.serving.schema()));
         let mut abs_errors = Vec::new();
         for _ in 0..env.scale.serving_batches() {
-            let batch = data.serving.sample_n(env.scale.serving_batch_rows(), &mut rng);
+            let batch = data
+                .serving
+                .sample_n(env.scale.serving_batch_rows(), &mut rng);
             let corrupted = mixture.corrupt(&batch, &mut rng);
             let est = predictor.predict(&corrupted).expect("non-empty");
             abs_errors.push((est - model_accuracy(data.model.as_ref(), &corrupted)).abs());

@@ -76,7 +76,8 @@ fn main() {
                     let batch = split
                         .serving
                         .sample_n(env.scale.serving_batch_rows(), &mut rng);
-                    let corrupted = error.corrupt_with_model(&batch, Some(model.as_ref()), &mut rng);
+                    let corrupted =
+                        error.corrupt_with_model(&batch, Some(model.as_ref()), &mut rng);
                     let est = predictor.predict(&corrupted).expect("non-empty batch");
                     let truth = model_accuracy(model.as_ref(), &corrupted);
                     abs_errors.push((est - truth).abs());
@@ -106,11 +107,7 @@ fn main() {
 
 /// Rebuilds a generator by name so predictor training and serving use
 /// independent instances (same semantics, fresh column sampling).
-fn clone_gen(
-    kind: DatasetKind,
-    name: &str,
-    schema: &lvp_dataframe::Schema,
-) -> Box<dyn ErrorGen> {
+fn clone_gen(kind: DatasetKind, name: &str, schema: &lvp_dataframe::Schema) -> Box<dyn ErrorGen> {
     errors_for(kind, schema)
         .into_iter()
         .find(|g| g.name() == name)

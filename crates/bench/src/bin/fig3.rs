@@ -144,10 +144,17 @@ fn main() {
                 "{:<10} {:<22.2} {:>8.4} {:>8.4} {:>8.4}",
                 family, unknown, summary.p05, summary.median, summary.p95
             );
-            rows.push(summary.into_row(
-                ResultRow::new("fig3", "income+heart", family, format!("unknown={unknown:.2}"))
+            rows.push(
+                summary.into_row(
+                    ResultRow::new(
+                        "fig3",
+                        "income+heart",
+                        family,
+                        format!("unknown={unknown:.2}"),
+                    )
                     .with("fraction_unknown", unknown),
-            ));
+                ),
+            );
         }
     }
     write_results("fig3", &rows);

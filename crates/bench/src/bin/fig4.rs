@@ -33,7 +33,12 @@ fn main() {
 
     for (dataset, error_name) in conditions {
         for model_kind in ModelKind::TABULAR {
-            let stream = format!("fig4/{}/{}/{}", dataset.name(), error_name, model_kind.name());
+            let stream = format!(
+                "fig4/{}/{}/{}",
+                dataset.name(),
+                error_name,
+                model_kind.name()
+            );
             let mut rng = env.rng(&stream);
             // The sweep needs a test pool of at least 1500 rows regardless
             // of scale, so fig4 builds its own split instead of using the
@@ -93,7 +98,12 @@ fn main() {
                 let condition = format!("{} in {}", error_name, dataset.name());
                 println!(
                     "{:<22} {:<6} {:>8} {:>8.4} {:>8.4} {:>8.4}",
-                    condition, model_kind.name(), size, summary.p10, summary.mean, summary.p90
+                    condition,
+                    model_kind.name(),
+                    size,
+                    summary.p10,
+                    summary.mean,
+                    summary.p90
                 );
                 rows.push(
                     summary.into_row(

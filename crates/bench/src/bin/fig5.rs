@@ -28,7 +28,12 @@ fn main() {
 
     for dataset in [DatasetKind::Income, DatasetKind::Heart, DatasetKind::Bank] {
         for model_kind in ModelKind::TABULAR {
-            let stream = format!("fig5/{}/{}/{}", dataset.name(), model_kind.name(), serve_family);
+            let stream = format!(
+                "fig5/{}/{}/{}",
+                dataset.name(),
+                model_kind.name(),
+                serve_family
+            );
             let mut rng = env.rng(&stream);
             let split = prepare_split(dataset, env.scale, &mut rng);
             let model = train_for(model_kind, &split.train, env.scale, &mut rng);

@@ -24,7 +24,8 @@ fn main() {
         "automl", "dataset", "t", "PPM", "BBSE", "BBSEh", "REL"
     );
 
-    type Trainer = Box<dyn Fn(&lvp_dataframe::DataFrame, &mut rand::rngs::StdRng) -> Arc<dyn BlackBoxModel>>;
+    type Trainer =
+        Box<dyn Fn(&lvp_dataframe::DataFrame, &mut rand::rngs::StdRng) -> Arc<dyn BlackBoxModel>>;
     let searchers: Vec<(&str, DatasetKind, Trainer)> = vec![
         (
             "auto-sklearn",

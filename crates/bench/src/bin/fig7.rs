@@ -29,7 +29,10 @@ fn main() {
         let mut rng = env.rng(&stream);
         let split = prepare_split(dataset, env.scale, &mut rng);
 
-        println!("# uploading {} to the cloud service and training...", dataset.name());
+        println!(
+            "# uploading {} to the cloud service and training...",
+            dataset.name()
+        );
         let service = CloudModelService::new();
         let handle = service
             .train_and_deploy(&split.train, env.seed)

@@ -70,7 +70,12 @@ pub fn validation_f1(
         };
         let violated = model_accuracy(model.as_ref(), &batch) < cutoff;
         truth.push(violated);
-        ppm_pred.push(!validator.validate(&batch).expect("non-empty").within_threshold);
+        ppm_pred.push(
+            !validator
+                .validate(&batch)
+                .expect("non-empty")
+                .within_threshold,
+        );
         rel_pred.push(rel.detects_shift(&batch));
         bbse_pred.push(bbse.detects_shift(&batch));
         bbseh_pred.push(bbseh.detects_shift(&batch));

@@ -1,0 +1,264 @@
+//! Deterministic parallel batch engine for the Algorithm 1/2 generation
+//! loops.
+//!
+//! Algorithm 1 applies every error generator `runs_per_generator` times to
+//! (subsamples of) the held-out test data; each run is independent of all
+//! others, so the loop is embarrassingly parallel. The catch is
+//! reproducibility: threading one mutable RNG through a parallel loop makes
+//! the output depend on the interleaving. This module instead derives a
+//! *per-run* RNG from `(master_seed, generator_idx, run_idx)` so every run
+//! is self-contained, and collects results in task order. The parallel
+//! output is therefore bit-identical to the sequential output at any thread
+//! count (asserted by `tests/determinism.rs`).
+//!
+//! The clean-copy stream (`p_err = 0`) is addressed as a virtual generator
+//! at index `generators.len()`.
+
+use crate::features::prediction_statistics;
+use crate::predictor::TrainingExample;
+use crate::Metric;
+use lvp_corruptions::ErrorGen;
+use lvp_dataframe::DataFrame;
+use lvp_linalg::DenseMatrix;
+use lvp_models::BlackBoxModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Derives the RNG seed for one (generator, run) task.
+///
+/// Mixes the three inputs through two rounds of the splitmix64 finalizer so
+/// that neighbouring task coordinates produce statistically unrelated
+/// streams. The mapping is a pure function — the cornerstone of the
+/// engine's thread-count-independent determinism.
+pub fn derive_run_seed(master_seed: u64, generator_idx: usize, run_idx: usize) -> u64 {
+    let mut z = master_seed
+        ^ (generator_idx as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+        ^ (run_idx as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    for _ in 0..2 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Lower bound for the random subsample size used when corrupting the test
+/// data (Algorithm 1 corrupts random-size subsamples so the regressor sees
+/// the batch-size regime it will face at serving time).
+///
+/// For reasonable test sets this is `max(n/3, 10)`; for tiny frames that
+/// clamp would collapse to `lo == n` (no size variation at all), so below
+/// 10 rows it falls back to half the frame.
+pub fn subsample_lower_bound(n_rows: usize) -> usize {
+    let lo = (n_rows / 3).max(10).min(n_rows);
+    if lo >= n_rows {
+        // Tiny frame: the standard clamp leaves no room for variation.
+        (n_rows / 2).max(1)
+    } else {
+        lo
+    }
+}
+
+/// One corrupted (or clean) batch produced by the generation loop, handed
+/// to the caller's featurization closure.
+pub struct GeneratedBatch<'a> {
+    /// The black box model's outputs on the batch.
+    pub proba: DenseMatrix,
+    /// The model's true score on the batch under the configured metric.
+    pub score: f64,
+    /// Name of the generator that produced the batch (`"clean"` for the
+    /// clean-copy stream).
+    pub generator: &'a str,
+}
+
+/// Runs the data-generation loop of Algorithm 1 (lines 3–12) and maps each
+/// generated batch through `featurize`.
+///
+/// Results are ordered generator-major (all runs of generator 0, then all
+/// runs of generator 1, …, then the clean copies), identically for the
+/// sequential and parallel paths: each task seeds its own [`StdRng`] from
+/// [`derive_run_seed`] and the parallel collect preserves task order.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_batches_seeded<T, F>(
+    model: &dyn BlackBoxModel,
+    test: &DataFrame,
+    generators: &[Box<dyn ErrorGen>],
+    runs_per_generator: usize,
+    clean_copies: usize,
+    metric: Metric,
+    master_seed: u64,
+    parallel: bool,
+    featurize: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(GeneratedBatch<'_>) -> T + Sync,
+{
+    let clean_stream = generators.len();
+    let tasks: Vec<(usize, usize)> = (0..generators.len())
+        .flat_map(|g| (0..runs_per_generator).map(move |r| (g, r)))
+        .chain((0..clean_copies).map(|r| (clean_stream, r)))
+        .collect();
+
+    let run_one = |(g, r): (usize, usize)| -> T {
+        let mut rng = StdRng::seed_from_u64(derive_run_seed(master_seed, g, r));
+        let batch = if g < clean_stream {
+            // Corrupt a random-size subsample so the learned regressor sees
+            // the same batch-size regime it will face at serving time
+            // (percentile features are order statistics and therefore
+            // batch-size sensitive).
+            let lo = subsample_lower_bound(test.n_rows());
+            let base = test.sample_n(rng.gen_range(lo..=test.n_rows()), &mut rng);
+            let corrupted = generators[g].corrupt_with_model(&base, Some(model), &mut rng);
+            let proba = model.predict_proba(&corrupted);
+            GeneratedBatch {
+                score: metric.score(&proba, corrupted.labels()),
+                proba,
+                generator: generators[g].name(),
+            }
+        } else {
+            // Clean copies teach the meta-model the error-free regime; the
+            // rows are still subsampled so the batch-size distribution
+            // varies.
+            let n = test.n_rows();
+            let take = rng.gen_range((n / 2).max(1)..=n);
+            let clean = test.sample_n(take, &mut rng);
+            let proba = model.predict_proba(&clean);
+            GeneratedBatch {
+                score: metric.score(&proba, clean.labels()),
+                proba,
+                generator: "clean",
+            }
+        };
+        featurize(batch)
+    };
+
+    if parallel {
+        tasks.into_par_iter().map(run_one).collect()
+    } else {
+        tasks.into_iter().map(run_one).collect()
+    }
+}
+
+/// Seeded variant of
+/// [`generate_training_examples`](crate::generate_training_examples):
+/// applies each generator `runs_per_generator` times and records
+/// `(ζ_corrupt, ℓ_corrupt)` pairs, optionally fanning the runs out across
+/// threads.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_training_examples_seeded(
+    model: &dyn BlackBoxModel,
+    test: &DataFrame,
+    generators: &[Box<dyn ErrorGen>],
+    runs_per_generator: usize,
+    clean_copies: usize,
+    metric: Metric,
+    master_seed: u64,
+    parallel: bool,
+) -> Vec<TrainingExample> {
+    generate_batches_seeded(
+        model,
+        test,
+        generators,
+        runs_per_generator,
+        clean_copies,
+        metric,
+        master_seed,
+        parallel,
+        |batch| TrainingExample {
+            features: prediction_statistics(&batch.proba),
+            score: batch.score,
+            generator: batch.generator.to_string(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_corruptions::standard_tabular_suite;
+    use lvp_dataframe::toy_frame;
+    use lvp_models::train_logistic_regression;
+
+    #[test]
+    fn run_seeds_are_distinct_across_tasks() {
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..8 {
+            for r in 0..64 {
+                assert!(
+                    seen.insert(derive_run_seed(42, g, r)),
+                    "collision at ({g},{r})"
+                );
+            }
+        }
+        // And the master seed actually matters.
+        assert_ne!(derive_run_seed(1, 0, 0), derive_run_seed(2, 0, 0));
+    }
+
+    #[test]
+    fn subsample_lower_bound_is_sane() {
+        for n in 1..=50 {
+            let lo = subsample_lower_bound(n);
+            assert!((1..=n.max(1)).contains(&lo), "n={n} lo={lo}");
+            if n >= 2 {
+                // There must be room for size variation.
+                assert!(lo < n, "n={n} lo={lo} leaves no range to sample");
+            }
+        }
+        assert_eq!(subsample_lower_bound(9), 4);
+        assert_eq!(subsample_lower_bound(10), 5);
+        assert_eq!(subsample_lower_bound(300), 100);
+    }
+
+    #[test]
+    fn parallel_output_matches_sequential() {
+        let df = toy_frame(120);
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = train_logistic_regression(&df, &mut rng).unwrap();
+        let gens = standard_tabular_suite(df.schema());
+        let sequential = generate_training_examples_seeded(
+            model.as_ref(),
+            &df,
+            &gens,
+            4,
+            3,
+            Metric::Accuracy,
+            99,
+            false,
+        );
+        let parallel = generate_training_examples_seeded(
+            model.as_ref(),
+            &df,
+            &gens,
+            4,
+            3,
+            Metric::Accuracy,
+            99,
+            true,
+        );
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.len(), gens.len() * 4 + 3);
+        assert_eq!(sequential.last().unwrap().generator, "clean");
+    }
+
+    #[test]
+    fn tiny_frames_generate_without_panicking() {
+        let df = toy_frame(3);
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = train_logistic_regression(&toy_frame(40), &mut rng).unwrap();
+        let gens = standard_tabular_suite(df.schema());
+        let ex = generate_training_examples_seeded(
+            model.as_ref(),
+            &df,
+            &gens,
+            3,
+            2,
+            Metric::Accuracy,
+            5,
+            true,
+        );
+        assert_eq!(ex.len(), gens.len() * 3 + 2);
+    }
+}

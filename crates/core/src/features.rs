@@ -3,7 +3,7 @@
 //! class-wise percentiles at 0, 5, 10, …, 100.
 
 use lvp_linalg::DenseMatrix;
-use lvp_stats::{percentiles, vigintile_grid, VIGINTILE_COUNT};
+use lvp_stats::{vigintile_grid, PercentileScratch, VIGINTILE_COUNT};
 
 /// Number of feature dimensions produced for a model with `n_classes`
 /// output dimensions.
@@ -21,9 +21,11 @@ pub fn feature_dimensionality(n_classes: usize) -> usize {
 pub fn prediction_statistics(proba: &DenseMatrix) -> Vec<f64> {
     let grid = vigintile_grid();
     let mut features = Vec::with_capacity(feature_dimensionality(proba.cols()));
+    // One scratch buffer serves every class column: the sort happens in
+    // place and no per-class Vec is materialized.
+    let mut scratch = PercentileScratch::new();
     for class in 0..proba.cols() {
-        let column = proba.column(class);
-        features.extend(percentiles(&column, &grid));
+        scratch.extend_percentiles(proba.column_iter(class), &grid, &mut features);
     }
     features
 }
@@ -49,8 +51,12 @@ mod tests {
     fn constant_outputs_yield_constant_percentiles() {
         let proba = DenseMatrix::from_rows(&vec![vec![0.7, 0.3]; 5]).unwrap();
         let f = prediction_statistics(&proba);
-        assert!(f[..VIGINTILE_COUNT].iter().all(|&v| (v - 0.7).abs() < 1e-12));
-        assert!(f[VIGINTILE_COUNT..].iter().all(|&v| (v - 0.3).abs() < 1e-12));
+        assert!(f[..VIGINTILE_COUNT]
+            .iter()
+            .all(|&v| (v - 0.7).abs() < 1e-12));
+        assert!(f[VIGINTILE_COUNT..]
+            .iter()
+            .all(|&v| (v - 0.3).abs() < 1e-12));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!   [`BbseHardDetector`] (χ² on predicted-class counts, Rabanser et al.).
 
 mod baselines;
+pub mod engine;
 mod features;
 mod monitor;
 mod persistence;
@@ -26,6 +27,10 @@ mod predictor;
 mod validator;
 
 pub use baselines::{Baseline, BbseDetector, BbseHardDetector, RelationalShiftDetector};
+pub use engine::{
+    derive_run_seed, generate_batches_seeded, generate_training_examples_seeded,
+    subsample_lower_bound, GeneratedBatch,
+};
 pub use features::{feature_dimensionality, prediction_statistics};
 pub use monitor::{BatchMonitor, BatchReport, MonitorPolicy};
 pub use persistence::{MetricTag, PredictorArtifact};

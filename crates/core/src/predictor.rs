@@ -1,5 +1,6 @@
 //! The learned performance predictor (Algorithms 1 and 2).
 
+use crate::engine::generate_training_examples_seeded;
 use crate::features::prediction_statistics;
 use crate::{CoreError, Metric};
 use lvp_corruptions::ErrorGen;
@@ -27,6 +28,10 @@ pub struct PredictorConfig {
     pub forest_grid: Vec<ForestConfig>,
     /// Cross-validation folds for the meta-model grid search (paper: 5).
     pub cv_folds: usize,
+    /// Fan the generation loop out across threads. The output is
+    /// bit-identical to the sequential loop (see [`crate::engine`]), so
+    /// this only trades wall-clock time for CPU.
+    pub parallel: bool,
 }
 
 impl Default for PredictorConfig {
@@ -37,6 +42,7 @@ impl Default for PredictorConfig {
             metric: Metric::Accuracy,
             forest_grid: default_forest_grid(),
             cv_folds: 5,
+            parallel: true,
         }
     }
 }
@@ -82,6 +88,11 @@ pub struct PerformancePredictor {
 
 /// Runs the data-generation loop of Algorithm 1 (lines 3–12): applies each
 /// generator `runs` times and records `(ζ_corrupt, ℓ_corrupt)` pairs.
+///
+/// Convenience wrapper over
+/// [`generate_training_examples_seeded`](crate::generate_training_examples_seeded):
+/// the master seed is drawn from `rng` and the runs are fanned out across
+/// threads (deterministically — see [`crate::engine`]).
 pub fn generate_training_examples(
     model: &dyn BlackBoxModel,
     test: &DataFrame,
@@ -91,39 +102,16 @@ pub fn generate_training_examples(
     metric: Metric,
     rng: &mut StdRng,
 ) -> Vec<TrainingExample> {
-    let mut examples =
-        Vec::with_capacity(generators.len() * runs_per_generator + clean_copies);
-    for generator in generators {
-        for _ in 0..runs_per_generator {
-            // Corrupt a random-size subsample so the learned regressor sees
-            // the same batch-size regime it will face at serving time
-            // (percentile features are order statistics and therefore
-            // batch-size sensitive).
-            let lo = (test.n_rows() / 3).max(10).min(test.n_rows());
-            let base = test.sample_n(rng.gen_range(lo..=test.n_rows()), rng);
-            let corrupted = generator.corrupt_with_model(&base, Some(model), rng);
-            let proba = model.predict_proba(&corrupted);
-            examples.push(TrainingExample {
-                features: prediction_statistics(&proba),
-                score: metric.score(&proba, corrupted.labels()),
-                generator: generator.name().to_string(),
-            });
-        }
-    }
-    // Clean copies teach the regressor the error-free regime; subsample the
-    // rows so the batch-size distribution also varies.
-    for _ in 0..clean_copies {
-        let n = test.n_rows();
-        let take = rng.gen_range((n / 2).max(1)..=n);
-        let clean = test.sample_n(take, rng);
-        let proba = model.predict_proba(&clean);
-        examples.push(TrainingExample {
-            features: prediction_statistics(&proba),
-            score: metric.score(&proba, clean.labels()),
-            generator: "clean".to_string(),
-        });
-    }
-    examples
+    generate_training_examples_seeded(
+        model,
+        test,
+        generators,
+        runs_per_generator,
+        clean_copies,
+        metric,
+        rng.gen(),
+        true,
+    )
 }
 
 impl PerformancePredictor {
@@ -145,14 +133,15 @@ impl PerformancePredictor {
         let test_proba = model.predict_proba(test);
         let test_score = config.metric.score(&test_proba, test.labels());
 
-        let examples = generate_training_examples(
+        let examples = generate_training_examples_seeded(
             model.as_ref(),
             test,
             generators,
             config.runs_per_generator,
             config.clean_copies,
             config.metric,
-            rng,
+            rng.gen(),
+            config.parallel,
         );
         Self::fit_from_examples(model, examples, test_score, config, rng)
     }
@@ -270,14 +259,9 @@ mod tests {
         let model: Arc<dyn BlackBoxModel> =
             Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
         let gens = standard_tabular_suite(test.schema());
-        let predictor = PerformancePredictor::fit(
-            model,
-            &test,
-            &gens,
-            &PredictorConfig::fast(),
-            &mut rng,
-        )
-        .unwrap();
+        let predictor =
+            PerformancePredictor::fit(model, &test, &gens, &PredictorConfig::fast(), &mut rng)
+                .unwrap();
         (predictor, serving)
     }
 
@@ -342,14 +326,9 @@ mod tests {
             &mut rng
         )
         .is_err());
-        assert!(PerformancePredictor::fit(
-            model,
-            &df,
-            &[],
-            &PredictorConfig::fast(),
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            PerformancePredictor::fit(model, &df, &[], &PredictorConfig::fast(), &mut rng).is_err()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! exactly this construction, reusing the hypothesis-test signal of
 //! Lipton et al.).
 
+use crate::engine::generate_batches_seeded;
 use crate::features::prediction_statistics;
 use crate::{CoreError, Metric};
 use lvp_corruptions::ErrorGen;
@@ -21,6 +22,26 @@ use lvp_stats::ks_two_sample;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+/// Featurizes one batch of model outputs: percentile statistics plus,
+/// when `test_columns` is given, per-class KS statistic and p-value
+/// against the retained test-time outputs.
+///
+/// Free function (rather than a method) so the fitting loop can featurize
+/// before the validator exists, and so the per-class test columns are
+/// materialized once instead of on every call.
+fn featurize_outputs(proba: &DenseMatrix, test_columns: Option<&[Vec<f64>]>) -> Vec<f64> {
+    let mut f = prediction_statistics(proba);
+    if let Some(test_columns) = test_columns {
+        for (class, test_col) in test_columns.iter().enumerate().take(proba.cols()) {
+            let serving_col = proba.column(class);
+            let outcome = ks_two_sample(&serving_col, test_col);
+            f.push(outcome.statistic);
+            f.push(outcome.p_value);
+        }
+    }
+    f
+}
 
 /// Configuration for fitting a [`PerformanceValidator`].
 #[derive(Debug, Clone)]
@@ -37,6 +58,10 @@ pub struct ValidatorConfig {
     pub gbdt: GbdtConfig,
     /// Include the KS-test features (disable for the ablation bench).
     pub use_ks_features: bool,
+    /// Fan the generation loop out across threads. The output is
+    /// bit-identical to the sequential loop (see [`crate::engine`]), so
+    /// this only trades wall-clock time for CPU.
+    pub parallel: bool,
 }
 
 impl Default for ValidatorConfig {
@@ -52,6 +77,7 @@ impl Default for ValidatorConfig {
                 ..GbdtConfig::default()
             },
             use_ks_features: true,
+            parallel: true,
         }
     }
 }
@@ -87,7 +113,9 @@ pub struct ValidationOutcome {
 pub struct PerformanceValidator {
     model: Arc<dyn BlackBoxModel>,
     classifier: GbdtClassifier,
-    test_outputs: DenseMatrix,
+    /// Per-class test-time output columns, materialized once at fit time —
+    /// the KS features compare every serving batch against these.
+    test_columns: Vec<Vec<f64>>,
     test_score: f64,
     threshold: f64,
     metric: Metric,
@@ -118,70 +146,44 @@ impl PerformanceValidator {
         // batches against them (the "major difference" §3 points out).
         let test_outputs = model.predict_proba(test);
         let test_score = config.metric.score(&test_outputs, test.labels());
+        let test_columns: Vec<Vec<f64>> = (0..test_outputs.cols())
+            .map(|c| test_outputs.column(c))
+            .collect();
+        let ks_columns = config.use_ks_features.then_some(test_columns.as_slice());
 
-        let mut features: Vec<Vec<f64>> = Vec::new();
-        let mut labels: Vec<u32> = Vec::new();
-        let mut record = |proba: &DenseMatrix, score: f64, this: &Self| {
-            features.push(this.featurize(proba));
-            labels.push(u32::from(score >= (1.0 - this.threshold) * this.test_score));
-        };
-
-        // Construct a provisional self to reuse the featurization logic.
-        let mut validator = Self {
-            model,
-            classifier: GbdtClassifier::fit(
-                &CsrMatrix::from_dense(&DenseMatrix::from_rows(&[vec![0.0]]).expect("1x1")),
-                &[0],
-                2,
-                &GbdtConfig {
-                    n_rounds: 1,
-                    ..GbdtConfig::default()
-                },
-                rng,
-            )?,
-            test_outputs,
-            test_score,
-            threshold: config.threshold,
-            metric: config.metric,
-            use_ks_features: config.use_ks_features,
-        };
-
-        for generator in generators {
-            for _ in 0..config.runs_per_generator {
-                // Match the serving-time batch-size regime (see the note in
-                // `generate_training_examples`): corrupt random-size
-                // subsamples of the test data.
-                let lo = (test.n_rows() / 3).max(10).min(test.n_rows());
-                let base = test.sample_n(rng.gen_range(lo..=test.n_rows()), rng);
-                let corrupted =
-                    generator.corrupt_with_model(&base, Some(validator.model.as_ref()), rng);
-                let proba = validator.model.predict_proba(&corrupted);
-                let score = config.metric.score(&proba, corrupted.labels());
-                record(&proba, score, &validator);
-            }
-        }
-        for _ in 0..config.clean_copies {
-            let take = rng.gen_range((test.n_rows() / 2).max(1)..=test.n_rows());
-            let clean = test.sample_n(take, rng);
-            let proba = validator.model.predict_proba(&clean);
-            let score = config.metric.score(&proba, clean.labels());
-            record(&proba, score, &validator);
-        }
+        // Algorithm 1's generation loop with binary labels, fanned out by
+        // the deterministic batch engine.
+        let generated: Vec<(Vec<f64>, u32)> = generate_batches_seeded(
+            model.as_ref(),
+            test,
+            generators,
+            config.runs_per_generator,
+            config.clean_copies,
+            config.metric,
+            rng.gen(),
+            config.parallel,
+            |batch| {
+                (
+                    featurize_outputs(&batch.proba, ks_columns),
+                    u32::from(batch.score >= (1.0 - config.threshold) * test_score),
+                )
+            },
+        );
+        let (mut features, mut labels): (Vec<Vec<f64>>, Vec<u32>) = generated.into_iter().unzip();
 
         if labels.iter().all(|&l| l == 0) || labels.iter().all(|&l| l == 1) {
             // Degenerate training set: corruption always (or never) broke
             // the threshold. Inject the clean full-batch case to keep two
             // classes, mirroring p_err = 0.
-            let proba = validator.model.predict_proba(test);
-            features.push(validator.featurize(&proba));
+            features.push(featurize_outputs(&test_outputs, ks_columns));
             labels.push(1);
             if labels.iter().all(|&l| l == 1) {
                 // Still degenerate — synthesize a catastrophic case from
                 // uniform-random outputs.
-                let m = validator.model.n_classes();
+                let m = model.n_classes();
                 let uniform =
                     DenseMatrix::from_vec(4, m, vec![1.0 / m as f64; 4 * m]).expect("sized");
-                features.push(validator.featurize(&uniform));
+                features.push(featurize_outputs(&uniform, ks_columns));
                 labels.push(0);
             }
         }
@@ -191,25 +193,26 @@ impl PerformanceValidator {
                 .map_err(|e| CoreError::new(format!("feature matrix: {e}")))?,
         );
         let mut gbdt_rng = StdRng::seed_from_u64(rng.gen());
-        validator.classifier = GbdtClassifier::fit(&x, &labels, 2, &config.gbdt, &mut gbdt_rng)?;
-        Ok(validator)
+        let classifier = GbdtClassifier::fit(&x, &labels, 2, &config.gbdt, &mut gbdt_rng)?;
+        Ok(Self {
+            model,
+            classifier,
+            test_columns,
+            test_score,
+            threshold: config.threshold,
+            metric: config.metric,
+            use_ks_features: config.use_ks_features,
+        })
     }
 
     /// Featurizes one batch of model outputs: percentile statistics plus
     /// (optionally) per-class KS statistic and p-value against the retained
     /// test-time outputs.
     pub fn featurize(&self, proba: &DenseMatrix) -> Vec<f64> {
-        let mut f = prediction_statistics(proba);
-        if self.use_ks_features {
-            for class in 0..proba.cols() {
-                let serving_col = proba.column(class);
-                let test_col = self.test_outputs.column(class);
-                let outcome = ks_two_sample(&serving_col, &test_col);
-                f.push(outcome.statistic);
-                f.push(outcome.p_value);
-            }
-        }
-        f
+        featurize_outputs(
+            proba,
+            self.use_ks_features.then_some(self.test_columns.as_slice()),
+        )
     }
 
     /// Decides whether the model's predictions on the serving batch can be
@@ -282,7 +285,11 @@ mod tests {
     fn clean_data_passes_validation() {
         let (validator, serving) = fitted_validator(0.10);
         let outcome = validator.validate(&serving).unwrap();
-        assert!(outcome.within_threshold, "confidence {}", outcome.confidence);
+        assert!(
+            outcome.within_threshold,
+            "confidence {}",
+            outcome.confidence
+        );
     }
 
     #[test]
@@ -293,7 +300,11 @@ mod tests {
             corrupted.column_mut(1).set_null(row);
         }
         let outcome = validator.validate(&corrupted).unwrap();
-        assert!(!outcome.within_threshold, "confidence {}", outcome.confidence);
+        assert!(
+            !outcome.within_threshold,
+            "confidence {}",
+            outcome.confidence
+        );
     }
 
     #[test]

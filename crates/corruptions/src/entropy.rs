@@ -32,6 +32,10 @@ impl EntropyMissingValues {
 }
 
 impl ErrorGen for EntropyMissingValues {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "entropy_missing_values"
     }
@@ -105,7 +109,7 @@ mod tests {
             for r in 0..data.n_rows() {
                 // toy_frame stores row index in the numeric column.
                 let idx = data.column(0).as_numeric().unwrap()[r].unwrap_or(1.0) as usize;
-                let p = if idx % 2 == 0 { 0.99 } else { 0.55 };
+                let p = if idx.is_multiple_of(2) { 0.99 } else { 0.55 };
                 m.set(r, 0, p);
                 m.set(r, 1, 1.0 - p);
             }

@@ -38,6 +38,11 @@ impl SelectionBias {
 }
 
 impl ErrorGen for SelectionBias {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        // Pure row re-selection: no cell value is ever altered.
+        Vec::new()
+    }
+
     fn name(&self) -> &str {
         "selection_bias"
     }
@@ -83,6 +88,10 @@ impl CategoryFlip {
 }
 
 impl ErrorGen for CategoryFlip {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "category_flip"
     }
@@ -143,6 +152,18 @@ impl ConstantFill {
 }
 
 impl ErrorGen for ConstantFill {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        let mut cols: Vec<usize> = self
+            .numeric_columns
+            .iter()
+            .chain(&self.categorical_columns)
+            .copied()
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
     fn name(&self) -> &str {
         "constant_fill"
     }
@@ -161,8 +182,7 @@ impl ErrorGen for ConstantFill {
                 }
             }
         } else if !self.categorical_columns.is_empty() {
-            let col =
-                self.categorical_columns[rng.gen_range(0..self.categorical_columns.len())];
+            let col = self.categorical_columns[rng.gen_range(0..self.categorical_columns.len())];
             let values = out
                 .column_mut(col)
                 .as_categorical_mut()
@@ -182,6 +202,11 @@ impl ErrorGen for ConstantFill {
 pub struct DuplicateRows;
 
 impl ErrorGen for DuplicateRows {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        // Pure row re-selection: no cell value is ever altered.
+        Vec::new()
+    }
+
     fn name(&self) -> &str {
         "duplicate_rows"
     }
@@ -233,9 +258,21 @@ mod tests {
         assert!(out.n_rows() >= 2);
         // The kept values must be a contiguous prefix/suffix of the sorted
         // value range, i.e. mean differs from the full mean.
-        let full_mean: f64 = df.column(0).as_numeric().unwrap().iter().flatten().sum::<f64>()
+        let full_mean: f64 = df
+            .column(0)
+            .as_numeric()
+            .unwrap()
+            .iter()
+            .flatten()
+            .sum::<f64>()
             / df.n_rows() as f64;
-        let kept_mean: f64 = out.column(0).as_numeric().unwrap().iter().flatten().sum::<f64>()
+        let kept_mean: f64 = out
+            .column(0)
+            .as_numeric()
+            .unwrap()
+            .iter()
+            .flatten()
+            .sum::<f64>()
             / out.n_rows() as f64;
         assert!((kept_mean - full_mean).abs() > 1.0);
     }

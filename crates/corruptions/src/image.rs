@@ -23,6 +23,10 @@ impl ImageNoise {
 }
 
 impl ErrorGen for ImageNoise {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "image_noise"
     }
@@ -92,6 +96,10 @@ pub fn rotate_image(img: &ImageData, angle: f64) -> ImageData {
 }
 
 impl ErrorGen for ImageRotation {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "image_rotation"
     }
@@ -127,7 +135,8 @@ mod tests {
             let mut img = ImageData::zeros(8, 8);
             img.set(2, 2, 1.0);
             img.set(5, 5, 0.5);
-            b.push_row(vec![CellValue::Image(img)], (i % 2) as u32).unwrap();
+            b.push_row(vec![CellValue::Image(img)], (i % 2) as u32)
+                .unwrap();
         }
         b.finish().unwrap()
     }
@@ -151,11 +160,7 @@ mod tests {
         let out = gen.corrupt(&df, &mut rng);
         let orig = df.column(0).as_image().unwrap();
         let new = out.column(0).as_image().unwrap();
-        let changed = orig
-            .iter()
-            .zip(new)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = orig.iter().zip(new).filter(|(a, b)| a != b).count();
         assert!(changed > 0);
     }
 

@@ -31,8 +31,7 @@ pub use extended::{
 pub use image::{ImageNoise, ImageRotation};
 pub use mixture::{CleanCopy, Mixture};
 pub use tabular::{
-    EncodingErrors, FlippedSign, MissingValues, Outliers, Scaling, Smearing, SwappedColumns,
-    Typos,
+    EncodingErrors, FlippedSign, MissingValues, Outliers, Scaling, Smearing, SwappedColumns, Typos,
 };
 pub use text::AdversarialLeetspeak;
 
@@ -49,8 +48,23 @@ pub trait ErrorGen: Send + Sync {
     /// Short, stable identifier (used in experiment reports).
     fn name(&self) -> &str;
 
+    /// The column indices this generator may write to when corrupting `df`.
+    ///
+    /// Frames are copy-on-write ([`DataFrame::column_mut`] materializes a
+    /// private copy of just the written column), so a corrupted copy shares
+    /// the storage of every column *not* in this set with its input. Row
+    /// re-selection generators (selection bias, duplication) return an empty
+    /// set: they rebuild every column but never alter cell values.
+    ///
+    /// The default conservatively declares every column.
+    fn touched_columns(&self, df: &DataFrame) -> Vec<usize> {
+        (0..df.n_cols()).collect()
+    }
+
     /// Returns a corrupted copy of `df`, sampling the corruption magnitude
-    /// (columns, fraction, strength) internally.
+    /// (columns, fraction, strength) internally. Implementations clone the
+    /// input (cheap: column storage is shared) and mutate only the columns
+    /// declared by [`ErrorGen::touched_columns`].
     fn corrupt(&self, df: &DataFrame, rng: &mut StdRng) -> DataFrame;
 
     /// Like [`ErrorGen::corrupt`], but with access to the deployed model
@@ -157,6 +171,68 @@ mod tests {
         for _ in 0..100 {
             let f = sample_fraction(&mut rng);
             assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    fn all_tabular_generators(df: &DataFrame) -> Vec<Box<dyn ErrorGen>> {
+        let mut gens = standard_tabular_suite(df.schema());
+        gens.extend(unknown_tabular_suite(df.schema()));
+        gens.extend(extended_tabular_suite(df.schema()));
+        gens.push(Box::new(EntropyMissingValues::all_tabular(df.schema())));
+        gens.push(Box::new(CleanCopy));
+        gens
+    }
+
+    #[test]
+    fn undeclared_columns_share_storage_after_corruption() {
+        let df = toy_frame(120);
+        let mut rng = StdRng::seed_from_u64(5);
+        for g in all_tabular_generators(&df) {
+            let touched = g.touched_columns(&df);
+            // Row re-selectors (empty touched set, except CleanCopy) rebuild
+            // storage even when the row count happens to be unchanged.
+            if touched.is_empty() && g.name() != "clean" {
+                continue;
+            }
+            for _ in 0..5 {
+                let out = g.corrupt(&df, &mut rng);
+                if out.n_rows() != df.n_rows() {
+                    continue;
+                }
+                for col in 0..df.n_cols() {
+                    if !touched.contains(&col) {
+                        assert!(
+                            df.shares_column_storage(&out, col),
+                            "{} copied undeclared column {col}",
+                            g.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn touched_columns_declares_every_mutated_column() {
+        let df = toy_frame(90);
+        for g in all_tabular_generators(&df) {
+            let touched = g.touched_columns(&df);
+            for seed in 0..10u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let out = g.corrupt(&df, &mut rng);
+                if out.n_rows() != df.n_rows() {
+                    continue;
+                }
+                for col in 0..df.n_cols() {
+                    if out.column(col) != df.column(col) {
+                        assert!(
+                            touched.contains(&col),
+                            "{} mutated undeclared column {col} (seed {seed})",
+                            g.name()
+                        );
+                    }
+                }
+            }
         }
     }
 }

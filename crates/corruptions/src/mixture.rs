@@ -52,6 +52,18 @@ impl Mixture {
 }
 
 impl ErrorGen for Mixture {
+    fn touched_columns(&self, df: &DataFrame) -> Vec<usize> {
+        // Any member might be selected, so the union of member declarations.
+        let mut cols: Vec<usize> = self
+            .members
+            .iter()
+            .flat_map(|m| m.touched_columns(df))
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -90,6 +102,10 @@ impl ErrorGen for Mixture {
 pub struct CleanCopy;
 
 impl ErrorGen for CleanCopy {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        Vec::new()
+    }
+
     fn name(&self) -> &str {
         "clean"
     }

@@ -30,6 +30,10 @@ impl MissingValues {
 }
 
 impl ErrorGen for MissingValues {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "missing_values"
     }
@@ -73,7 +77,12 @@ impl Outliers {
 }
 
 fn column_std(values: &[Option<f64>]) -> f64 {
-    let present: Vec<f64> = values.iter().flatten().copied().filter(|v| v.is_finite()).collect();
+    let present: Vec<f64> = values
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
     if present.len() < 2 {
         return 1.0;
     }
@@ -87,6 +96,10 @@ fn column_std(values: &[Option<f64>]) -> f64 {
 }
 
 impl ErrorGen for Outliers {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "outliers"
     }
@@ -133,6 +146,22 @@ impl SwappedColumns {
 }
 
 impl ErrorGen for SwappedColumns {
+    fn touched_columns(&self, df: &DataFrame) -> Vec<usize> {
+        if self.numeric_columns.is_empty() || self.categorical_columns.is_empty() {
+            // The degenerate fallback swaps between any pair of columns.
+            return (0..df.n_cols()).collect();
+        }
+        let mut cols: Vec<usize> = self
+            .numeric_columns
+            .iter()
+            .chain(&self.categorical_columns)
+            .copied()
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
     fn name(&self) -> &str {
         "swapped_columns"
     }
@@ -158,7 +187,12 @@ impl ErrorGen for SwappedColumns {
             }
             return out;
         }
-        let n_pairs = rng.gen_range(1..=self.numeric_columns.len().min(self.categorical_columns.len()));
+        let n_pairs = rng.gen_range(
+            1..=self
+                .numeric_columns
+                .len()
+                .min(self.categorical_columns.len()),
+        );
         for _ in 0..n_pairs {
             let num = self.numeric_columns[rng.gen_range(0..self.numeric_columns.len())];
             let cat = self.categorical_columns[rng.gen_range(0..self.categorical_columns.len())];
@@ -197,6 +231,10 @@ impl Scaling {
 }
 
 impl ErrorGen for Scaling {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "scaling"
     }
@@ -285,6 +323,10 @@ fn introduce_typo(value: &str, rng: &mut StdRng) -> String {
 }
 
 impl ErrorGen for Typos {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "typos"
     }
@@ -325,6 +367,10 @@ impl Smearing {
 }
 
 impl ErrorGen for Smearing {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "smearing"
     }
@@ -365,6 +411,10 @@ impl FlippedSign {
 }
 
 impl ErrorGen for FlippedSign {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "flipped_sign"
     }
@@ -422,6 +472,10 @@ fn garble_encoding(value: &str) -> String {
 }
 
 impl ErrorGen for EncodingErrors {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "encoding_errors"
     }
@@ -500,10 +554,7 @@ mod tests {
         // in) and categorical should contain numeric strings.
         assert!(out.column(0).null_count() > 0);
         let cats = out.column(1).as_categorical().unwrap();
-        assert!(cats
-            .iter()
-            .flatten()
-            .any(|s| s.parse::<f64>().is_ok()));
+        assert!(cats.iter().flatten().any(|s| s.parse::<f64>().is_ok()));
     }
 
     #[test]
@@ -519,7 +570,9 @@ mod tests {
             if o != n && o != 0.0 {
                 let ratio = n / o;
                 assert!(
-                    [10.0, 100.0, 1000.0].iter().any(|f| (ratio - f).abs() < 1e-9),
+                    [10.0, 100.0, 1000.0]
+                        .iter()
+                        .any(|f| (ratio - f).abs() < 1e-9),
                     "unexpected ratio {ratio}"
                 );
             }

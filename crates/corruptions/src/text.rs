@@ -39,6 +39,10 @@ pub fn to_leetspeak(text: &str) -> String {
 }
 
 impl ErrorGen for AdversarialLeetspeak {
+    fn touched_columns(&self, _df: &DataFrame) -> Vec<usize> {
+        self.candidate_columns.clone()
+    }
+
     fn name(&self) -> &str {
         "adversarial_leetspeak"
     }
@@ -67,8 +71,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn text_frame(n: usize) -> DataFrame {
-        let schema =
-            Schema::new(vec![Field::new("msg", ColumnType::Text)]).unwrap();
+        let schema = Schema::new(vec![Field::new("msg", ColumnType::Text)]).unwrap();
         let mut b = DataFrameBuilder::new(schema, vec!["a".into(), "b".into()]);
         for i in 0..n {
             b.push_row(

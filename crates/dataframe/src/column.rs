@@ -123,9 +123,7 @@ impl Column {
     pub fn cell(&self, row: usize) -> CellValue {
         match self {
             Column::Numeric(v) => v[row].map_or(CellValue::Null, CellValue::Num),
-            Column::Categorical(v) => v[row]
-                .clone()
-                .map_or(CellValue::Null, CellValue::Cat),
+            Column::Categorical(v) => v[row].clone().map_or(CellValue::Null, CellValue::Cat),
             Column::Text(v) => v[row].clone().map_or(CellValue::Null, CellValue::Text),
             Column::Image(v) => v[row].clone().map_or(CellValue::Null, CellValue::Image),
         }
@@ -356,10 +354,7 @@ mod tests {
     fn select_reorders_and_duplicates() {
         let c = Column::Numeric(vec![Some(1.0), Some(2.0), Some(3.0)]);
         let s = c.select(&[2, 0, 2]);
-        assert_eq!(
-            s.as_numeric().unwrap(),
-            &[Some(3.0), Some(1.0), Some(3.0)]
-        );
+        assert_eq!(s.as_numeric().unwrap(), &[Some(3.0), Some(1.0), Some(3.0)]);
     }
 
     #[test]

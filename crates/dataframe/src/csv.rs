@@ -214,9 +214,7 @@ pub fn write_csv_string(df: &DataFrame) -> Result<String, FrameError> {
             }
             out.push(',');
         }
-        out.push_str(&quote(
-            &df.label_names()[df.labels()[r] as usize],
-        ));
+        out.push_str(&quote(&df.label_names()[df.labels()[r] as usize]));
         out.push('\n');
     }
     Ok(out)
@@ -226,7 +224,8 @@ pub fn write_csv_string(df: &DataFrame) -> Result<String, FrameError> {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "age,job,note,approved\n34,engineer,fine,yes\n51,clerk,\"ok, good\",no\n,manager,NA,yes\n";
+    const SAMPLE: &str =
+        "age,job,note,approved\n34,engineer,fine,yes\n51,clerk,\"ok, good\",no\n,manager,NA,yes\n";
 
     #[test]
     fn reads_header_and_rows() {

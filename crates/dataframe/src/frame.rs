@@ -3,17 +3,24 @@
 use crate::{CellValue, Column, ColumnType, Field, FrameError, Schema};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::sync::Arc;
 
-/// A batch of labeled relational tuples with columnar storage.
+/// A batch of labeled relational tuples with copy-on-write columnar storage.
 ///
 /// Labels are class indices into [`DataFrame::label_names`]. The label column
 /// is intentionally *not* part of the schema: the black box model and the
 /// performance predictor only ever see the attribute columns, while the
 /// experiment harness uses the labels to compute true scores.
+///
+/// Columns are reference-counted: cloning a frame shares every column, and
+/// [`DataFrame::column_mut`] materializes a private copy of just the column
+/// being written. Error generators clone the input frame and then mutate a
+/// few columns, so the hundreds of corrupted copies Algorithm 1 creates
+/// share the storage of every untouched column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DataFrame {
     schema: Schema,
-    columns: Vec<Column>,
+    columns: Vec<Arc<Column>>,
     labels: Vec<u32>,
     label_names: Vec<String>,
 }
@@ -66,7 +73,7 @@ impl DataFrame {
         }
         Ok(Self {
             schema,
-            columns,
+            columns: columns.into_iter().map(Arc::new).collect(),
             labels,
             label_names,
         })
@@ -93,9 +100,32 @@ impl DataFrame {
     }
 
     /// Mutable column at position `i` (used by error generators, which
-    /// always operate on a cloned frame).
+    /// always operate on a cloned frame). Copy-on-write: if the column is
+    /// shared with another frame, a private copy is materialized first.
     pub fn column_mut(&mut self, i: usize) -> &mut Column {
-        &mut self.columns[i]
+        Arc::make_mut(&mut self.columns[i])
+    }
+
+    /// Whether `self` and `other` share the physical storage of column `i`
+    /// (copy-on-write bookkeeping; used by tests and memory accounting).
+    pub fn shares_column_storage(&self, other: &DataFrame, i: usize) -> bool {
+        Arc::ptr_eq(&self.columns[i], &other.columns[i])
+    }
+
+    /// A clone that shares no column storage with `self` — every column is
+    /// physically copied. Used by tests comparing copy-on-write behaviour
+    /// against eager copies.
+    pub fn deep_clone(&self) -> DataFrame {
+        DataFrame {
+            schema: self.schema.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Arc::new(Column::clone(c)))
+                .collect(),
+            labels: self.labels.clone(),
+            label_names: self.label_names.clone(),
+        }
     }
 
     /// Column by name.
@@ -132,16 +162,28 @@ impl DataFrame {
     pub fn swap_cells(&mut self, col_a: usize, col_b: usize, row: usize) {
         let a = self.columns[col_a].cell(row);
         let b = self.columns[col_b].cell(row);
-        self.columns[col_a].set_cell_coercing(row, b);
-        self.columns[col_b].set_cell_coercing(row, a);
+        self.column_mut(col_a).set_cell_coercing(row, b);
+        self.column_mut(col_b).set_cell_coercing(row, a);
     }
 
     /// Returns a new frame containing the selected rows, in order. Indices
     /// may repeat (sampling with replacement).
+    ///
+    /// Selecting every row in its original order (the identity selection)
+    /// shares column storage with `self` instead of copying.
     pub fn select_rows(&self, indices: &[usize]) -> DataFrame {
+        let identity =
+            indices.len() == self.n_rows() && indices.iter().enumerate().all(|(i, &j)| i == j);
+        if identity {
+            return self.clone();
+        }
         DataFrame {
             schema: self.schema.clone(),
-            columns: self.columns.iter().map(|c| c.select(indices)).collect(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.select(indices)))
+                .collect(),
             labels: indices.iter().map(|&i| self.labels[i]).collect(),
             label_names: self.label_names.clone(),
         }
@@ -154,10 +196,7 @@ impl DataFrame {
         idx.shuffle(rng);
         let cut = ((self.n_rows() as f64) * frac).round() as usize;
         let cut = cut.min(self.n_rows());
-        (
-            self.select_rows(&idx[..cut]),
-            self.select_rows(&idx[cut..]),
-        )
+        (self.select_rows(&idx[..cut]), self.select_rows(&idx[cut..]))
     }
 
     /// Draws `n` rows uniformly without replacement (all rows if `n` exceeds
@@ -199,7 +238,7 @@ impl DataFrame {
 
     /// Total number of missing cells across all columns.
     pub fn total_null_count(&self) -> usize {
-        self.columns.iter().map(Column::null_count).sum()
+        self.columns.iter().map(|c| c.null_count()).sum()
     }
 }
 
@@ -377,7 +416,7 @@ mod tests {
     fn swap_cells_coerces_both_directions() {
         let mut df = toy_frame(4);
         df.swap_cells(0, 1, 0); // numeric "0" <-> categorical "even"
-        // numeric column got "even" -> unparseable -> null
+                                // numeric column got "even" -> unparseable -> null
         assert_eq!(df.column(0).as_numeric().unwrap()[0], None);
         // categorical column got 0.0 -> "0"
         assert_eq!(
@@ -417,5 +456,50 @@ mod tests {
         df.column_mut(0).set_null(1);
         df.column_mut(1).set_null(2);
         assert_eq!(df.total_null_count(), 2);
+    }
+
+    #[test]
+    fn clone_shares_all_column_storage() {
+        let df = toy_frame(16);
+        let copy = df.clone();
+        for col in 0..df.n_cols() {
+            assert!(df.shares_column_storage(&copy, col));
+        }
+    }
+
+    #[test]
+    fn column_mut_unshares_only_the_written_column() {
+        let df = toy_frame(16);
+        let mut copy = df.clone();
+        copy.column_mut(0).set_null(3);
+        assert!(!df.shares_column_storage(&copy, 0));
+        assert!(df.shares_column_storage(&copy, 1));
+        // The original is untouched by the copy's write.
+        assert_eq!(df.column(0).null_count(), 0);
+        assert_eq!(copy.column(0).null_count(), 1);
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing_but_is_equal() {
+        let df = toy_frame(8);
+        let deep = df.deep_clone();
+        assert_eq!(df, deep);
+        for col in 0..df.n_cols() {
+            assert!(!df.shares_column_storage(&deep, col));
+        }
+    }
+
+    #[test]
+    fn identity_selection_shares_storage() {
+        let df = toy_frame(5);
+        let idx: Vec<usize> = (0..5).collect();
+        let same = df.select_rows(&idx);
+        assert_eq!(same, df);
+        for col in 0..df.n_cols() {
+            assert!(df.shares_column_storage(&same, col));
+        }
+        // A permuted selection must copy.
+        let perm = df.select_rows(&[4, 3, 2, 1, 0]);
+        assert!(!df.shares_column_storage(&perm, 0));
     }
 }

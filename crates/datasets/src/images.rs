@@ -118,19 +118,9 @@ fn render_five(rng: &mut impl Rng) -> ImageData {
     let mut img = ImageData::zeros(IMAGE_SIDE, IMAGE_SIDE);
     let j = Jitter::sample(rng);
     // Top horizontal bar from (9,6) to (19,6).
-    draw_curve(
-        &mut img,
-        |t| j.apply(9.0 + 10.0 * t, 6.0),
-        j.thickness,
-        1.0,
-    );
+    draw_curve(&mut img, |t| j.apply(9.0 + 10.0 * t, 6.0), j.thickness, 1.0);
     // Left vertical from (9,6) to (9,13).
-    draw_curve(
-        &mut img,
-        |t| j.apply(9.0, 6.0 + 7.0 * t),
-        j.thickness,
-        1.0,
-    );
+    draw_curve(&mut img, |t| j.apply(9.0, 6.0 + 7.0 * t), j.thickness, 1.0);
     // Lower bowl from (9,13) bulging right down to (8,22).
     draw_curve(
         &mut img,
@@ -196,12 +186,7 @@ fn render_boot(rng: &mut impl Rng) -> ImageData {
     // Tall shaft on the heel (left) side: vertical column rows 6..=20.
     for col in 0..3 {
         let x = 6.0 + 2.0 * col as f64;
-        draw_curve(
-            &mut img,
-            move |t| (x, 6.0 + 14.0 * t),
-            1.2,
-            0.85,
-        );
+        draw_curve(&mut img, move |t| (x, 6.0 + 14.0 * t), 1.2, 0.85);
     }
     // Foot part sloping down to the toe.
     draw_curve(
@@ -220,8 +205,8 @@ fn render_boot(rng: &mut impl Rng) -> ImageData {
 
 /// MNIST-like dataset restricted to the digits 3 and 5.
 pub fn digits(n: usize, rng: &mut impl Rng) -> DataFrame {
-    let schema = Schema::new(vec![Field::new("image", ColumnType::Image)])
-        .expect("static schema is valid");
+    let schema =
+        Schema::new(vec![Field::new("image", ColumnType::Image)]).expect("static schema is valid");
     let mut b = DataFrameBuilder::new(schema, vec!["three".into(), "five".into()]);
     for i in 0..n {
         let y = (i % 2) as u32;
@@ -238,8 +223,8 @@ pub fn digits(n: usize, rng: &mut impl Rng) -> DataFrame {
 
 /// Fashion-MNIST-like dataset restricted to sneakers and ankle boots.
 pub fn fashion(n: usize, rng: &mut impl Rng) -> DataFrame {
-    let schema = Schema::new(vec![Field::new("image", ColumnType::Image)])
-        .expect("static schema is valid");
+    let schema =
+        Schema::new(vec![Field::new("image", ColumnType::Image)]).expect("static schema is valid");
     let mut b = DataFrameBuilder::new(schema, vec!["sneaker".into(), "ankle-boot".into()]);
     for i in 0..n {
         let y = (i % 2) as u32;

@@ -129,10 +129,7 @@ pub fn income(n: usize, rng: &mut impl Rng) -> DataFrame {
         } else {
             OCCUPATION[weighted_choice(rng, &[8.0, 9.0, 16.0, 16.0, 12.0, 16.0, 12.0, 11.0])]
         };
-        let sex = SEX[weighted_choice(
-            rng,
-            if y == 1 { &[78.0, 22.0] } else { &[62.0, 38.0] },
-        )];
+        let sex = SEX[weighted_choice(rng, if y == 1 { &[78.0, 22.0] } else { &[62.0, 38.0] })];
         b.push_row(
             vec![
                 CellValue::Num(age),
@@ -372,7 +369,10 @@ mod tests {
         }
         let mean0 = sums[0] / counts[0] as f64;
         let mean1 = sums[1] / counts[1] as f64;
-        assert!(mean1 - mean0 > 3.0, "mean age gap too small: {mean0} vs {mean1}");
+        assert!(
+            mean1 - mean0 > 3.0,
+            "mean age gap too small: {mean0} vs {mean1}"
+        );
     }
 
     #[test]

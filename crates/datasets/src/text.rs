@@ -4,21 +4,105 @@ use lvp_dataframe::{CellValue, ColumnType, DataFrame, DataFrameBuilder, Field, S
 use rand::Rng;
 
 const TROLL_VOCAB: [&str; 36] = [
-    "idiot", "loser", "stupid", "dumb", "pathetic", "moron", "clown", "trash", "garbage",
-    "worthless", "shut", "ratio", "cope", "seethe", "cry", "fraud", "fake", "liar", "clueless",
-    "braindead", "disgusting", "embarrassing", "joke", "failure", "hate", "ugly", "annoying",
-    "cringe", "delusional", "toxic", "troll", "block", "reported", "nobody", "irrelevant",
+    "idiot",
+    "loser",
+    "stupid",
+    "dumb",
+    "pathetic",
+    "moron",
+    "clown",
+    "trash",
+    "garbage",
+    "worthless",
+    "shut",
+    "ratio",
+    "cope",
+    "seethe",
+    "cry",
+    "fraud",
+    "fake",
+    "liar",
+    "clueless",
+    "braindead",
+    "disgusting",
+    "embarrassing",
+    "joke",
+    "failure",
+    "hate",
+    "ugly",
+    "annoying",
+    "cringe",
+    "delusional",
+    "toxic",
+    "troll",
+    "block",
+    "reported",
+    "nobody",
+    "irrelevant",
     "washed",
 ];
 
 const NEUTRAL_VOCAB: [&str; 60] = [
-    "today", "morning", "coffee", "weather", "sunny", "rain", "game", "match", "team", "score",
-    "music", "album", "song", "concert", "movie", "film", "series", "episode", "book", "reading",
-    "travel", "trip", "flight", "city", "food", "dinner", "lunch", "recipe", "cooking", "garden",
-    "running", "workout", "training", "project", "work", "meeting", "launch", "update", "release",
-    "photo", "picture", "beautiful", "amazing", "great", "love", "happy", "excited", "weekend",
-    "friday", "holiday", "family", "friends", "birthday", "party", "news", "article", "thread",
-    "thanks", "congrats", "awesome",
+    "today",
+    "morning",
+    "coffee",
+    "weather",
+    "sunny",
+    "rain",
+    "game",
+    "match",
+    "team",
+    "score",
+    "music",
+    "album",
+    "song",
+    "concert",
+    "movie",
+    "film",
+    "series",
+    "episode",
+    "book",
+    "reading",
+    "travel",
+    "trip",
+    "flight",
+    "city",
+    "food",
+    "dinner",
+    "lunch",
+    "recipe",
+    "cooking",
+    "garden",
+    "running",
+    "workout",
+    "training",
+    "project",
+    "work",
+    "meeting",
+    "launch",
+    "update",
+    "release",
+    "photo",
+    "picture",
+    "beautiful",
+    "amazing",
+    "great",
+    "love",
+    "happy",
+    "excited",
+    "weekend",
+    "friday",
+    "holiday",
+    "family",
+    "friends",
+    "birthday",
+    "party",
+    "news",
+    "article",
+    "thread",
+    "thanks",
+    "congrats",
+    "awesome",
 ];
 
 const STOPWORDS: [&str; 20] = [
@@ -59,8 +143,8 @@ fn compose_tweet(rng: &mut impl Rng, troll: bool) -> String {
 /// Cyber-troll-like dataset: a single free-text column; the target denotes
 /// whether the tweet has trolling character.
 pub fn tweets(n: usize, rng: &mut impl Rng) -> DataFrame {
-    let schema = Schema::new(vec![Field::new("tweet", ColumnType::Text)])
-        .expect("static schema is valid");
+    let schema =
+        Schema::new(vec![Field::new("tweet", ColumnType::Text)]).expect("static schema is valid");
     let mut b = DataFrameBuilder::new(schema, vec!["normal".into(), "troll".into()]);
     for i in 0..n {
         let y = (i % 2) as u32;

@@ -25,7 +25,10 @@ impl NumericScaler {
             .filter(|v| v.is_finite())
             .collect();
         if present.is_empty() {
-            return Self { mean: 0.0, std: 1.0 };
+            return Self {
+                mean: 0.0,
+                std: 1.0,
+            };
         }
         let mean = present.iter().sum::<f64>() / present.len() as f64;
         let var = present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / present.len() as f64;

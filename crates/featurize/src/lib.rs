@@ -21,8 +21,6 @@ mod encoders;
 mod hashing;
 mod pipeline;
 
-pub use encoders::{
-    HashingTextEncoder, ImageEncoder, NumericScaler, OneHotEncoder,
-};
+pub use encoders::{HashingTextEncoder, ImageEncoder, NumericScaler, OneHotEncoder};
 pub use hashing::{fnv1a64, tokenize, word_ngrams};
 pub use pipeline::{FeaturePipeline, PipelineConfig};

@@ -122,7 +122,14 @@ impl DenseMatrix {
 
     /// Copies column `c` into a new vector.
     pub fn column(&self, c: usize) -> Vec<f64> {
-        (0..self.rows).map(|r| self.get(r, c)).collect()
+        self.column_iter(c).collect()
+    }
+
+    /// Iterator over the values of column `c`, without materializing them.
+    #[inline]
+    pub fn column_iter(&self, c: usize) -> impl Iterator<Item = f64> + '_ {
+        debug_assert!(c < self.cols || self.rows == 0);
+        (0..self.rows).map(move |r| self.get(r, c))
     }
 
     /// Matrix transpose.

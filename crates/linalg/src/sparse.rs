@@ -350,8 +350,7 @@ mod tests {
     fn csr_matmul_dense_matches_dense_matmul() {
         let rows = vec![sv(3, &[(0, 1.0), (2, 2.0)]), sv(3, &[(1, 3.0)])];
         let m = CsrMatrix::from_sparse_rows(&rows).unwrap();
-        let w =
-            DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let w = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let got = m.matmul_dense(&w).unwrap();
         let expected = m.to_dense().matmul(&w).unwrap();
         assert_eq!(got, expected);

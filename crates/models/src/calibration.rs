@@ -21,13 +21,11 @@ impl<C: Classifier> PlattCalibrated<C> {
     /// Fits the sigmoid parameters on held-out calibration data by
     /// gradient descent on the log loss (Platt 1999, with the standard
     /// label smoothing prior).
-    pub fn fit(
-        inner: C,
-        x_calibration: &CsrMatrix,
-        labels: &[u32],
-    ) -> Result<Self, ModelError> {
+    pub fn fit(inner: C, x_calibration: &CsrMatrix, labels: &[u32]) -> Result<Self, ModelError> {
         if inner.n_classes() != 2 {
-            return Err(ModelError::new("Platt scaling requires a binary classifier"));
+            return Err(ModelError::new(
+                "Platt scaling requires a binary classifier",
+            ));
         }
         if x_calibration.rows() != labels.len() {
             return Err(ModelError::new("feature/label row count mismatch"));

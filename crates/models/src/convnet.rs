@@ -104,16 +104,16 @@ pub struct ConvNet {
 
 /// Per-image activations retained for the backward pass.
 struct Activations {
-    input: Vec<f64>,    // side²
-    z1: Vec<f64>,       // c1 × side²
-    a1: Vec<f64>,       // c1 × side²
-    z2: Vec<f64>,       // c2 × side²
-    pooled: Vec<f64>,   // c2 × (side/2)²
+    input: Vec<f64>,      // side²
+    z1: Vec<f64>,         // c1 × side²
+    a1: Vec<f64>,         // c1 × side²
+    z2: Vec<f64>,         // c2 × side²
+    pooled: Vec<f64>,     // c2 × (side/2)²
     pool_idx: Vec<usize>, // argmax offsets into a2
-    z_fc1: Vec<f64>,    // dense
-    a_fc1: Vec<f64>,    // dense (after dropout mask during training)
+    z_fc1: Vec<f64>,      // dense
+    a_fc1: Vec<f64>,      // dense (after dropout mask during training)
     drop_mask: Vec<f64>,
-    probs: Vec<f64>,    // m
+    probs: Vec<f64>, // m
 }
 
 impl ConvNet {
@@ -200,8 +200,8 @@ impl ConvNet {
                 }
                 let scale = 1.0 / batch.len() as f64;
                 for g in [
-                    &mut g_c1, &mut g_bc1, &mut g_c2, &mut g_bc2, &mut g_f1, &mut g_bf1,
-                    &mut g_f2, &mut g_bf2,
+                    &mut g_c1, &mut g_bc1, &mut g_c2, &mut g_bc2, &mut g_f1, &mut g_bf1, &mut g_f2,
+                    &mut g_bf2,
                 ] {
                     for v in g.iter_mut() {
                         *v *= scale;
@@ -243,12 +243,28 @@ impl ConvNet {
 
         // conv1: 1 input channel → c1 channels, same padding.
         let mut z1 = vec![0.0; cfg.c1 * area];
-        conv_same(&input, 1, side, &self.w_conv1, &self.b_conv1, cfg.c1, &mut z1);
+        conv_same(
+            &input,
+            1,
+            side,
+            &self.w_conv1,
+            &self.b_conv1,
+            cfg.c1,
+            &mut z1,
+        );
         let a1: Vec<f64> = z1.iter().map(|&v| relu(v)).collect();
 
         // conv2: c1 → c2 channels, same padding.
         let mut z2 = vec![0.0; cfg.c2 * area];
-        conv_same(&a1, cfg.c1, side, &self.w_conv2, &self.b_conv2, cfg.c2, &mut z2);
+        conv_same(
+            &a1,
+            cfg.c1,
+            side,
+            &self.w_conv2,
+            &self.b_conv2,
+            cfg.c2,
+            &mut z2,
+        );
         let a2: Vec<f64> = z2.iter().map(|&v| relu(v)).collect();
 
         // 2×2 max pooling.
@@ -352,12 +368,7 @@ impl ConvNet {
         let m = self.n_classes;
 
         // dL/dlogits = p - y.
-        let d_logits: Vec<f64> = acts
-            .probs
-            .iter()
-            .zip(y_row)
-            .map(|(&p, &t)| p - t)
-            .collect();
+        let d_logits: Vec<f64> = acts.probs.iter().zip(y_row).map(|(&p, &t)| p - t).collect();
 
         // fc2 gradients and upstream.
         let mut d_afc1 = vec![0.0; cfg.dense];
@@ -580,7 +591,11 @@ mod tests {
             let mut pairs = Vec::new();
             for yy in 0..side {
                 for xx in 0..side {
-                    let bright = if y == 0 { yy < side / 2 } else { yy >= side / 2 };
+                    let bright = if y == 0 {
+                        yy < side / 2
+                    } else {
+                        yy >= side / 2
+                    };
                     let base: f64 = if bright { 0.8 } else { 0.1 };
                     let v = (base + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0);
                     if v > 0.0 {

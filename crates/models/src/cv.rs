@@ -61,7 +61,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let folds = kfold_indices(103, 5, &mut rng);
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for (train, val) in &folds {
             assert_eq!(train.len() + val.len(), 103);
             for &i in val {

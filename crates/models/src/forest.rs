@@ -83,8 +83,7 @@ impl RandomForestRegressor {
             .into_par_iter()
             .map(|seed| {
                 let mut tree_rng = rand::rngs::StdRng::seed_from_u64(seed);
-                let bootstrap: Vec<usize> =
-                    (0..n).map(|_| tree_rng.gen_range(0..n)).collect();
+                let bootstrap: Vec<usize> = (0..n).map(|_| tree_rng.gen_range(0..n)).collect();
                 RegressionTree::fit(&columns, &grad, &hess, &bootstrap, &params, &mut tree_rng)
             })
             .collect();
@@ -176,8 +175,7 @@ mod tests {
     fn fits_nonlinear_regression() {
         let (x, y) = friedman_like(400, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let model = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), &mut rng)
-            .unwrap();
+        let model = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), &mut rng).unwrap();
         let pred = model.predict(&x);
         let mae = lvp_stats::mean_absolute_error(&pred, &y);
         assert!(mae < 0.15, "MAE {mae}");
@@ -187,8 +185,7 @@ mod tests {
     fn prediction_is_mean_of_trees_in_range() {
         let (x, y) = friedman_like(100, 3);
         let mut rng = StdRng::seed_from_u64(4);
-        let model =
-            RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), &mut rng).unwrap();
+        let model = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), &mut rng).unwrap();
         let (lo, hi) = y
             .iter()
             .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
@@ -232,8 +229,6 @@ mod tests {
     fn rejects_empty_input() {
         let x = DenseMatrix::zeros(0, 2);
         let mut rng = StdRng::seed_from_u64(10);
-        assert!(
-            RandomForestRegressor::fit(&x, &[], &ForestConfig::default(), &mut rng).is_err()
-        );
+        assert!(RandomForestRegressor::fit(&x, &[], &ForestConfig::default(), &mut rng).is_err());
     }
 }

@@ -227,8 +227,7 @@ impl GbdtRegressor {
             let grad: Vec<f64> = pred.iter().zip(targets).map(|(p, t)| p - t).collect();
             all_rows.shuffle(rng);
             let keep = ((n as f64 * config.subsample).ceil() as usize).clamp(1, n);
-            let tree =
-                RegressionTree::fit(&columns, &grad, &hess, &all_rows[..keep], &params, rng);
+            let tree = RegressionTree::fit(&columns, &grad, &hess, &all_rows[..keep], &params, rng);
             for (r, p) in pred.iter_mut().enumerate() {
                 *p += config.learning_rate * tree.predict_dense_row(x.row(r));
             }
@@ -278,9 +277,7 @@ mod tests {
             } else {
                 rng.gen_range(0.8..1.2)
             };
-            rows.push(
-                SparseVec::from_pairs(2, vec![(0, r * a.cos()), (1, r * a.sin())]).unwrap(),
-            );
+            rows.push(SparseVec::from_pairs(2, vec![(0, r * a.cos()), (1, r * a.sin())]).unwrap());
             labels.push(y);
         }
         (CsrMatrix::from_sparse_rows(&rows).unwrap(), labels)

@@ -45,11 +45,7 @@ impl Default for LrConfig {
 /// learning rate.
 pub fn default_lr_grid() -> Vec<LrConfig> {
     let mut grid = Vec::new();
-    for penalty in [
-        Penalty::L2(1e-4),
-        Penalty::L2(1e-3),
-        Penalty::L1(1e-4),
-    ] {
+    for penalty in [Penalty::L2(1e-4), Penalty::L2(1e-3), Penalty::L1(1e-4)] {
         for learning_rate in [0.1, 0.03] {
             grid.push(LrConfig {
                 penalty,
@@ -229,8 +225,7 @@ mod tests {
     fn learns_separable_blobs() {
         let (x, y) = blobs(200, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let model =
-            LogisticRegression::fit(&x, &y, 2, &LrConfig::default(), &mut rng).unwrap();
+        let model = LogisticRegression::fit(&x, &y, 2, &LrConfig::default(), &mut rng).unwrap();
         let pred = model.predict_proba(&x).argmax_rows();
         let labels: Vec<usize> = y.iter().map(|&l| l as usize).collect();
         assert!(lvp_stats::accuracy(&pred, &labels) > 0.97);
@@ -240,8 +235,7 @@ mod tests {
     fn probabilities_are_normalized() {
         let (x, y) = blobs(50, 3);
         let mut rng = StdRng::seed_from_u64(4);
-        let model =
-            LogisticRegression::fit(&x, &y, 2, &LrConfig::default(), &mut rng).unwrap();
+        let model = LogisticRegression::fit(&x, &y, 2, &LrConfig::default(), &mut rng).unwrap();
         let p = model.predict_proba(&x);
         for row in p.row_iter() {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -306,9 +300,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         assert!(LogisticRegression::fit(&x, &[], 2, &LrConfig::default(), &mut rng).is_err());
         let (x, _) = blobs(10, 1);
-        assert!(
-            LogisticRegression::fit(&x, &[0, 1], 2, &LrConfig::default(), &mut rng).is_err()
-        );
+        assert!(LogisticRegression::fit(&x, &[0, 1], 2, &LrConfig::default(), &mut rng).is_err());
     }
 
     #[test]
@@ -318,8 +310,7 @@ mod tests {
         // SGDClassifier overflows).
         let (x, y) = blobs(100, 10);
         let mut rng = StdRng::seed_from_u64(11);
-        let model =
-            LogisticRegression::fit(&x, &y, 2, &LrConfig::default(), &mut rng).unwrap();
+        let model = LogisticRegression::fit(&x, &y, 2, &LrConfig::default(), &mut rng).unwrap();
         let huge =
             CsrMatrix::from_sparse_rows(&[
                 SparseVec::from_pairs(2, vec![(0, 1e12), (1, -1e12)]).unwrap()

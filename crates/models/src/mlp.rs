@@ -201,11 +201,7 @@ fn csr_transpose_matmul(x: &CsrMatrix, dense: &DenseMatrix) -> DenseMatrix {
 
 /// Zeroes gradient entries where the pre-activation was non-positive.
 fn mask_relu_grad(grad: &mut DenseMatrix, pre_activation: &DenseMatrix) {
-    for (g, &z) in grad
-        .data_mut()
-        .iter_mut()
-        .zip(pre_activation.data().iter())
-    {
+    for (g, &z) in grad.data_mut().iter_mut().zip(pre_activation.data().iter()) {
         *g *= relu_grad(z);
     }
 }
@@ -302,13 +298,11 @@ mod tests {
 
     #[test]
     fn csr_transpose_matmul_matches_dense() {
-        let d = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 4.0]])
-            .unwrap();
+        let d = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let x = CsrMatrix::from_dense(&d);
         let g = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
         let got = csr_transpose_matmul(&x, &g);
         let want = d.transpose().matmul(&g).unwrap();
         assert_eq!(got, want);
     }
-
 }

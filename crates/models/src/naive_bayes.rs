@@ -136,8 +136,7 @@ impl Classifier for GaussianNaiveBayes {
             for c in 0..d {
                 let var = self.variances.get(k, c);
                 let mean = self.means.get(k, c);
-                acc += -0.5 * (2.0 * std::f64::consts::PI * var).ln()
-                    - 0.5 * mean * mean / var;
+                acc += -0.5 * (2.0 * std::f64::consts::PI * var).ln() - 0.5 * mean * mean / var;
             }
             zero_ll[k] = acc;
         }

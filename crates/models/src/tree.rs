@@ -248,9 +248,7 @@ impl RegressionTree {
                 if !threshold.is_finite() || threshold < v || threshold >= v_next {
                     continue;
                 }
-                if gain > params.min_gain
-                    && best.as_ref().is_none_or(|b| gain > b.gain)
-                {
+                if gain > params.min_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
                     best = Some(SplitCandidate {
                         feature: f,
                         threshold,

@@ -20,5 +20,7 @@ pub use metrics::{
     accuracy, auc_binary, confusion_binary, f1_score, mean_absolute_error, precision_recall_f1,
     BinaryConfusion,
 };
-pub use percentile::{percentile_sorted, percentiles, vigintile_grid, VIGINTILE_COUNT};
+pub use percentile::{
+    percentile_sorted, percentiles, vigintile_grid, PercentileScratch, VIGINTILE_COUNT,
+};
 pub use tests::{bonferroni_alpha, chi2_gof_test, chi2_test_counts, ks_two_sample, TestOutcome};

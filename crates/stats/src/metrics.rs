@@ -8,11 +8,7 @@ pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    let hits = predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p == a)
-        .count();
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
     hits as f64 / predicted.len() as f64
 }
 
@@ -143,11 +139,16 @@ mod tests {
 
     #[test]
     fn confusion_counts() {
-        let c = confusion_binary(
-            &[true, true, false, false],
-            &[true, false, true, false],
+        let c = confusion_binary(&[true, true, false, false], &[true, false, true, false]);
+        assert_eq!(
+            c,
+            BinaryConfusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
         );
-        assert_eq!(c, BinaryConfusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
     }
 
     #[test]
@@ -163,7 +164,12 @@ mod tests {
 
     #[test]
     fn precision_recall_hand_case() {
-        let c = BinaryConfusion { tp: 6, fp: 2, tn: 0, fn_: 4 };
+        let c = BinaryConfusion {
+            tp: 6,
+            fp: 2,
+            tn: 0,
+            fn_: 4,
+        };
         let (p, r, f1) = precision_recall_f1(&c);
         assert!((p - 0.75).abs() < 1e-12);
         assert!((r - 0.6).abs() < 1e-12);

@@ -35,12 +35,48 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Non-finite values are dropped first; if nothing remains, all outputs are
 /// 0.0 (a neutral featurization for an empty batch).
 pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
-    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
-    if v.is_empty() {
-        return vec![0.0; qs.len()];
+    let mut out = Vec::with_capacity(qs.len());
+    PercentileScratch::new().extend_percentiles(values.iter().copied(), qs, &mut out);
+    out
+}
+
+/// Reusable sort buffer for repeated percentile computations.
+///
+/// Featurizing a probability matrix computes the same percentile grid once
+/// per class column; reusing one scratch buffer across columns (and across
+/// batches) sorts in place without a fresh allocation per call.
+#[derive(Debug, Default)]
+pub struct PercentileScratch {
+    buf: Vec<f64>,
+}
+
+impl PercentileScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
     }
-    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    qs.iter().map(|&q| percentile_sorted(&v, q)).collect()
+
+    /// Appends the requested percentiles of `values` to `out`, using the
+    /// internal buffer for the sort. Semantics match [`percentiles`]:
+    /// non-finite values are dropped, and an empty input yields 0.0 for
+    /// every requested percentile.
+    pub fn extend_percentiles(
+        &mut self,
+        values: impl IntoIterator<Item = f64>,
+        qs: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        self.buf.clear();
+        self.buf
+            .extend(values.into_iter().filter(|x| x.is_finite()));
+        if self.buf.is_empty() {
+            out.extend(std::iter::repeat_n(0.0, qs.len()));
+            return;
+        }
+        self.buf
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        out.extend(qs.iter().map(|&q| percentile_sorted(&self.buf, q)));
+    }
 }
 
 /// The paper's percentile grid: 0, 5, 10, …, 100.

@@ -135,12 +135,15 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // Γ(n) = (n-1)!
-        let cases = [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)];
+        let cases = [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (7.0, 720.0),
+        ];
         for (x, fact) in cases {
-            assert!(
-                (ln_gamma(x) - f64::ln(fact)).abs() < 1e-10,
-                "ln_gamma({x})"
-            );
+            assert!((ln_gamma(x) - f64::ln(fact)).abs() < 1e-10, "ln_gamma({x})");
         }
     }
 
@@ -165,7 +168,7 @@ mod tests {
     fn gamma_p_known_value() {
         // P(1, x) = 1 - exp(-x)
         for &x in &[0.1, 1.0, 3.0] {
-            assert!((gamma_p(1.0, x) - (1.0 - (-x as f64).exp())).abs() < 1e-10);
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-10);
         }
     }
 

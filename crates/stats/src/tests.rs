@@ -165,6 +165,7 @@ pub fn chi2_gof_test(observed: &[f64], expected: &[f64]) -> TestOutcome {
 }
 
 #[cfg(test)]
+#[allow(clippy::module_inception)]
 mod tests {
     use super::*;
     use rand::prelude::*;

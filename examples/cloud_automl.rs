@@ -42,7 +42,10 @@ fn main() {
     // Serve mixture-corrupted batches (the Figure 7 protocol) and compare
     // the predicted against the true accuracy.
     let mixture = Mixture::from_boxes(lvp::corruptions::standard_tabular_suite(serving.schema()));
-    println!("\n{:<10} {:>10} {:>10} {:>8}", "batch", "estimated", "true", "|err|");
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>8}",
+        "batch", "estimated", "true", "|err|"
+    );
     let mut abs_errors = Vec::new();
     for batch_id in 1..=8 {
         let batch = mixture.corrupt(&serving.sample_n(300, &mut rng), &mut rng);

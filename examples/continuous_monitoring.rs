@@ -40,7 +40,10 @@ fn main() {
     // Serialize the artifact — this is what gets shipped to the serving
     // fleet (the model itself stays wherever it is hosted).
     let json = serde_json::to_string(&predictor.to_artifact()).unwrap();
-    println!("serialized predictor artifact: {} bytes of JSON", json.len());
+    println!(
+        "serialized predictor artifact: {} bytes of JSON",
+        json.len()
+    );
 
     // --- Serving side ----------------------------------------------------
     let artifact: lvp_core::PredictorArtifact = serde_json::from_str(&json).unwrap();
@@ -58,7 +61,10 @@ fn main() {
     // A two-week batch stream: days 6-9 ship a unit bug in blood pressure.
     let ap_hi = serving.schema().index_of("ap_hi").expect("column exists");
     let bug = Scaling::for_columns(vec![ap_hi]);
-    println!("\n{:<5} {:>10} {:>10} {:>10} {:>8}", "day", "estimate", "smoothed", "violation", "alarm");
+    println!(
+        "\n{:<5} {:>10} {:>10} {:>10} {:>8}",
+        "day", "estimate", "smoothed", "violation", "alarm"
+    );
     for day in 1..=14 {
         let batch = serving.sample_n(250, &mut rng);
         let batch = if (6..=9).contains(&day) {
@@ -77,5 +83,8 @@ fn main() {
         );
     }
     let alarms = monitor.history().iter().filter(|r| r.alarm).count();
-    println!("\n{alarms} alarming batches out of {}", monitor.history().len());
+    println!(
+        "\n{alarms} alarming batches out of {}",
+        monitor.history().len()
+    );
 }

@@ -5,13 +5,12 @@
 //! A bank marketing model scores daily batches of customers. On day 4 an
 //! engineer "accidentally" ships a preprocessing bug that records call
 //! durations in milliseconds instead of seconds (a scaling error), and on
-//! day 6 a broken join starts nulling out the `poutcome` column. The
-//! deployed performance validator must flag exactly the broken days.
+//! day 6 a broken join starts nulling out the `poutcome` and `duration`
+//! columns. The deployed performance validator must flag the broken days.
 //!
 //! Run with `cargo run --release --example deposit_campaign_monitoring`.
 
 use lvp::prelude::*;
-use lvp_corruptions::{MissingValues, Scaling};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -48,15 +47,40 @@ fn main() {
     // missing-value bug.
     let duration_col = test.schema().index_of("duration").expect("column exists");
     let poutcome_col = test.schema().index_of("poutcome").expect("column exists");
-    let scaling_bug = Scaling::for_columns(vec![duration_col]);
-    let missing_bug = MissingValues::for_columns(vec![poutcome_col]);
 
-    println!("\n{:<6} {:>12} {:>12} {:>10} {:>9}", "day", "true acc", "confidence", "verdict", "actual");
+    // Unlike the *training-time* generators, which draw a random affected
+    // fraction per run, a shipped preprocessing bug is systematic: it hits
+    // every row of every batch until someone reverts it.
+    let scaling_bug = |batch: &lvp_dataframe::DataFrame| {
+        let mut broken = batch.clone();
+        let values = broken
+            .column_mut(duration_col)
+            .as_numeric_mut()
+            .expect("duration is numeric");
+        for v in values.iter_mut().flatten() {
+            *v *= 1_000.0; // milliseconds instead of seconds
+        }
+        broken
+    };
+    let missing_bug = |batch: &lvp_dataframe::DataFrame| {
+        let mut broken = batch.clone();
+        for col in [poutcome_col, duration_col] {
+            for row in 0..broken.n_rows() {
+                broken.column_mut(col).set_null(row); // broken join
+            }
+        }
+        broken
+    };
+
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>10} {:>9}",
+        "day", "true acc", "confidence", "verdict", "actual"
+    );
     for day in 1..=8 {
-        let batch = serving_pool.sample_n(250, &mut rng);
+        let batch = serving_pool.sample_n(500, &mut rng);
         let batch = match day {
-            4 | 5 => scaling_bug.corrupt(&batch, &mut rng),
-            6 | 7 => missing_bug.corrupt(&batch, &mut rng),
+            4 | 5 => scaling_bug(&batch),
+            6 | 7 => missing_bug(&batch),
             _ => batch,
         };
         let outcome = validator.validate(&batch).unwrap();
@@ -67,7 +91,11 @@ fn main() {
             day,
             true_acc,
             outcome.confidence,
-            if outcome.within_threshold { "TRUST" } else { "ALARM" },
+            if outcome.within_threshold {
+                "TRUST"
+            } else {
+                "ALARM"
+            },
             if actually_ok { "ok" } else { "broken" },
         );
     }

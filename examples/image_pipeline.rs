@@ -39,7 +39,10 @@ fn main() {
     let noise = ImageNoise::all_images(serving.schema());
     let rotation = ImageRotation::all_images(serving.schema());
 
-    println!("\n{:<18} {:>10} {:>12} {:>10}", "batch", "true acc", "confidence", "verdict");
+    println!(
+        "\n{:<18} {:>10} {:>12} {:>10}",
+        "batch", "true acc", "confidence", "verdict"
+    );
     let cases: Vec<(&str, lvp_dataframe::DataFrame)> = vec![
         ("clean", serving.clone()),
         ("sensor noise", noise.corrupt(&serving, &mut rng)),
@@ -57,7 +60,11 @@ fn main() {
             name,
             truth,
             outcome.confidence,
-            if outcome.within_threshold { "TRUST" } else { "ALARM" },
+            if outcome.within_threshold {
+                "TRUST"
+            } else {
+                "ALARM"
+            },
         );
     }
 }

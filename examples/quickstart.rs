@@ -44,7 +44,10 @@ fn main() {
     //    clean, then increasingly corrupted. We print the true accuracy
     //    next to the estimate only because this demo has labels; the
     //    predictor never sees them.
-    println!("\n{:<28} {:>10} {:>10} {:>8}", "serving batch", "estimated", "true", "|err|");
+    println!(
+        "\n{:<28} {:>10} {:>10} {:>8}",
+        "serving batch", "estimated", "true", "|err|"
+    );
     let clean_est = predictor.predict(&serving).unwrap();
     let clean_true = lvp::models::model_accuracy(model.as_ref(), &serving);
     println!(

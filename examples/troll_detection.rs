@@ -40,10 +40,19 @@ fn main() {
     // Simulate attack waves of increasing intensity by converting a growing
     // share of serving tweets to leetspeak.
     let attack = AdversarialLeetspeak::all_text(serving.schema());
-    println!("\n{:<22} {:>10} {:>10} {:>8}", "batch", "estimated", "true", "|err|");
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>8}",
+        "batch", "estimated", "true", "|err|"
+    );
     let est = predictor.predict(&serving).unwrap();
     let truth = lvp::models::model_accuracy(model.as_ref(), &serving);
-    println!("{:<22} {:>10.3} {:>10.3} {:>8.3}", "no attack", est, truth, (est - truth).abs());
+    println!(
+        "{:<22} {:>10.3} {:>10.3} {:>8.3}",
+        "no attack",
+        est,
+        truth,
+        (est - truth).abs()
+    );
     for wave in 1..=4 {
         let mut batch = serving.clone();
         // Layer the attack: each wave re-corrupts, increasing coverage.

@@ -102,7 +102,11 @@ fn cmd_datagen(args: &Args) -> Result<(), String> {
     };
     let csv = write_csv_string(&df).map_err(|e| e.to_string())?;
     std::fs::write(&out, csv).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
-    println!("wrote {} rows of '{dataset}' to {}", df.n_rows(), out.display());
+    println!(
+        "wrote {} rows of '{dataset}' to {}",
+        df.n_rows(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -132,10 +136,8 @@ fn cmd_estimate(args: &Args, validate: bool) -> Result<(), String> {
     let kind = model_kind(args)?;
     let mut rng = StdRng::seed_from_u64(seed_of(args));
 
-    let source =
-        read_csv_file(&train_path, label, &options).map_err(|e| e.to_string())?;
-    let serving =
-        read_csv_file(&serving_path, label, &options).map_err(|e| e.to_string())?;
+    let source = read_csv_file(&train_path, label, &options).map_err(|e| e.to_string())?;
+    let serving = read_csv_file(&serving_path, label, &options).map_err(|e| e.to_string())?;
     if serving.schema() != source.schema() {
         return Err("training and serving files must share the same feature columns".into());
     }
@@ -146,9 +148,8 @@ fn cmd_estimate(args: &Args, validate: bool) -> Result<(), String> {
         source.n_rows()
     );
     let (train, test) = source.split_frac(0.7, &mut rng);
-    let model: Arc<dyn BlackBoxModel> = Arc::from(
-        train_model_quick(kind, &train, &mut rng).map_err(|e| e.to_string())?,
-    );
+    let model: Arc<dyn BlackBoxModel> =
+        Arc::from(train_model_quick(kind, &train, &mut rng).map_err(|e| e.to_string())?);
     let test_acc = lvp::models::model_accuracy(model.as_ref(), &test);
     eprintln!("held-out test accuracy: {test_acc:.4}");
 

@@ -1,8 +1,11 @@
 //! Determinism: every pipeline stage must be reproducible under a fixed
 //! seed — a requirement for debuggable experiments.
 
-use lvp_core::{PerformancePredictor, PredictorConfig};
-use lvp_corruptions::{standard_tabular_suite, ErrorGen};
+use lvp_core::{
+    generate_training_examples_seeded, Metric, PerformancePredictor, PredictorConfig,
+    TrainingExample,
+};
+use lvp_corruptions::standard_tabular_suite;
 use lvp_models::{train_model_quick, BlackBoxModel, ModelKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,16 +51,66 @@ fn predictor_estimates_are_deterministic() {
         let model: Arc<dyn BlackBoxModel> =
             Arc::from(train_model_quick(ModelKind::Lr, &train, &mut rng).unwrap());
         let gens = standard_tabular_suite(test.schema());
-        let predictor = PerformancePredictor::fit(
-            model,
-            &test,
-            &gens,
-            &PredictorConfig::fast(),
-            &mut rng,
-        )
-        .unwrap();
+        let predictor =
+            PerformancePredictor::fit(model, &test, &gens, &PredictorConfig::fast(), &mut rng)
+                .unwrap();
         predictor.predict(&serving).unwrap()
     };
 
     assert_eq!(estimate(11), estimate(11));
+}
+
+/// Fixture for the batch-engine determinism tests: a trained model, the
+/// test frame and the generator suite.
+fn engine_fixture() -> (Arc<dyn BlackBoxModel>, lvp_dataframe::DataFrame) {
+    let df = lvp::datasets::income(300, &mut StdRng::seed_from_u64(21));
+    let (train, test) = df.split_frac(0.6, &mut StdRng::seed_from_u64(22));
+    let model: Arc<dyn BlackBoxModel> = Arc::from(
+        train_model_quick(ModelKind::Lr, &train, &mut StdRng::seed_from_u64(23)).unwrap(),
+    );
+    (model, test)
+}
+
+fn generate(
+    model: &dyn BlackBoxModel,
+    test: &lvp_dataframe::DataFrame,
+    master_seed: u64,
+    parallel: bool,
+) -> Vec<TrainingExample> {
+    let gens = standard_tabular_suite(test.schema());
+    generate_training_examples_seeded(
+        model,
+        test,
+        &gens,
+        8,
+        4,
+        Metric::Accuracy,
+        master_seed,
+        parallel,
+    )
+}
+
+#[test]
+fn parallel_generation_is_bit_identical_to_sequential() {
+    let (model, test) = engine_fixture();
+    let sequential = generate(model.as_ref(), &test, 77, false);
+    let parallel = generate(model.as_ref(), &test, 77, true);
+    assert_eq!(sequential, parallel);
+    // And a different master seed genuinely changes the stream.
+    assert_ne!(sequential, generate(model.as_ref(), &test, 78, false));
+}
+
+#[test]
+fn generation_is_identical_across_thread_counts() {
+    let (model, test) = engine_fixture();
+    let run_with = |threads: usize| -> Vec<TrainingExample> {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| generate(model.as_ref(), &test, 55, true))
+    };
+    let one = run_with(1);
+    let four = run_with(4);
+    assert_eq!(one, four);
 }

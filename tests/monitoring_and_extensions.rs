@@ -168,8 +168,7 @@ fn calibrated_pipeline_remains_a_valid_black_box() {
     let featurizer = FeaturePipeline::fit(&train, &PipelineConfig::default());
     let x_train = featurizer.transform(&train);
     let nb =
-        GaussianNaiveBayes::fit(&x_train, train.labels(), 2, &NaiveBayesConfig::default())
-            .unwrap();
+        GaussianNaiveBayes::fit(&x_train, train.labels(), 2, &NaiveBayesConfig::default()).unwrap();
     let x_calib = featurizer.transform(&calib);
     let calibrated = PlattCalibrated::fit(nb, &x_calib, calib.labels()).unwrap();
     let proba = calibrated.predict_proba(&x_calib);

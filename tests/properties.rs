@@ -1,6 +1,6 @@
 //! Property-based tests over the workspace's core invariants.
 
-use lvp_corruptions::{standard_tabular_suite, ErrorGen};
+use lvp_corruptions::standard_tabular_suite;
 use lvp_dataframe::{CellValue, ColumnType, DataFrameBuilder, Field, Schema};
 use lvp_featurize::{FeaturePipeline, PipelineConfig};
 use lvp_linalg::{stable_softmax, DenseMatrix};
@@ -150,6 +150,43 @@ proptest! {
         let f2 = lvp_core::prediction_statistics(&m2);
         for (a, b) in f1.iter().zip(&f2) {
             prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cow_frames_match_deep_copied_frames_under_corruption(
+        nums in prop::collection::vec(-1000f64..1000.0, 4..60),
+        cats in prop::collection::vec(0u8..255, 4..60),
+        seed in 0u64..1000,
+    ) {
+        let df = build_frame(&nums, &cats);
+        // `deep_clone` physically copies every column, so corrupting it
+        // exercises the plain ownership path; corrupting the CoW clone must
+        // produce value-identical output and leave the original untouched.
+        let original = df.deep_clone();
+        let mut gens = standard_tabular_suite(df.schema());
+        gens.extend(lvp_corruptions::extended_tabular_suite(df.schema()));
+        for gen in gens {
+            let deep = gen.corrupt(&df.deep_clone(), &mut StdRng::seed_from_u64(seed));
+            let cow = gen.corrupt(&df.clone(), &mut StdRng::seed_from_u64(seed));
+            prop_assert_eq!(&cow, &deep, "{}", gen.name());
+            prop_assert_eq!(&df, &original, "{} mutated its input", gen.name());
+            // Row re-selectors (empty touched set) rebuild storage even when
+            // the row count happens to be unchanged, so only value-mutating
+            // generators carry the sharing guarantee.
+            let touched = gen.touched_columns(&df);
+            if cow.n_rows() == df.n_rows() && !touched.is_empty() {
+                // Every column the generator did not declare still shares
+                // storage with the input frame.
+                for col in 0..df.n_cols() {
+                    if !touched.contains(&col) {
+                        prop_assert!(
+                            df.shares_column_storage(&cow, col),
+                            "{} copied undeclared column {}", gen.name(), col
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -77,8 +77,8 @@ fn validator_beats_chance_on_mixture_corruption() {
         } else {
             mixture.corrupt(&batch, &mut rng)
         };
-        let truth_ok = model_accuracy(s.model.as_ref(), &batch)
-            >= (1.0 - 0.05) * s.validator.test_score();
+        let truth_ok =
+            model_accuracy(s.model.as_ref(), &batch) >= (1.0 - 0.05) * s.validator.test_score();
         let predicted_ok = s.validator.validate(&batch).unwrap().within_threshold;
         if truth_ok == predicted_ok {
             correct += 1;
@@ -106,8 +106,8 @@ fn validator_generalizes_to_unknown_errors() {
         } else {
             unknown.corrupt(&batch, &mut rng)
         };
-        let truth_ok = model_accuracy(s.model.as_ref(), &batch)
-            >= (1.0 - 0.10) * s.validator.test_score();
+        let truth_ok =
+            model_accuracy(s.model.as_ref(), &batch) >= (1.0 - 0.10) * s.validator.test_score();
         let predicted_ok = s.validator.validate(&batch).unwrap().within_threshold;
         if truth_ok == predicted_ok {
             correct += 1;
@@ -134,7 +134,10 @@ fn baselines_alarm_under_catastrophic_scaling() {
     let rel = RelationalShiftDetector::new(s.test.clone());
     let bbse = BbseDetector::new(Arc::clone(&s.model), &s.test);
     assert!(rel.detects_shift(&broken), "REL must see the scale shift");
-    assert!(bbse.detects_shift(&broken), "BBSE must see the output shift");
+    assert!(
+        bbse.detects_shift(&broken),
+        "BBSE must see the output shift"
+    );
     assert!(
         !s.validator.validate(&broken).unwrap().within_threshold,
         "validator must alarm"
