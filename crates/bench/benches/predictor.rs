@@ -37,7 +37,7 @@ fn bench_predictor(c: &mut Criterion) {
     });
     let proba = model.predict_proba(&test);
     c.bench_function("predictor_predict_from_outputs", |b| {
-        b.iter(|| predictor.predict_from_outputs(&proba))
+        b.iter(|| predictor.predict_from_outputs(&proba).unwrap())
     });
 }
 

@@ -33,7 +33,10 @@ pub use engine::{
 };
 pub use features::{feature_dimensionality, prediction_statistics};
 pub use monitor::{BatchMonitor, BatchReport, MonitorPolicy};
-pub use persistence::{MetricTag, PredictorArtifact};
+pub use persistence::{
+    from_json, load_json, save_json, to_json, verdicts_identical, MetricTag, MonitorArtifact,
+    PredictorArtifact, ValidatorArtifact, ARTIFACT_VERSION,
+};
 pub use predictor::{
     generate_training_examples, PerformancePredictor, PredictorConfig, TrainingExample,
 };

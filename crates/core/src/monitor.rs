@@ -11,9 +11,10 @@
 
 use crate::{CoreError, PerformancePredictor};
 use lvp_dataframe::DataFrame;
+use serde::{Deserialize, Serialize};
 
 /// Alarm policy for a [`BatchMonitor`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MonitorPolicy {
     /// Acceptable relative score drop against the test score (e.g. 0.05).
     pub threshold: f64,
@@ -37,14 +38,21 @@ impl Default for MonitorPolicy {
 /// The monitor's verdict on one batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchReport {
-    /// Sequence number of the batch (starting at 0).
+    /// Sequence number of the batch (starting at 0, monotonically
+    /// increasing across restarts restored from a
+    /// [`MonitorArtifact`](crate::MonitorArtifact)).
     pub batch_index: usize,
     /// Raw estimated score for this batch.
     pub estimate: f64,
     /// EWMA-smoothed estimate.
     pub smoothed: f64,
-    /// Whether this batch individually violates the threshold.
-    pub violation: bool,
+    /// Whether this batch's *raw* estimate individually violates the
+    /// threshold (diagnostics; a single noisy batch can trip this while
+    /// the smoothed signal stays healthy).
+    pub raw_violation: bool,
+    /// Whether the *EWMA-smoothed* estimate violates the threshold — the
+    /// signal the debounce streak and the alarm are driven by.
+    pub smoothed_violation: bool,
     /// Whether the debounced alarm is firing.
     pub alarm: bool,
 }
@@ -57,6 +65,10 @@ pub struct BatchMonitor {
     history: Vec<BatchReport>,
     smoothed: Option<f64>,
     violation_streak: usize,
+    /// Total batches observed, including ones observed before a restart
+    /// (restored from a [`MonitorArtifact`](crate::MonitorArtifact));
+    /// `history` only holds this process's reports.
+    batches_seen: usize,
 }
 
 impl BatchMonitor {
@@ -77,6 +89,7 @@ impl BatchMonitor {
             history: Vec::new(),
             smoothed: None,
             violation_streak: 0,
+            batches_seen: 0,
         })
     }
 
@@ -97,19 +110,22 @@ impl BatchMonitor {
         self.smoothed = Some(smoothed);
 
         let cutoff = (1.0 - self.policy.threshold) * self.predictor.test_score();
-        let violation = smoothed < cutoff;
-        if violation {
+        let raw_violation = estimate < cutoff;
+        let smoothed_violation = smoothed < cutoff;
+        if smoothed_violation {
             self.violation_streak += 1;
         } else {
             self.violation_streak = 0;
         }
         let report = BatchReport {
-            batch_index: self.history.len(),
+            batch_index: self.batches_seen,
             estimate,
             smoothed,
-            violation,
+            raw_violation,
+            smoothed_violation,
             alarm: self.violation_streak >= self.policy.consecutive_violations,
         };
+        self.batches_seen += 1;
         self.history.push(report);
         report
     }
@@ -134,11 +150,42 @@ impl BatchMonitor {
         self.policy
     }
 
+    /// Total batches observed, including any observed before a restore.
+    pub fn batches_seen(&self) -> usize {
+        self.batches_seen
+    }
+
+    /// The current EWMA value, if any batch has been observed.
+    pub fn smoothed(&self) -> Option<f64> {
+        self.smoothed
+    }
+
+    /// The current consecutive-violation streak.
+    pub fn violation_streak(&self) -> usize {
+        self.violation_streak
+    }
+
     /// Resets the alarm state and history (e.g. after remediation).
     pub fn reset(&mut self) {
         self.history.clear();
         self.smoothed = None;
         self.violation_streak = 0;
+        self.batches_seen = 0;
+    }
+
+    /// Reassembles a monitor from persisted state (persistence support).
+    pub(crate) fn from_parts(
+        predictor: PerformancePredictor,
+        policy: MonitorPolicy,
+        smoothed: Option<f64>,
+        violation_streak: usize,
+        batches_seen: usize,
+    ) -> Result<Self, CoreError> {
+        let mut monitor = Self::new(predictor, policy)?;
+        monitor.smoothed = smoothed;
+        monitor.violation_streak = violation_streak;
+        monitor.batches_seen = batches_seen;
+        Ok(monitor)
     }
 }
 
@@ -201,7 +248,8 @@ mod tests {
             corrupted.column_mut(1).set_null(row);
         }
         let r1 = m.observe(&corrupted).unwrap();
-        assert!(r1.violation);
+        assert!(r1.raw_violation);
+        assert!(r1.smoothed_violation);
         assert!(!r1.alarm, "first violation must not alarm yet");
         let r2 = m.observe(&corrupted).unwrap();
         assert!(r2.alarm, "second consecutive violation alarms");
@@ -237,6 +285,28 @@ mod tests {
         assert!((r2.smoothed - 0.5).abs() < 1e-12);
         let r3 = m.observe_estimate(0.0);
         assert!((r3.smoothed - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_and_smoothed_violations_can_diverge() {
+        let (mut m, _) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            consecutive_violations: 2,
+            ewma_alpha: 0.2,
+        });
+        // Warm the EWMA well above the cutoff, then inject one terrible
+        // batch: the raw estimate violates, the smoothed signal holds
+        // (with α = 0.2 the EWMA only drops to 0.8, above the cutoff
+        // (1 − 0.2) · test_score ≤ 0.8).
+        m.observe_estimate(1.0);
+        let r = m.observe_estimate(0.0);
+        assert!(r.raw_violation, "{r:?}");
+        assert!(!r.smoothed_violation, "{r:?}");
+        assert_eq!(
+            m.violation_streak(),
+            0,
+            "streak follows the smoothed signal"
+        );
     }
 
     #[test]

@@ -1,33 +1,93 @@
-//! Serialization of fitted performance predictors.
+//! Serialization of the whole serving stack: predictor, validator and
+//! monitor artifacts.
 //!
-//! A predictor is deployed *alongside* a model (Figure 1b), typically in a
-//! different process or machine than where it was trained. A
-//! [`PredictorArtifact`] captures everything except the black box model
-//! itself (which lives wherever it lives — a cloud endpoint, a vendored
-//! binary): the fitted meta-regressor, the metric, and the reference test
-//! score. Serialize it with any serde format; at load time, reattach the
-//! model handle.
+//! A predictor or validator is deployed *alongside* a model (Figure 1b),
+//! typically in a different process or machine than where it was trained,
+//! and the monitor wrapping them is a long-lived process that must survive
+//! restarts without losing its debounce state. Each artifact captures
+//! everything except the black box model itself (which lives wherever it
+//! lives — a cloud endpoint, a vendored binary): the fitted meta-model,
+//! the metric, the reference test score, and the input contract the
+//! serving side must honour (schema fingerprint + class count). Serialize
+//! with any serde format — [`to_json`]/[`save_json`] cover the common
+//! JSON-file case; at load time, reattach the model handle.
+//!
+//! ## The input contract
+//!
+//! Every artifact records the fit-time [`Schema::fingerprint`] of the
+//! held-out test frame and the model's class count. At restore time the
+//! class count is checked against the reattached model, and at serving
+//! time every frame (and every raw output matrix) is checked before
+//! featurization — a mismatched frame returns [`CoreError`] instead of
+//! silently mis-featurizing.
+//!
+//! [`Schema::fingerprint`]: lvp_dataframe::Schema::fingerprint
 
-use crate::{CoreError, Metric, PerformancePredictor};
+use crate::{BatchMonitor, CoreError, Metric, MonitorPolicy, PerformancePredictor};
+use crate::{PerformanceValidator, ValidationOutcome};
+use lvp_linalg::DenseMatrix;
 use lvp_models::forest::RandomForestRegressor;
+use lvp_models::gbdt::GbdtClassifier;
 use lvp_models::BlackBoxModel;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::sync::Arc;
 
-/// Serializable snapshot of a fitted [`PerformancePredictor`], minus the
-/// black box model it monitors.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct PredictorArtifact {
-    /// Format version for forward compatibility.
-    pub version: u32,
-    /// The fitted random-forest meta-regressor.
-    pub regressor: RandomForestRegressor,
-    /// The scoring function the predictor estimates.
-    pub metric: MetricTag,
-    /// Reference score on the held-out test data.
-    pub test_score: f64,
-    /// Expected featurization dimensionality (n_classes × 21).
-    pub n_feature_dims: usize,
+/// Current artifact format version, shared by all three artifact types.
+pub const ARTIFACT_VERSION: u32 = 2;
+
+/// Serializes an artifact (or anything serde-serializable) to JSON.
+pub fn to_json<T: Serialize>(artifact: &T) -> Result<String, CoreError> {
+    serde_json::to_string(artifact).map_err(|e| CoreError::new(format!("serialize artifact: {e}")))
+}
+
+/// Deserializes an artifact from JSON.
+pub fn from_json<T: Deserialize>(json: &str) -> Result<T, CoreError> {
+    serde_json::from_str(json).map_err(|e| CoreError::new(format!("deserialize artifact: {e}")))
+}
+
+/// Serializes an artifact to a JSON file.
+pub fn save_json<T: Serialize>(artifact: &T, path: impl AsRef<Path>) -> Result<(), CoreError> {
+    let path = path.as_ref();
+    std::fs::write(path, to_json(artifact)?)
+        .map_err(|e| CoreError::new(format!("write artifact {}: {e}", path.display())))
+}
+
+/// Deserializes an artifact from a JSON file.
+pub fn load_json<T: Deserialize>(path: impl AsRef<Path>) -> Result<T, CoreError> {
+    let path = path.as_ref();
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| CoreError::new(format!("read artifact {}: {e}", path.display())))?;
+    from_json(&json)
+}
+
+fn check_version(kind: &str, version: u32) -> Result<(), CoreError> {
+    // Version 1 artifacts (pre input-contract) are still loadable: their
+    // contract fields deserialize as `None` and the corresponding checks
+    // are skipped.
+    if version == 0 || version > ARTIFACT_VERSION {
+        return Err(CoreError::new(format!(
+            "unsupported {kind} artifact version {version} (supported: 1..={ARTIFACT_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+fn check_model_classes(
+    kind: &str,
+    expected: Option<usize>,
+    model: &dyn BlackBoxModel,
+) -> Result<(), CoreError> {
+    if let Some(expected) = expected {
+        if expected != model.n_classes() {
+            return Err(CoreError::new(format!(
+                "{kind} artifact was fitted for {expected} classes but the \
+                 reattached model produces {}",
+                model.n_classes()
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Serializable counterpart of [`Metric`].
@@ -57,15 +117,39 @@ impl From<MetricTag> for Metric {
     }
 }
 
+/// Serializable snapshot of a fitted [`PerformancePredictor`], minus the
+/// black box model it monitors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictorArtifact {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The fitted random-forest meta-regressor.
+    pub regressor: RandomForestRegressor,
+    /// The scoring function the predictor estimates.
+    pub metric: MetricTag,
+    /// Reference score on the held-out test data.
+    pub test_score: f64,
+    /// Expected featurization dimensionality (n_classes × 21).
+    pub n_feature_dims: usize,
+    /// Class count of the model the predictor was fitted against
+    /// (`None` only in version-1 artifacts).
+    pub n_classes: Option<usize>,
+    /// Fingerprint of the fit-time test schema (`None` in version-1
+    /// artifacts and for predictors fitted from raw examples).
+    pub schema_fingerprint: Option<u64>,
+}
+
 impl PerformancePredictor {
     /// Snapshots the predictor for serialization.
     pub fn to_artifact(&self) -> PredictorArtifact {
         PredictorArtifact {
-            version: 1,
+            version: ARTIFACT_VERSION,
             regressor: self.regressor_clone(),
             metric: self.metric().into(),
             test_score: self.test_score(),
             n_feature_dims: self.feature_dims(),
+            n_classes: Some(self.n_classes()),
+            schema_fingerprint: self.schema_fingerprint(),
         }
     }
 
@@ -76,12 +160,8 @@ impl PerformancePredictor {
         artifact: PredictorArtifact,
         model: Arc<dyn BlackBoxModel>,
     ) -> Result<Self, CoreError> {
-        if artifact.version != 1 {
-            return Err(CoreError::new(format!(
-                "unsupported artifact version {}",
-                artifact.version
-            )));
-        }
+        check_version("predictor", artifact.version)?;
+        check_model_classes("predictor", artifact.n_classes, model.as_ref())?;
         let expected = crate::feature_dimensionality(model.n_classes());
         if artifact.n_feature_dims != expected {
             return Err(CoreError::new(format!(
@@ -95,28 +175,173 @@ impl PerformancePredictor {
             artifact.metric.into(),
             artifact.test_score,
             artifact.n_feature_dims,
+            artifact.schema_fingerprint,
         ))
     }
+}
+
+/// Serializable snapshot of a fitted [`PerformanceValidator`], minus the
+/// black box model. Unlike the predictor, the validator's fitted state
+/// includes the model's retained test-time output columns (the KS features
+/// compare every serving batch against them, §4), so they travel in the
+/// artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidatorArtifact {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The fitted gradient-boosted decision-tree classifier.
+    pub classifier: GbdtClassifier,
+    /// Retained per-class test-time output columns.
+    pub test_columns: Vec<Vec<f64>>,
+    /// Reference score on the held-out test data.
+    pub test_score: f64,
+    /// Acceptable relative quality loss `t`.
+    pub threshold: f64,
+    /// The scoring function the validator decides about.
+    pub metric: MetricTag,
+    /// Whether the KS features against `test_columns` are in use.
+    pub use_ks_features: bool,
+    /// Fingerprint of the fit-time test schema.
+    pub schema_fingerprint: Option<u64>,
+}
+
+impl PerformanceValidator {
+    /// Snapshots the validator for serialization.
+    pub fn to_artifact(&self) -> ValidatorArtifact {
+        ValidatorArtifact {
+            version: ARTIFACT_VERSION,
+            classifier: self.classifier_clone(),
+            test_columns: self.test_columns().to_vec(),
+            test_score: self.test_score(),
+            threshold: self.threshold(),
+            metric: self.metric().into(),
+            use_ks_features: self.use_ks_features(),
+            schema_fingerprint: self.schema_fingerprint(),
+        }
+    }
+
+    /// Restores a validator from an artifact, reattaching the black box
+    /// model. The model must have the same number of classes as at
+    /// training time (the retained test columns are per class).
+    pub fn from_artifact(
+        artifact: ValidatorArtifact,
+        model: Arc<dyn BlackBoxModel>,
+    ) -> Result<Self, CoreError> {
+        check_version("validator", artifact.version)?;
+        check_model_classes(
+            "validator",
+            Some(artifact.test_columns.len()),
+            model.as_ref(),
+        )?;
+        if !(0.0..1.0).contains(&artifact.threshold) {
+            return Err(CoreError::new(
+                "validator artifact threshold must lie in [0, 1)",
+            ));
+        }
+        Ok(Self::from_parts(
+            model,
+            artifact.classifier,
+            artifact.test_columns,
+            artifact.test_score,
+            artifact.threshold,
+            artifact.metric.into(),
+            artifact.use_ks_features,
+            artifact.schema_fingerprint,
+        ))
+    }
+}
+
+/// Serializable snapshot of a [`BatchMonitor`]'s alarm state, minus the
+/// predictor it wraps (persist that separately as a
+/// [`PredictorArtifact`]). Restoring it lets a crashed monitor resume with
+/// its EWMA value and debounce streak intact, so a drop that started
+/// before the crash still alarms on schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorArtifact {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The alarm policy.
+    pub policy: MonitorPolicy,
+    /// Current EWMA value (`None` before the first batch).
+    pub smoothed: Option<f64>,
+    /// Current consecutive-violation streak.
+    pub violation_streak: usize,
+    /// Total batches observed so far (continues the batch numbering).
+    pub batches_seen: usize,
+}
+
+impl BatchMonitor {
+    /// Snapshots the monitor's policy and alarm state for serialization.
+    pub fn to_artifact(&self) -> MonitorArtifact {
+        MonitorArtifact {
+            version: ARTIFACT_VERSION,
+            policy: self.policy(),
+            smoothed: self.smoothed(),
+            violation_streak: self.violation_streak(),
+            batches_seen: self.batches_seen(),
+        }
+    }
+
+    /// Restores a monitor from an artifact, reattaching a restored
+    /// predictor. The report history does not survive the restart (ship it
+    /// to a log store if it must), but the EWMA value, debounce streak and
+    /// batch numbering do.
+    pub fn from_artifact(
+        artifact: MonitorArtifact,
+        predictor: PerformancePredictor,
+    ) -> Result<Self, CoreError> {
+        check_version("monitor", artifact.version)?;
+        Self::from_parts(
+            predictor,
+            artifact.policy,
+            artifact.smoothed,
+            artifact.violation_streak,
+            artifact.batches_seen,
+        )
+    }
+}
+
+/// One-call check that a restored validator agrees with the original on a
+/// batch of outputs (deployment smoke-test helper).
+pub fn verdicts_identical(
+    a: &PerformanceValidator,
+    b: &PerformanceValidator,
+    proba: &DenseMatrix,
+) -> Result<bool, CoreError> {
+    let va: ValidationOutcome = a.validate_outputs(proba)?;
+    let vb: ValidationOutcome = b.validate_outputs(proba)?;
+    Ok(va.within_threshold == vb.within_threshold
+        && va.confidence.to_bits() == vb.confidence.to_bits())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::PredictorConfig;
+    use crate::{PredictorConfig, ValidatorConfig};
     use lvp_corruptions::standard_tabular_suite;
     use lvp_dataframe::toy_frame;
     use lvp_models::train_logistic_regression;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    #[test]
-    fn artifact_round_trip_preserves_predictions() {
+    fn fitted() -> (
+        Arc<dyn BlackBoxModel>,
+        lvp_dataframe::DataFrame,
+        lvp_dataframe::DataFrame,
+    ) {
         let df = toy_frame(250);
         let mut rng = StdRng::seed_from_u64(41);
         let (train, rest) = df.split_frac(0.4, &mut rng);
         let (test, serving) = rest.split_frac(0.5, &mut rng);
         let model: Arc<dyn BlackBoxModel> =
             Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
+        (model, test, serving)
+    }
+
+    #[test]
+    fn artifact_round_trip_preserves_predictions() {
+        let (model, test, serving) = fitted();
+        let mut rng = StdRng::seed_from_u64(41);
         let gens = standard_tabular_suite(test.schema());
         let predictor = PerformancePredictor::fit(
             Arc::clone(&model),
@@ -129,22 +354,102 @@ mod tests {
         let before = predictor.predict(&serving).unwrap();
 
         let artifact = predictor.to_artifact();
+        assert_eq!(artifact.version, ARTIFACT_VERSION);
+        assert_eq!(
+            artifact.schema_fingerprint,
+            Some(test.schema().fingerprint())
+        );
         let restored = PerformancePredictor::from_artifact(artifact, model).unwrap();
         let after = restored.predict(&serving).unwrap();
         assert_eq!(before, after);
         assert_eq!(restored.test_score(), predictor.test_score());
+        assert_eq!(
+            restored.schema_fingerprint(),
+            predictor.schema_fingerprint()
+        );
+    }
+
+    #[test]
+    fn validator_artifact_round_trip_preserves_verdicts() {
+        let (model, test, serving) = fitted();
+        let mut rng = StdRng::seed_from_u64(7);
+        let gens = standard_tabular_suite(test.schema());
+        let validator = PerformanceValidator::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &ValidatorConfig::fast(0.08),
+            &mut rng,
+        )
+        .unwrap();
+
+        let json = to_json(&validator.to_artifact()).unwrap();
+        let artifact: ValidatorArtifact = from_json(&json).unwrap();
+        let restored = PerformanceValidator::from_artifact(artifact, Arc::clone(&model)).unwrap();
+
+        let proba = model.predict_proba(&serving);
+        assert!(verdicts_identical(&validator, &restored, &proba).unwrap());
+        assert_eq!(restored.threshold(), validator.threshold());
+        assert_eq!(restored.test_score(), validator.test_score());
+        let before = validator.validate(&serving).unwrap();
+        let after = restored.validate(&serving).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn monitor_artifact_restores_debounce_state() {
+        let (model, test, _) = fitted();
+        let mut rng = StdRng::seed_from_u64(8);
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let policy = MonitorPolicy {
+            threshold: 0.2,
+            consecutive_violations: 3,
+            ewma_alpha: 0.5,
+        };
+        let mut monitor = BatchMonitor::new(predictor, policy).unwrap();
+        // Two violations — one short of the alarm.
+        monitor.observe_estimate(0.0);
+        monitor.observe_estimate(0.0);
+        assert!(!monitor.alarming());
+
+        let json = to_json(&monitor.to_artifact()).unwrap();
+        let artifact: MonitorArtifact = from_json(&json).unwrap();
+        let predictor2 = PerformancePredictor::from_artifact(
+            monitor.predictor().to_artifact(),
+            Arc::clone(&model),
+        )
+        .unwrap();
+        let mut restored = BatchMonitor::from_artifact(artifact, predictor2).unwrap();
+        assert_eq!(restored.batches_seen(), 2);
+        assert_eq!(restored.violation_streak(), 2);
+        assert_eq!(restored.smoothed(), monitor.smoothed());
+
+        // The third violation lands *after* the restart — the streak
+        // carried over, so it alarms exactly on schedule...
+        let r_restored = restored.observe_estimate(0.0);
+        // ...matching what the uninterrupted monitor reports.
+        let r_live = monitor.observe_estimate(0.0);
+        assert_eq!(r_restored, r_live);
+        assert!(r_restored.alarm);
+        assert_eq!(r_restored.batch_index, 2);
     }
 
     #[test]
     fn artifact_rejects_wrong_class_count() {
-        let df = toy_frame(150);
+        let (model, test, _) = fitted();
         let mut rng = StdRng::seed_from_u64(42);
-        let model: Arc<dyn BlackBoxModel> =
-            Arc::from(train_logistic_regression(&df, &mut rng).unwrap());
-        let gens = standard_tabular_suite(df.schema());
+        let gens = standard_tabular_suite(test.schema());
         let predictor = PerformancePredictor::fit(
             Arc::clone(&model),
-            &df,
+            &test,
             &gens,
             &PredictorConfig::fast(),
             &mut rng,
@@ -152,19 +457,36 @@ mod tests {
         .unwrap();
         let mut artifact = predictor.to_artifact();
         artifact.n_feature_dims = 63; // pretend 3 classes
+        artifact.n_classes = Some(3);
         assert!(PerformancePredictor::from_artifact(artifact, model).is_err());
     }
 
     #[test]
-    fn artifact_rejects_unknown_version() {
-        let df = toy_frame(150);
+    fn validator_artifact_rejects_wrong_class_count() {
+        let (model, test, _) = fitted();
         let mut rng = StdRng::seed_from_u64(43);
-        let model: Arc<dyn BlackBoxModel> =
-            Arc::from(train_logistic_regression(&df, &mut rng).unwrap());
-        let gens = standard_tabular_suite(df.schema());
+        let gens = standard_tabular_suite(test.schema());
+        let validator = PerformanceValidator::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &ValidatorConfig::fast(0.05),
+            &mut rng,
+        )
+        .unwrap();
+        let mut artifact = validator.to_artifact();
+        artifact.test_columns.push(vec![0.5; 8]); // pretend 3 classes
+        assert!(PerformanceValidator::from_artifact(artifact, model).is_err());
+    }
+
+    #[test]
+    fn artifact_rejects_unknown_version() {
+        let (model, test, _) = fitted();
+        let mut rng = StdRng::seed_from_u64(43);
+        let gens = standard_tabular_suite(test.schema());
         let predictor = PerformancePredictor::fit(
             Arc::clone(&model),
-            &df,
+            &test,
             &gens,
             &PredictorConfig::fast(),
             &mut rng,
@@ -173,6 +495,60 @@ mod tests {
         let mut artifact = predictor.to_artifact();
         artifact.version = 99;
         assert!(PerformancePredictor::from_artifact(artifact, model).is_err());
+    }
+
+    #[test]
+    fn version_1_predictor_artifacts_still_load() {
+        let (model, test, serving) = fitted();
+        let mut rng = StdRng::seed_from_u64(44);
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut artifact = predictor.to_artifact();
+        // A v1 artifact carries no input contract.
+        artifact.version = 1;
+        artifact.n_classes = None;
+        artifact.schema_fingerprint = None;
+        let json = to_json(&artifact).unwrap();
+        let artifact: PredictorArtifact = from_json(&json).unwrap();
+        let restored = PerformancePredictor::from_artifact(artifact, model).unwrap();
+        // Without a recorded fingerprint the schema check is skipped.
+        assert_eq!(
+            restored.predict(&serving).unwrap(),
+            predictor.predict(&serving).unwrap()
+        );
+    }
+
+    #[test]
+    fn save_and_load_json_round_trip_on_disk() {
+        let (model, test, _) = fitted();
+        let mut rng = StdRng::seed_from_u64(45);
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join("lvp_predictor_artifact_test.json");
+        save_json(&predictor.to_artifact(), &path).unwrap();
+        let artifact: PredictorArtifact = load_json(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(PerformancePredictor::from_artifact(artifact, model).is_ok());
+    }
+
+    #[test]
+    fn load_json_reports_missing_file() {
+        let err = load_json::<PredictorArtifact>("/nonexistent/lvp-artifact.json").unwrap_err();
+        assert!(err.message.contains("read artifact"));
     }
 
     #[test]

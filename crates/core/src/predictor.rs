@@ -84,6 +84,28 @@ pub struct PerformancePredictor {
     metric: Metric,
     test_score: f64,
     n_feature_dims: usize,
+    /// Class count the meta-regressor was trained against; serving output
+    /// matrices with a different width are rejected.
+    n_classes: usize,
+    /// Fingerprint of the held-out test frame's schema, when fitting went
+    /// through a frame (`None` for `fit_from_examples`, which never sees
+    /// one). Serving frames are checked against it before featurization.
+    schema_fingerprint: Option<u64>,
+}
+
+/// Checks a serving frame's schema against the fit-time fingerprint.
+pub(crate) fn check_schema_fingerprint(
+    expected: Option<u64>,
+    serving: &DataFrame,
+) -> Result<(), CoreError> {
+    let actual = serving.schema().fingerprint();
+    match expected {
+        Some(expected) if expected != actual => Err(CoreError::new(format!(
+            "serving frame schema fingerprint {actual:#x} does not match \
+             the fit-time schema fingerprint {expected:#x}"
+        ))),
+        _ => Ok(()),
+    }
 }
 
 /// Runs the data-generation loop of Algorithm 1 (lines 3–12): applies each
@@ -143,7 +165,9 @@ impl PerformancePredictor {
             rng.gen(),
             config.parallel,
         );
-        Self::fit_from_examples(model, examples, test_score, config, rng)
+        let mut predictor = Self::fit_from_examples(model, examples, test_score, config, rng)?;
+        predictor.schema_fingerprint = Some(test.schema().fingerprint());
+        Ok(predictor)
     }
 
     /// Trains the meta-regressor on pre-generated examples (used by the
@@ -158,6 +182,7 @@ impl PerformancePredictor {
         if examples.is_empty() {
             return Err(CoreError::new("no training examples generated"));
         }
+        let model_classes = model.n_classes();
         let n_feature_dims = examples[0].features.len();
         let rows: Vec<Vec<f64>> = examples.iter().map(|e| e.features.clone()).collect();
         let x = DenseMatrix::from_rows(&rows)
@@ -173,10 +198,12 @@ impl PerformancePredictor {
         )?;
         Ok(Self {
             model,
+            n_classes: model_classes,
             regressor,
             metric: config.metric,
             test_score,
             n_feature_dims,
+            schema_fingerprint: None,
         })
     }
 
@@ -186,16 +213,37 @@ impl PerformancePredictor {
         if serving.n_rows() == 0 {
             return Err(CoreError::new("serving batch is empty"));
         }
+        check_schema_fingerprint(self.schema_fingerprint, serving)?;
         let proba = self.model.predict_proba(serving);
-        Ok(self.predict_from_outputs(&proba))
+        self.predict_from_outputs(&proba)
     }
 
     /// Estimates the score directly from a batch of model outputs.
-    pub fn predict_from_outputs(&self, proba: &DenseMatrix) -> f64 {
+    ///
+    /// The output matrix must have exactly as many class columns as the
+    /// model the predictor was fitted against — a mismatched width would
+    /// misalign every percentile block the meta-regressor consumes, so it
+    /// is rejected (in release builds too, not just under debug assertions).
+    pub fn predict_from_outputs(&self, proba: &DenseMatrix) -> Result<f64, CoreError> {
+        if proba.cols() != self.n_classes {
+            return Err(CoreError::new(format!(
+                "output matrix has {} class columns but the predictor was \
+                 fitted for {} classes",
+                proba.cols(),
+                self.n_classes
+            )));
+        }
         let features = prediction_statistics(proba);
-        debug_assert_eq!(features.len(), self.n_feature_dims);
+        if features.len() != self.n_feature_dims {
+            return Err(CoreError::new(format!(
+                "featurization produced {} dims but the meta-regressor \
+                 expects {}",
+                features.len(),
+                self.n_feature_dims
+            )));
+        }
         let x = DenseMatrix::from_rows(&[features]).expect("single feature row");
-        self.regressor.predict(&x)[0].clamp(0.0, 1.0)
+        Ok(self.regressor.predict(&x)[0].clamp(0.0, 1.0))
     }
 
     /// The model's score on the held-out test data (the reference point for
@@ -221,6 +269,16 @@ impl PerformancePredictor {
         self.n_feature_dims
     }
 
+    /// Class count the predictor was fitted against.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Fingerprint of the fit-time test schema, when known.
+    pub fn schema_fingerprint(&self) -> Option<u64> {
+        self.schema_fingerprint
+    }
+
     /// Clones the fitted meta-regressor (persistence support).
     pub(crate) fn regressor_clone(&self) -> RandomForestRegressor {
         self.regressor.clone()
@@ -233,13 +291,16 @@ impl PerformancePredictor {
         metric: Metric,
         test_score: f64,
         n_feature_dims: usize,
+        schema_fingerprint: Option<u64>,
     ) -> Self {
         Self {
+            n_classes: model.n_classes(),
             model,
             regressor,
             metric,
             test_score,
             n_feature_dims,
+            schema_fingerprint,
         }
     }
 }
@@ -329,6 +390,44 @@ mod tests {
         assert!(
             PerformancePredictor::fit(model, &df, &[], &PredictorConfig::fast(), &mut rng).is_err()
         );
+    }
+
+    #[test]
+    fn wrong_class_count_outputs_are_rejected_in_release_builds_too() {
+        let (predictor, _) = fitted_predictor();
+        // Three class columns against a two-class predictor: previously a
+        // debug_assert, now a real error in every build profile.
+        let wide = DenseMatrix::from_vec(4, 3, vec![1.0 / 3.0; 12]).unwrap();
+        assert!(predictor.predict_from_outputs(&wide).is_err());
+        let narrow = DenseMatrix::from_vec(4, 1, vec![1.0; 4]).unwrap();
+        assert!(predictor.predict_from_outputs(&narrow).is_err());
+    }
+
+    #[test]
+    fn mismatched_serving_schema_is_rejected() {
+        let (predictor, serving) = fitted_predictor();
+        assert!(predictor.schema_fingerprint().is_some());
+        // A frame with a different schema (same column types, one column
+        // renamed) must be rejected before the model ever sees it.
+        use lvp_dataframe::{CellValue, ColumnType, DataFrameBuilder, Field, Schema};
+        let schema = Schema::new(vec![
+            Field::new("x_renamed", ColumnType::Numeric),
+            Field::new("c", ColumnType::Categorical),
+        ])
+        .unwrap();
+        let mut b = DataFrameBuilder::new(schema, vec!["no".into(), "yes".into()]);
+        for i in 0..40u32 {
+            b.push_row(
+                vec![CellValue::Num(f64::from(i)), CellValue::Cat("even".into())],
+                i % 2,
+            )
+            .unwrap();
+        }
+        let other = b.finish().unwrap();
+        let err = predictor.predict(&other).unwrap_err();
+        assert!(err.message.contains("schema fingerprint"), "{err}");
+        // The matching frame still passes.
+        assert!(predictor.predict(&serving).is_ok());
     }
 
     #[test]

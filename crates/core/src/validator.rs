@@ -30,17 +30,32 @@ use std::sync::Arc;
 /// Free function (rather than a method) so the fitting loop can featurize
 /// before the validator exists, and so the per-class test columns are
 /// materialized once instead of on every call.
-fn featurize_outputs(proba: &DenseMatrix, test_columns: Option<&[Vec<f64>]>) -> Vec<f64> {
+fn featurize_outputs(
+    proba: &DenseMatrix,
+    test_columns: Option<&[Vec<f64>]>,
+) -> Result<Vec<f64>, CoreError> {
     let mut f = prediction_statistics(proba);
     if let Some(test_columns) = test_columns {
-        for (class, test_col) in test_columns.iter().enumerate().take(proba.cols()) {
+        // A serving batch with a different class count than the retained
+        // test outputs must be rejected outright: truncating (or padding)
+        // the KS loop would shift every downstream GBDT feature index and
+        // the classifier would silently consume garbage.
+        if test_columns.len() != proba.cols() {
+            return Err(CoreError::new(format!(
+                "output matrix has {} class columns but the validator \
+                 retained test outputs for {} classes",
+                proba.cols(),
+                test_columns.len()
+            )));
+        }
+        for (class, test_col) in test_columns.iter().enumerate() {
             let serving_col = proba.column(class);
             let outcome = ks_two_sample(&serving_col, test_col);
             f.push(outcome.statistic);
             f.push(outcome.p_value);
         }
     }
-    f
+    Ok(f)
 }
 
 /// Configuration for fitting a [`PerformanceValidator`].
@@ -120,6 +135,9 @@ pub struct PerformanceValidator {
     threshold: f64,
     metric: Metric,
     use_ks_features: bool,
+    /// Fingerprint of the held-out test frame's schema; serving frames are
+    /// checked against it before featurization.
+    schema_fingerprint: Option<u64>,
 }
 
 impl PerformanceValidator {
@@ -163,8 +181,10 @@ impl PerformanceValidator {
             rng.gen(),
             config.parallel,
             |batch| {
+                let f = featurize_outputs(&batch.proba, ks_columns)
+                    .expect("fit-time outputs match the fitted model's class count");
                 (
-                    featurize_outputs(&batch.proba, ks_columns),
+                    f,
                     u32::from(batch.score >= (1.0 - config.threshold) * test_score),
                 )
             },
@@ -175,7 +195,7 @@ impl PerformanceValidator {
             // Degenerate training set: corruption always (or never) broke
             // the threshold. Inject the clean full-batch case to keep two
             // classes, mirroring p_err = 0.
-            features.push(featurize_outputs(&test_outputs, ks_columns));
+            features.push(featurize_outputs(&test_outputs, ks_columns)?);
             labels.push(1);
             if labels.iter().all(|&l| l == 1) {
                 // Still degenerate — synthesize a catastrophic case from
@@ -183,7 +203,7 @@ impl PerformanceValidator {
                 let m = model.n_classes();
                 let uniform =
                     DenseMatrix::from_vec(4, m, vec![1.0 / m as f64; 4 * m]).expect("sized");
-                features.push(featurize_outputs(&uniform, ks_columns));
+                features.push(featurize_outputs(&uniform, ks_columns)?);
                 labels.push(0);
             }
         }
@@ -202,13 +222,15 @@ impl PerformanceValidator {
             threshold: config.threshold,
             metric: config.metric,
             use_ks_features: config.use_ks_features,
+            schema_fingerprint: Some(test.schema().fingerprint()),
         })
     }
 
     /// Featurizes one batch of model outputs: percentile statistics plus
     /// (optionally) per-class KS statistic and p-value against the retained
-    /// test-time outputs.
-    pub fn featurize(&self, proba: &DenseMatrix) -> Vec<f64> {
+    /// test-time outputs. Errors when the output matrix's class count
+    /// disagrees with the retained test columns.
+    pub fn featurize(&self, proba: &DenseMatrix) -> Result<Vec<f64>, CoreError> {
         featurize_outputs(
             proba,
             self.use_ks_features.then_some(self.test_columns.as_slice()),
@@ -221,22 +243,31 @@ impl PerformanceValidator {
         if serving.n_rows() == 0 {
             return Err(CoreError::new("serving batch is empty"));
         }
+        crate::predictor::check_schema_fingerprint(self.schema_fingerprint, serving)?;
         let proba = self.model.predict_proba(serving);
-        Ok(self.validate_outputs(&proba))
+        self.validate_outputs(&proba)
     }
 
     /// Decides from a batch of model outputs directly.
-    pub fn validate_outputs(&self, proba: &DenseMatrix) -> ValidationOutcome {
-        let features = self.featurize(proba);
+    pub fn validate_outputs(&self, proba: &DenseMatrix) -> Result<ValidationOutcome, CoreError> {
+        if proba.cols() != self.model.n_classes() {
+            return Err(CoreError::new(format!(
+                "output matrix has {} class columns but the validator was \
+                 fitted for {} classes",
+                proba.cols(),
+                self.model.n_classes()
+            )));
+        }
+        let features = self.featurize(proba)?;
         let x = CsrMatrix::from_dense(
             &DenseMatrix::from_rows(&[features]).expect("single feature row"),
         );
         let p = self.classifier.predict_proba(&x);
         let confidence = p.get(0, 1);
-        ValidationOutcome {
+        Ok(ValidationOutcome {
             within_threshold: confidence >= 0.5,
             confidence,
-        }
+        })
     }
 
     /// The model's reference score on the held-out test data.
@@ -252,6 +283,51 @@ impl PerformanceValidator {
     /// The scoring function used.
     pub fn metric(&self) -> Metric {
         self.metric
+    }
+
+    /// Whether the KS features against retained test outputs are in use.
+    pub fn use_ks_features(&self) -> bool {
+        self.use_ks_features
+    }
+
+    /// Fingerprint of the fit-time test schema, when known.
+    pub fn schema_fingerprint(&self) -> Option<u64> {
+        self.schema_fingerprint
+    }
+
+    /// The retained per-class test-time output columns (persistence
+    /// support; these are part of the fitted state — see §4).
+    pub(crate) fn test_columns(&self) -> &[Vec<f64>] {
+        &self.test_columns
+    }
+
+    /// Clones the fitted GBDT classifier (persistence support).
+    pub(crate) fn classifier_clone(&self) -> GbdtClassifier {
+        self.classifier.clone()
+    }
+
+    /// Reassembles a validator from its parts (persistence support).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        model: Arc<dyn BlackBoxModel>,
+        classifier: GbdtClassifier,
+        test_columns: Vec<Vec<f64>>,
+        test_score: f64,
+        threshold: f64,
+        metric: Metric,
+        use_ks_features: bool,
+        schema_fingerprint: Option<u64>,
+    ) -> Self {
+        Self {
+            model,
+            classifier,
+            test_columns,
+            test_score,
+            threshold,
+            metric,
+            use_ks_features,
+            schema_fingerprint,
+        }
     }
 }
 
@@ -318,9 +394,21 @@ mod tests {
     fn ks_features_extend_dimensionality() {
         let (validator, serving) = fitted_validator(0.05);
         let proba = validator.model.predict_proba(&serving);
-        let f = validator.featurize(&proba);
+        let f = validator.featurize(&proba).unwrap();
         // 42 percentile dims + 2 KS dims per class.
         assert_eq!(f.len(), 42 + 4);
+    }
+
+    #[test]
+    fn mismatched_class_count_is_rejected_not_truncated() {
+        let (validator, _) = fitted_validator(0.05);
+        // Three class columns against a validator fitted on two.
+        let wide = DenseMatrix::from_vec(5, 3, vec![1.0 / 3.0; 15]).unwrap();
+        assert!(validator.featurize(&wide).is_err());
+        assert!(validator.validate_outputs(&wide).is_err());
+        let narrow = DenseMatrix::from_vec(5, 1, vec![1.0; 5]).unwrap();
+        assert!(validator.featurize(&narrow).is_err());
+        assert!(validator.validate_outputs(&narrow).is_err());
     }
 
     #[test]

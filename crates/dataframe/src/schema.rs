@@ -110,6 +110,38 @@ impl Schema {
     pub fn image_columns(&self) -> Vec<usize> {
         self.columns_of_type(ColumnType::Image)
     }
+
+    /// A deterministic fingerprint of the schema: field order, names and
+    /// types all contribute. Persisted artifacts record the fit-time
+    /// fingerprint so serving systems can reject frames with a different
+    /// shape before any featurization happens.
+    ///
+    /// FNV-1a over the field list, truncated to 53 bits so the value
+    /// survives a round trip through JSON numbers exactly.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        for field in &self.fields {
+            for &b in field.name.as_bytes() {
+                eat(b);
+            }
+            // Separator that cannot occur inside a UTF-8 name, so
+            // ("ab", Numeric), ("a", ...) cannot collide by concatenation.
+            eat(0xff);
+            eat(match field.ty {
+                ColumnType::Numeric => 0,
+                ColumnType::Categorical => 1,
+                ColumnType::Text => 2,
+                ColumnType::Image => 3,
+            });
+        }
+        hash & ((1 << 53) - 1)
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +180,39 @@ mod tests {
         assert_eq!(s.categorical_columns(), vec![1]);
         assert_eq!(s.text_columns(), vec![2]);
         assert!(s.image_columns().is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_shape_sensitive() {
+        let s = schema();
+        assert_eq!(s.fingerprint(), schema().fingerprint());
+        // Renaming, retyping or reordering a field changes the fingerprint.
+        let renamed = Schema::new(vec![
+            Field::new("age2", ColumnType::Numeric),
+            Field::new("job", ColumnType::Categorical),
+            Field::new("bio", ColumnType::Text),
+        ])
+        .unwrap();
+        let retyped = Schema::new(vec![
+            Field::new("age", ColumnType::Categorical),
+            Field::new("job", ColumnType::Categorical),
+            Field::new("bio", ColumnType::Text),
+        ])
+        .unwrap();
+        let reordered = Schema::new(vec![
+            Field::new("job", ColumnType::Categorical),
+            Field::new("age", ColumnType::Numeric),
+            Field::new("bio", ColumnType::Text),
+        ])
+        .unwrap();
+        assert_ne!(s.fingerprint(), renamed.fingerprint());
+        assert_ne!(s.fingerprint(), retyped.fingerprint());
+        assert_ne!(s.fingerprint(), reordered.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_fits_in_53_bits() {
+        assert!(schema().fingerprint() < (1 << 53));
     }
 
     #[test]

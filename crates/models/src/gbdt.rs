@@ -71,6 +71,7 @@ impl GbdtConfig {
 }
 
 /// A fitted gradient-boosted classifier.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct GbdtClassifier {
     // trees[round][class]
     trees: Vec<Vec<RegressionTree>>,
@@ -333,6 +334,24 @@ mod tests {
         ];
         let (_, cfg) = GbdtClassifier::fit_cv(&x, &y, 2, &grid, 3, &mut rng).unwrap();
         assert!(grid.contains(&cfg));
+    }
+
+    #[test]
+    fn classifier_survives_json_round_trip() {
+        let (x, y) = rings(120, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let model = GbdtClassifier::fit(&x, &y, 2, &GbdtConfig::default(), &mut rng).unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let restored: GbdtClassifier = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored, model);
+        // Bit-identical probabilities, not just equal structure.
+        let before = model.predict_proba(&x);
+        let after = restored.predict_proba(&x);
+        for r in 0..x.rows() {
+            for c in 0..2 {
+                assert_eq!(before.get(r, c).to_bits(), after.get(r, c).to_bits());
+            }
+        }
     }
 
     #[test]

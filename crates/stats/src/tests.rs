@@ -139,15 +139,17 @@ pub fn chi2_gof_test(observed: &[f64], expected: &[f64]) -> TestOutcome {
     let mut stat = 0.0;
     let mut used = 0usize;
     for (&o, &e) in observed.iter().zip(expected) {
-        let e = e * scale;
+        let mut e = e * scale;
         if e <= 0.0 {
-            // Category never seen in the reference: a single observation here
-            // is infinitely surprising under the null; cap its contribution.
-            if o > 0.0 {
-                stat += o * o;
-                used += 1;
+            if o <= 0.0 {
+                continue;
             }
-            continue;
+            // Category never seen in the reference: the textbook expected
+            // count is 0 and the χ² contribution diverges. Substitute a
+            // half-count pseudo-expectation (Haldane–Anscombe correction)
+            // so the term stays a genuine (o−e)²/e contribution and the
+            // statistic remains χ²-distributed to first order.
+            e = 0.5 * scale;
         }
         stat += (o - e).powi(2) / e;
         used += 1;
@@ -277,6 +279,32 @@ mod tests {
         let out = chi2_gof_test(&[50.0, 50.0, 10.0], &[50.0, 50.0, 0.0]);
         assert!(out.statistic > 0.0);
         assert!(out.p_value < 0.05);
+    }
+
+    #[test]
+    fn chi2_gof_unseen_category_uses_pseudo_count_not_o_squared() {
+        let observed = [50.0, 50.0, 10.0];
+        let expected = [50.0, 50.0, 0.0];
+        let out = chi2_gof_test(&observed, &expected);
+        // scale = 110/100; seen categories contribute (50-55)^2/55 each,
+        // the unseen one contributes (10-0.55)^2/0.55 — not 10^2 = 100.
+        let scale = 1.1;
+        let e_pseudo = 0.5 * scale;
+        let want = 2.0 * (50.0f64 - 55.0).powi(2) / 55.0 + (10.0f64 - e_pseudo).powi(2) / e_pseudo;
+        assert!(
+            (out.statistic - want).abs() < 1e-9,
+            "statistic {} vs {want}",
+            out.statistic
+        );
+    }
+
+    #[test]
+    fn chi2_gof_unseen_and_unobserved_category_is_ignored() {
+        // Third category absent from both: must not affect the statistic.
+        let with = chi2_gof_test(&[52.0, 48.0, 0.0], &[50.0, 50.0, 0.0]);
+        let without = chi2_gof_test(&[52.0, 48.0], &[50.0, 50.0]);
+        assert_eq!(with.statistic, without.statistic);
+        assert_eq!(with.p_value, without.p_value);
     }
 
     #[test]

@@ -62,8 +62,8 @@ fn main() {
     let ap_hi = serving.schema().index_of("ap_hi").expect("column exists");
     let bug = Scaling::for_columns(vec![ap_hi]);
     println!(
-        "\n{:<5} {:>10} {:>10} {:>10} {:>8}",
-        "day", "estimate", "smoothed", "violation", "alarm"
+        "\n{:<5} {:>10} {:>10} {:>6} {:>8} {:>8}",
+        "day", "estimate", "smoothed", "raw", "smooth", "alarm"
     );
     for day in 1..=14 {
         let batch = serving.sample_n(250, &mut rng);
@@ -74,11 +74,12 @@ fn main() {
         };
         let report = monitor.observe(&batch).unwrap();
         println!(
-            "{:<5} {:>10.3} {:>10.3} {:>10} {:>8}",
+            "{:<5} {:>10.3} {:>10.3} {:>6} {:>8} {:>8}",
             day,
             report.estimate,
             report.smoothed,
-            report.violation,
+            report.raw_violation,
+            report.smoothed_violation,
             if report.alarm { "PAGE!" } else { "-" }
         );
     }
