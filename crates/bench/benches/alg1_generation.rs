@@ -34,6 +34,7 @@ fn bench_alg1_generation(c: &mut Criterion) {
             42,
             parallel,
         )
+        .expect("accuracy metric fits any class count")
     };
 
     // Sanity: the two paths must agree before we time them.

@@ -80,7 +80,8 @@ fn featurization_mae(
         5,
         Metric::Accuracy,
         rng,
-    );
+    )
+    .expect("accuracy metric fits any class count");
     // Refit the forest on the alternative featurization by recomputing
     // features from scratch per corrupted copy is not possible post hoc, so
     // instead we regenerate matched (proba → features, score) pairs here.
@@ -92,7 +93,11 @@ fn featurization_mae(
         let corrupted = gen.corrupt_with_model(&data.test, Some(data.model.as_ref()), rng);
         let proba = data.model.predict_proba(&corrupted);
         x_rows.push(featurize(&proba));
-        y.push(Metric::Accuracy.score(&proba, corrupted.labels()));
+        y.push(
+            Metric::Accuracy
+                .score(&proba, corrupted.labels())
+                .expect("accuracy metric fits any class count"),
+        );
     }
     let x = DenseMatrix::from_rows(&x_rows).expect("uniform feature rows");
     let (forest, _) = lvp_models::forest::RandomForestRegressor::fit_cv(
@@ -151,7 +156,8 @@ fn main() {
         5,
         Metric::Accuracy,
         &mut rng,
-    );
+    )
+    .expect("accuracy metric fits any class count");
     let x = DenseMatrix::from_rows(
         &examples
             .iter()

@@ -16,7 +16,7 @@
 
 use crate::features::prediction_statistics;
 use crate::predictor::TrainingExample;
-use crate::Metric;
+use crate::{CoreError, Metric};
 use lvp_corruptions::ErrorGen;
 use lvp_dataframe::DataFrame;
 use lvp_linalg::DenseMatrix;
@@ -80,6 +80,16 @@ pub struct GeneratedBatch<'a> {
 /// runs of generator 1, …, then the clean copies), identically for the
 /// sequential and parallel paths: each task seeds its own [`StdRng`] from
 /// [`derive_run_seed`] and the parallel collect preserves task order.
+///
+/// Fails fast with a [`CoreError`] when `metric` cannot score the model's
+/// output shape (e.g. [`Metric::Auc`] with a non-binary model), before any
+/// batch is generated.
+///
+/// Models that cache featurization internally (e.g. `PipelineModel`'s
+/// identity-keyed encoding cache) stay deterministic here: cached column
+/// blocks are bit-identical to freshly encoded ones, so `predict_proba` —
+/// and therefore every generated batch — is the same on any thread
+/// schedule, cache state notwithstanding.
 #[allow(clippy::too_many_arguments)]
 pub fn generate_batches_seeded<T, F>(
     model: &dyn BlackBoxModel,
@@ -91,11 +101,12 @@ pub fn generate_batches_seeded<T, F>(
     master_seed: u64,
     parallel: bool,
     featurize: F,
-) -> Vec<T>
+) -> Result<Vec<T>, CoreError>
 where
     T: Send,
     F: Fn(GeneratedBatch<'_>) -> T + Sync,
 {
+    metric.validate_n_classes(model.n_classes())?;
     let clean_stream = generators.len();
     let tasks: Vec<(usize, usize)> = (0..generators.len())
         .flat_map(|g| (0..runs_per_generator).map(move |r| (g, r)))
@@ -114,7 +125,9 @@ where
             let corrupted = generators[g].corrupt_with_model(&base, Some(model), &mut rng);
             let proba = model.predict_proba(&corrupted);
             GeneratedBatch {
-                score: metric.score(&proba, corrupted.labels()),
+                score: metric
+                    .score(&proba, corrupted.labels())
+                    .expect("metric validated against the model's class count above"),
                 proba,
                 generator: generators[g].name(),
             }
@@ -127,7 +140,9 @@ where
             let clean = test.sample_n(take, &mut rng);
             let proba = model.predict_proba(&clean);
             GeneratedBatch {
-                score: metric.score(&proba, clean.labels()),
+                score: metric
+                    .score(&proba, clean.labels())
+                    .expect("metric validated against the model's class count above"),
                 proba,
                 generator: "clean",
             }
@@ -135,11 +150,11 @@ where
         featurize(batch)
     };
 
-    if parallel {
+    Ok(if parallel {
         tasks.into_par_iter().map(run_one).collect()
     } else {
         tasks.into_iter().map(run_one).collect()
-    }
+    })
 }
 
 /// Seeded variant of
@@ -157,7 +172,7 @@ pub fn generate_training_examples_seeded(
     metric: Metric,
     master_seed: u64,
     parallel: bool,
-) -> Vec<TrainingExample> {
+) -> Result<Vec<TrainingExample>, CoreError> {
     generate_batches_seeded(
         model,
         test,
@@ -227,7 +242,8 @@ mod tests {
             Metric::Accuracy,
             99,
             false,
-        );
+        )
+        .unwrap();
         let parallel = generate_training_examples_seeded(
             model.as_ref(),
             &df,
@@ -237,7 +253,8 @@ mod tests {
             Metric::Accuracy,
             99,
             true,
-        );
+        )
+        .unwrap();
         assert_eq!(sequential, parallel);
         assert_eq!(sequential.len(), gens.len() * 4 + 3);
         assert_eq!(sequential.last().unwrap().generator, "clean");
@@ -258,7 +275,30 @@ mod tests {
             Metric::Accuracy,
             5,
             true,
-        );
+        )
+        .unwrap();
         assert_eq!(ex.len(), gens.len() * 3 + 2);
+    }
+
+    #[test]
+    fn auc_with_non_binary_model_fails_before_generating() {
+        struct ThreeClass;
+        impl BlackBoxModel for ThreeClass {
+            fn predict_proba(&self, data: &DataFrame) -> DenseMatrix {
+                panic!("must fail fast, not on batch {}", data.n_rows())
+            }
+            fn n_classes(&self) -> usize {
+                3
+            }
+            fn name(&self) -> &str {
+                "three"
+            }
+        }
+        let df = toy_frame(20);
+        let gens = standard_tabular_suite(df.schema());
+        let err =
+            generate_training_examples_seeded(&ThreeClass, &df, &gens, 2, 1, Metric::Auc, 0, false)
+                .unwrap_err();
+        assert!(err.message.contains("2 probability columns"), "{err}");
     }
 }

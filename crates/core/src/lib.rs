@@ -57,23 +57,50 @@ pub enum Metric {
 
 impl Metric {
     /// Computes the metric from a probability matrix and true labels.
-    pub fn score(self, proba: &DenseMatrix, labels: &[u32]) -> f64 {
+    ///
+    /// [`Metric::Auc`] requires exactly two probability columns: scoring a
+    /// degenerate single-column or multiclass matrix is rejected rather
+    /// than silently ranking an arbitrary column.
+    pub fn score(self, proba: &DenseMatrix, labels: &[u32]) -> Result<f64, CoreError> {
         match self {
             Metric::Accuracy => {
                 let truth: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
-                lvp_stats::accuracy(&proba.argmax_rows(), &truth)
+                Ok(lvp_stats::accuracy(&proba.argmax_rows(), &truth))
             }
             Metric::Auc => {
-                let scores = proba.column(1.min(proba.cols().saturating_sub(1)));
+                if proba.cols() != 2 {
+                    return Err(CoreError::new(format!(
+                        "AUC requires a binary model with 2 probability columns, got {}",
+                        proba.cols()
+                    )));
+                }
+                let scores = proba.column(1);
                 let truth: Vec<bool> = labels.iter().map(|&l| l == 1).collect();
-                lvp_stats::auc_binary(&scores, &truth)
+                Ok(lvp_stats::auc_binary(&scores, &truth))
             }
         }
     }
 
     /// Scores a model against a labeled frame.
-    pub fn score_model(self, model: &dyn lvp_models::BlackBoxModel, df: &DataFrame) -> f64 {
+    pub fn score_model(
+        self,
+        model: &dyn lvp_models::BlackBoxModel,
+        df: &DataFrame,
+    ) -> Result<f64, CoreError> {
         self.score(&model.predict_proba(df), df.labels())
+    }
+
+    /// Checks up front that this metric can score a model with `n_classes`
+    /// output columns, so batch-generation loops fail fast instead of on
+    /// the first scored batch.
+    pub(crate) fn validate_n_classes(self, n_classes: usize) -> Result<(), CoreError> {
+        match self {
+            Metric::Accuracy => Ok(()),
+            Metric::Auc if n_classes == 2 => Ok(()),
+            Metric::Auc => Err(CoreError::new(format!(
+                "AUC requires a binary model with 2 probability columns, got {n_classes}"
+            ))),
+        }
     }
 }
 
@@ -113,8 +140,8 @@ mod tests {
     #[test]
     fn metric_accuracy_from_proba() {
         let proba = DenseMatrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
-        assert_eq!(Metric::Accuracy.score(&proba, &[0, 1]), 1.0);
-        assert_eq!(Metric::Accuracy.score(&proba, &[1, 0]), 0.0);
+        assert_eq!(Metric::Accuracy.score(&proba, &[0, 1]).unwrap(), 1.0);
+        assert_eq!(Metric::Accuracy.score(&proba, &[1, 0]).unwrap(), 0.0);
     }
 
     #[test]
@@ -122,6 +149,21 @@ mod tests {
         let proba =
             DenseMatrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9], vec![0.6, 0.4]]).unwrap();
         // class-1 scores: 0.1, 0.9, 0.4; labels 0, 1, 0 → perfect ranking.
-        assert_eq!(Metric::Auc.score(&proba, &[0, 1, 0]), 1.0);
+        assert_eq!(Metric::Auc.score(&proba, &[0, 1, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn metric_auc_rejects_non_binary_probability_matrices() {
+        // A degenerate single-column matrix used to be scored silently
+        // against column 0; it must now be an error.
+        let one_col = DenseMatrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let err = Metric::Auc.score(&one_col, &[0, 1]).unwrap_err();
+        assert!(err.message.contains("2 probability columns"), "{err}");
+        // Multiclass output is equally unscoreable with binary AUC.
+        let three_col =
+            DenseMatrix::from_rows(&[vec![0.2, 0.3, 0.5], vec![0.1, 0.8, 0.1]]).unwrap();
+        assert!(Metric::Auc.score(&three_col, &[0, 1]).is_err());
+        // Accuracy is class-count agnostic.
+        assert!(Metric::Accuracy.score(&three_col, &[2, 1]).is_ok());
     }
 }

@@ -123,7 +123,7 @@ pub fn generate_training_examples(
     clean_copies: usize,
     metric: Metric,
     rng: &mut StdRng,
-) -> Vec<TrainingExample> {
+) -> Result<Vec<TrainingExample>, CoreError> {
     generate_training_examples_seeded(
         model,
         test,
@@ -153,7 +153,7 @@ impl PerformancePredictor {
             return Err(CoreError::new("need at least one error generator"));
         }
         let test_proba = model.predict_proba(test);
-        let test_score = config.metric.score(&test_proba, test.labels());
+        let test_score = config.metric.score(&test_proba, test.labels())?;
 
         let examples = generate_training_examples_seeded(
             model.as_ref(),
@@ -164,7 +164,7 @@ impl PerformancePredictor {
             config.metric,
             rng.gen(),
             config.parallel,
-        );
+        )?;
         let mut predictor = Self::fit_from_examples(model, examples, test_score, config, rng)?;
         predictor.schema_fingerprint = Some(test.schema().fingerprint());
         Ok(predictor)
@@ -445,7 +445,8 @@ mod tests {
             2,
             Metric::Accuracy,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(ex.len(), 7);
         assert_eq!(ex[0].generator, "missing_values");
         assert_eq!(ex[6].generator, "clean");

@@ -163,7 +163,7 @@ impl PerformanceValidator {
         // Retain the test-time outputs: the KS features compare serving
         // batches against them (the "major difference" §3 points out).
         let test_outputs = model.predict_proba(test);
-        let test_score = config.metric.score(&test_outputs, test.labels());
+        let test_score = config.metric.score(&test_outputs, test.labels())?;
         let test_columns: Vec<Vec<f64>> = (0..test_outputs.cols())
             .map(|c| test_outputs.column(c))
             .collect();
@@ -188,7 +188,7 @@ impl PerformanceValidator {
                     u32::from(batch.score >= (1.0 - config.threshold) * test_score),
                 )
             },
-        );
+        )?;
         let (mut features, mut labels): (Vec<Vec<f64>>, Vec<u32>) = generated.into_iter().unzip();
 
         if labels.iter().all(|&l| l == 0) || labels.iter().all(|&l| l == 1) {

@@ -1,0 +1,311 @@
+//! Identity-keyed cache of per-column encoding blocks.
+//!
+//! Algorithm 1/2 score many copy-on-write copies of the same frame, and
+//! those copies share every untouched column's `Arc` payload. Encoding is
+//! a pure function of `(fitted encoder, column payload)`, so a block
+//! encoded once can be reused for every frame that still shares the
+//! payload — the cache keys blocks by `(column_index, ColumnId)` and the
+//! identity rules of [`ColumnId`] make stale hits impossible:
+//!
+//! * every entry **pins** the `Arc<Column>` it encoded, so a copy-on-write
+//!   write to a cached column always materializes fresh storage (the
+//!   refcount is ≥ 2) and therefore a fresh `ColumnId` → a cache miss;
+//! * the pin also keeps the allocation alive, so its address can never be
+//!   recycled for different column data while the entry exists.
+//!
+//! A cache is private to one fitted [`FeaturePipeline`](crate::FeaturePipeline):
+//! the `column_index` half of the key is only meaningful against the
+//! encoder fitted for that position. [`PipelineModel`] therefore owns its
+//! cache; sharing one cache across differently-fitted pipelines would mix
+//! feature spaces.
+//!
+//! [`PipelineModel`]: ../lvp_models/struct.PipelineModel.html
+
+use lvp_dataframe::{Column, ColumnId};
+use lvp_linalg::ColumnBlock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Default bound on entries per cache before a wholesale eviction.
+pub const DEFAULT_CACHE_CAPACITY: usize = 512;
+
+/// Aggregated cache counters (see [`EncodingCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a cached block.
+    pub hits: u64,
+    /// Lookups that had to encode the column.
+    pub misses: u64,
+    /// Entries discarded by capacity evictions.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: usize,
+}
+
+struct CacheEntry {
+    /// Pins the encoded payload: keeps the [`ColumnId`] valid (see the
+    /// module docs) for as long as the entry lives.
+    _pin: Arc<Column>,
+    block: Arc<ColumnBlock>,
+}
+
+/// A single-threaded encoding cache mapping `(column_index, ColumnId)` to
+/// the column's encoded [`ColumnBlock`], with hit/miss counters.
+///
+/// Capacity-bounded: when an insert would exceed `max_entries`, the whole
+/// map is dropped (coarse, O(1) amortized, and keeps every pinned payload
+/// from outliving its usefulness — important for workloads like the
+/// generation loop that stream unique subsampled columns through).
+pub struct EncodingCache {
+    entries: HashMap<(usize, ColumnId), CacheEntry>,
+    max_entries: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl EncodingCache {
+    /// A cache bounded at [`DEFAULT_CACHE_CAPACITY`] entries.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A cache bounded at `max_entries` entries (minimum 1).
+    pub fn with_capacity(max_entries: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            max_entries: max_entries.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the cached block for `(column_index, id)`, or encodes it via
+    /// `encode` and caches it with `pin` keeping the id valid.
+    pub fn get_or_encode(
+        &mut self,
+        column_index: usize,
+        id: ColumnId,
+        pin: &Arc<Column>,
+        encode: impl FnOnce() -> ColumnBlock,
+    ) -> Arc<ColumnBlock> {
+        if let Some(entry) = self.entries.get(&(column_index, id)) {
+            self.hits += 1;
+            return Arc::clone(&entry.block);
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.max_entries {
+            self.evictions += self.entries.len() as u64;
+            self.entries.clear();
+        }
+        let block = Arc::new(encode());
+        self.entries.insert(
+            (column_index, id),
+            CacheEntry {
+                _pin: Arc::clone(pin),
+                block: Arc::clone(&block),
+            },
+        );
+        block
+    }
+
+    /// Lookups served from cache since construction (or the last
+    /// [`Self::reset_stats`]).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to encode.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry (and its pins); counters are kept.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Zeroes the hit/miss/eviction counters; entries are kept.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
+    }
+}
+
+impl Default for EncodingCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A sharded, thread-safe wrapper giving each worker thread its own
+/// [`EncodingCache`].
+///
+/// The shard is selected by hashing the calling thread's id, so concurrent
+/// workers (e.g. the parallel generation engine's threads) effectively get
+/// private caches — no lock contention on the hot path, and no
+/// cross-thread ordering effects. Correctness never depends on shard
+/// assignment: a cached block is bit-identical to a freshly encoded one,
+/// so any thread may safely hit any shard's entries.
+pub struct ShardedEncodingCache {
+    shards: Vec<Mutex<EncodingCache>>,
+}
+
+impl ShardedEncodingCache {
+    /// Creates `n_shards` shards (rounded up to a power of two, minimum 1),
+    /// each bounded at `max_entries_per_shard`.
+    pub fn new(n_shards: usize, max_entries_per_shard: usize) -> Self {
+        let n = n_shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n)
+                .map(|_| Mutex::new(EncodingCache::with_capacity(max_entries_per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Shard count sized for this machine's parallelism, default capacity.
+    pub fn with_default_shards() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::new(threads.min(64), DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Runs `f` with exclusive access to the calling thread's shard.
+    pub fn with_worker_cache<R>(&self, f: impl FnOnce(&mut EncodingCache) -> R) -> R {
+        let mut hasher = DefaultHasher::new();
+        std::thread::current().id().hash(&mut hasher);
+        let shard = (hasher.finish() as usize) & (self.shards.len() - 1);
+        let mut guard = self.shards[shard]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        f(&mut guard)
+    }
+
+    /// Counter totals summed across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            let s = guard.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+        }
+        total
+    }
+
+    /// Drops every entry in every shard; counters are kept.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        }
+    }
+}
+
+impl Default for ShardedEncodingCache {
+    fn default() -> Self {
+        Self::with_default_shards()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_dataframe::toy_frame;
+    use lvp_linalg::ColumnBlock;
+
+    fn one_row_block() -> ColumnBlock {
+        let mut b = ColumnBlock::new(1);
+        b.push_empty_row();
+        b
+    }
+
+    #[test]
+    fn cache_hits_on_shared_storage_and_misses_after_write() {
+        let df = toy_frame(4);
+        let copy = df.clone();
+        let mut cache = EncodingCache::new();
+        let a = cache.get_or_encode(0, df.column_id(0), &df.column_shared(0), one_row_block);
+        // The clone shares storage → same id → hit, same block.
+        let b = cache.get_or_encode(0, copy.column_id(0), &copy.column_shared(0), || {
+            panic!("must not re-encode a shared column")
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // A write invalidates the id → miss.
+        let mut written = df.clone();
+        written.column_mut(0).set_null(0);
+        cache.get_or_encode(
+            0,
+            written.column_id(0),
+            &written.column_shared(0),
+            one_row_block,
+        );
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn same_storage_different_position_is_distinct() {
+        let df = toy_frame(4);
+        let mut cache = EncodingCache::new();
+        cache.get_or_encode(0, df.column_id(0), &df.column_shared(0), one_row_block);
+        cache.get_or_encode(1, df.column_id(0), &df.column_shared(0), one_row_block);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_wholesale() {
+        let mut cache = EncodingCache::with_capacity(2);
+        // Keep the frames alive so ids stay distinct.
+        let frames: Vec<_> = (0..3).map(|_| toy_frame(2).deep_clone()).collect();
+        for f in &frames {
+            cache.get_or_encode(0, f.column_id(0), &f.column_shared(0), one_row_block);
+        }
+        assert_eq!(cache.len(), 1, "third insert clears the full map first");
+        assert_eq!(cache.stats().evictions, 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_aggregates_stats() {
+        let sharded = ShardedEncodingCache::new(4, 8);
+        let df = toy_frame(4);
+        sharded.with_worker_cache(|c| {
+            c.get_or_encode(0, df.column_id(0), &df.column_shared(0), one_row_block);
+            c.get_or_encode(0, df.column_id(0), &df.column_shared(0), one_row_block);
+        });
+        let stats = sharded.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        sharded.clear();
+        assert_eq!(sharded.stats().entries, 0);
+    }
+}

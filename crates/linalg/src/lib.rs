@@ -15,13 +15,15 @@
 //! thousand columns) that straightforward loops with `rayon` parallelism over
 //! rows are sufficient and keep the build dependency-free.
 
+mod block;
 mod dense;
 mod ops;
 mod sparse;
 
+pub use block::ColumnBlock;
 pub use dense::DenseMatrix;
 pub use ops::{argmax, log_sum_exp, relu, relu_grad, sigmoid, softmax_in_place, stable_softmax};
-pub use sparse::{CsrMatrix, SparseVec};
+pub use sparse::{CsrBuilder, CsrMatrix, SparseVec};
 
 /// Error type for shape mismatches in linear-algebra operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,5 +1,6 @@
 //! Sparse vectors and CSR matrices for featurized data.
 
+use crate::block::{merge_pairs_into, ColumnBlock};
 use crate::{shape_err, DenseMatrix, ShapeError};
 use rayon::prelude::*;
 
@@ -26,35 +27,13 @@ impl SparseVec {
     /// Duplicate indices are summed (as in feature hashing, where distinct
     /// n-grams may collide into the same bucket). Zero values are dropped.
     pub fn from_pairs(dim: usize, mut pairs: Vec<(u32, f64)>) -> Result<Self, ShapeError> {
-        pairs.sort_unstable_by_key(|&(i, _)| i);
         let mut indices: Vec<u32> = Vec::with_capacity(pairs.len());
         let mut values: Vec<f64> = Vec::with_capacity(pairs.len());
-        for (i, v) in pairs {
-            if i as usize >= dim {
-                return Err(shape_err(format!("index {i} out of bounds for dim {dim}")));
-            }
-            if let Some(&last) = indices.last() {
-                if last == i {
-                    *values.last_mut().expect("values parallel to indices") += v;
-                    continue;
-                }
-            }
-            indices.push(i);
-            values.push(v);
-        }
-        // Collisions may cancel out exactly; drop resulting zeros.
-        let mut out_i = Vec::with_capacity(indices.len());
-        let mut out_v = Vec::with_capacity(values.len());
-        for (i, v) in indices.into_iter().zip(values) {
-            if v != 0.0 {
-                out_i.push(i);
-                out_v.push(v);
-            }
-        }
+        merge_pairs_into(&mut pairs, dim, &mut indices, &mut values)?;
         Ok(Self {
             dim,
-            indices: out_i,
-            values: out_v,
+            indices,
+            values,
         })
     }
 
@@ -269,6 +248,72 @@ impl CsrMatrix {
         out
     }
 
+    /// Assembles a CSR matrix from horizontally-offset per-column blocks
+    /// without materializing an intermediate `Vec<SparseVec>`.
+    ///
+    /// `blocks` pairs each [`ColumnBlock`] with the global column offset of
+    /// its feature range and must be sorted by offset; ranges must not
+    /// overlap and must fit inside `cols`. Every block must hold exactly
+    /// `rows` rows (`rows` is explicit so a zero-column frame still yields
+    /// an `n × 0` matrix). Within a block, row indices are already sorted,
+    /// and block ranges are disjoint and increasing, so concatenation
+    /// yields sorted CSR rows — the same layout row-major assembly
+    /// produces.
+    pub fn hstack_blocks(
+        rows: usize,
+        cols: usize,
+        blocks: &[(u32, &ColumnBlock)],
+    ) -> Result<Self, ShapeError> {
+        let mut end: u64 = 0;
+        for &(offset, block) in blocks {
+            if u64::from(offset) < end {
+                return Err(shape_err(format!(
+                    "block at offset {offset} overlaps or precedes the previous \
+                     block ending at {end}"
+                )));
+            }
+            end = u64::from(offset) + block.width() as u64;
+            if end > cols as u64 {
+                return Err(shape_err(format!(
+                    "block [{offset}, {end}) exceeds {cols} total columns"
+                )));
+            }
+            if block.rows() != rows {
+                return Err(shape_err(format!(
+                    "block at offset {offset} has {} rows, expected {rows}",
+                    block.rows()
+                )));
+            }
+        }
+        let nnz: usize = blocks.iter().map(|&(_, b)| b.nnz()).sum();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for r in 0..rows {
+            for &(offset, block) in blocks {
+                let (idx, vals) = block.row(r);
+                // Numeric and one-hot blocks emit at most one pair per row;
+                // a direct push skips the extend machinery on the hot path.
+                if let ([i], [v]) = (idx, vals) {
+                    indices.push(i + offset);
+                    values.push(*v);
+                } else {
+                    indices.extend(idx.iter().map(|&i| i + offset));
+                    values.extend_from_slice(vals);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Ok(Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
     /// Returns a new matrix containing the selected rows, in order.
     pub fn select_rows(&self, selection: &[usize]) -> CsrMatrix {
         let mut indptr = Vec::with_capacity(selection.len() + 1);
@@ -287,6 +332,67 @@ impl CsrMatrix {
             indptr,
             indices,
             values,
+        }
+    }
+}
+
+/// Incremental row-major CSR constructor.
+///
+/// The allocation-free counterpart of collecting `SparseVec`s and calling
+/// [`CsrMatrix::from_sparse_rows`]: rows are appended straight into the
+/// final index/value arrays from a caller-owned scratch pair buffer, so a
+/// transform loop performs no per-row allocations (the scratch buffer's
+/// capacity — pre-sized by the previous row's nnz — is retained across
+/// rows).
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// Starts a builder for matrices with `cols` columns.
+    pub fn new(cols: usize) -> Self {
+        Self::with_capacity(cols, 0, 0)
+    }
+
+    /// Starts a builder with row/nnz capacity reserved up front.
+    pub fn with_capacity(cols: usize, rows: usize, nnz: usize) -> Self {
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0usize);
+        Self {
+            cols,
+            indptr,
+            indices: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Appends one row from unsorted `(column, value)` pairs, with the
+    /// merge semantics of [`SparseVec::from_pairs`] (duplicates summed,
+    /// zeros dropped, out-of-bounds rejected). `pairs` is cleared on
+    /// success so it can be reused as the next row's scratch buffer.
+    pub fn push_row_pairs(&mut self, pairs: &mut Vec<(u32, f64)>) -> Result<(), ShapeError> {
+        merge_pairs_into(pairs, self.cols, &mut self.indices, &mut self.values)?;
+        self.indptr.push(self.indices.len());
+        Ok(())
+    }
+
+    /// Number of rows appended so far.
+    pub fn rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Finalizes the matrix.
+    pub fn finish(self) -> CsrMatrix {
+        CsrMatrix {
+            rows: self.indptr.len() - 1,
+            cols: self.cols,
+            indptr: self.indptr,
+            indices: self.indices,
+            values: self.values,
         }
     }
 }
@@ -378,6 +484,40 @@ mod tests {
         assert_eq!(s.rows(), 3);
         assert_eq!(s.row(0).0, &[1]);
         assert_eq!(s.row(1).0, &[0]);
+    }
+
+    #[test]
+    fn csr_builder_matches_from_sparse_rows() {
+        let row_pairs: [&[(u32, f64)]; 3] = [&[(2, 1.0), (0, 2.0)], &[], &[(1, 3.0), (1, 4.0)]];
+        let rows: Vec<SparseVec> = row_pairs.iter().map(|p| sv(3, p)).collect();
+        let expected = CsrMatrix::from_sparse_rows(&rows).unwrap();
+        let mut b = CsrBuilder::with_capacity(3, 3, 4);
+        let mut scratch = Vec::new();
+        for p in row_pairs {
+            scratch.extend_from_slice(p);
+            b.push_row_pairs(&mut scratch).unwrap();
+            assert!(scratch.is_empty());
+        }
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.finish(), expected);
+    }
+
+    #[test]
+    fn csr_builder_rejects_out_of_bounds_without_corrupting_state() {
+        let mut b = CsrBuilder::new(2);
+        let mut scratch = vec![(1, 1.0)];
+        b.push_row_pairs(&mut scratch).unwrap();
+        scratch.extend([(0, 1.0), (5, 1.0)]);
+        assert!(b.push_row_pairs(&mut scratch).is_err());
+        let m = {
+            scratch.clear();
+            scratch.push((0, 2.0));
+            b.push_row_pairs(&mut scratch).unwrap();
+            b.finish()
+        };
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), (&[1u32][..], &[1.0][..]));
+        assert_eq!(m.row(1), (&[0u32][..], &[2.0][..]));
     }
 
     #[test]

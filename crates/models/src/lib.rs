@@ -111,11 +111,20 @@ pub fn model_accuracy(model: &dyn BlackBoxModel, df: &DataFrame) -> f64 {
 }
 
 /// ROC AUC of a binary black box model on labeled data.
-pub fn model_auc(model: &dyn BlackBoxModel, df: &DataFrame) -> f64 {
+///
+/// The model must output exactly two probability columns; anything else is
+/// rejected rather than silently scoring an arbitrary column.
+pub fn model_auc(model: &dyn BlackBoxModel, df: &DataFrame) -> Result<f64, ModelError> {
     let proba = model.predict_proba(df);
-    let scores = proba.column(1.min(proba.cols().saturating_sub(1)));
+    if proba.cols() != 2 {
+        return Err(ModelError::new(format!(
+            "AUC requires a binary model with 2 probability columns, got {}",
+            proba.cols()
+        )));
+    }
+    let scores = proba.column(1);
     let labels: Vec<bool> = df.labels().iter().map(|&l| l == 1).collect();
-    lvp_stats::auc_binary(&scores, &labels)
+    Ok(lvp_stats::auc_binary(&scores, &labels))
 }
 
 /// One-hot encodes integer labels as an `n × m` indicator matrix.

@@ -7,7 +7,7 @@ use crate::linear::{default_lr_grid, LogisticRegression};
 use crate::mlp::{default_mlp_grid, NeuralNet};
 use crate::{BlackBoxModel, Classifier, ModelError};
 use lvp_dataframe::DataFrame;
-use lvp_featurize::{FeaturePipeline, PipelineConfig};
+use lvp_featurize::{CacheStats, FeaturePipeline, PipelineConfig, ShardedEncodingCache};
 use lvp_linalg::DenseMatrix;
 use rand::Rng;
 
@@ -17,10 +17,20 @@ use rand::Rng;
 /// outside — downstream consumers can only call
 /// [`BlackBoxModel::predict_proba`] on raw tuples, matching the paper's
 /// problem statement.
+///
+/// Internally, featurization runs through a sharded, identity-keyed
+/// [`ShardedEncodingCache`]: copy-on-write copies of an already-seen frame
+/// re-encode only the columns they actually rewrote. The cache is invisible
+/// through [`BlackBoxModel`] — cached blocks are bit-identical to freshly
+/// encoded ones, so `predict_proba` returns the same probabilities with or
+/// without it, on any thread schedule.
 pub struct PipelineModel {
     featurizer: FeaturePipeline,
     classifier: Box<dyn Classifier>,
     name: String,
+    /// Interior mutability keeps the `&self` black box contract while each
+    /// worker thread populates its own shard.
+    encoding_cache: ShardedEncodingCache,
 }
 
 impl PipelineModel {
@@ -34,13 +44,26 @@ impl PipelineModel {
             featurizer,
             classifier,
             name: name.into(),
+            encoding_cache: ShardedEncodingCache::with_default_shards(),
         }
+    }
+
+    /// Aggregated hit/miss/eviction counters of the internal encoding cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.encoding_cache.stats()
+    }
+
+    /// Drops every cached column block (e.g. between unrelated datasets).
+    pub fn clear_encoding_cache(&self) {
+        self.encoding_cache.clear();
     }
 }
 
 impl BlackBoxModel for PipelineModel {
     fn predict_proba(&self, data: &DataFrame) -> DenseMatrix {
-        let x = self.featurizer.transform(data);
+        let x = self
+            .encoding_cache
+            .with_worker_cache(|cache| self.featurizer.transform_cached(data, cache));
         self.classifier.predict_proba(&x)
     }
 
@@ -294,6 +317,41 @@ mod tests {
         assert_eq!(p.cols(), 2);
         // toy_frame's label is perfectly encoded in the categorical column.
         assert!(model_accuracy(model.as_ref(), &df) > 0.95);
+    }
+
+    #[test]
+    fn encoding_cache_is_invisible_through_the_black_box() {
+        let df = toy_frame(40);
+        let mut rng = StdRng::seed_from_u64(3);
+        let featurizer = FeaturePipeline::fit(&df, &PipelineConfig::default());
+        let x = featurizer.transform(&df);
+        let (lr, _) = crate::linear::LogisticRegression::fit_cv(
+            &x,
+            df.labels(),
+            df.n_classes(),
+            &crate::linear::default_lr_grid(),
+            CV_FOLDS,
+            &mut rng,
+        )
+        .unwrap();
+        let model = PipelineModel::new(featurizer.clone(), Box::new(lr.clone()), "lr");
+        // Cold reference: featurize without any cache, classify directly.
+        let reference = lr.predict_proba(&featurizer.transform(&df));
+        // Two cached calls (second fully hits) must match it bit for bit.
+        assert_eq!(model.predict_proba(&df), reference);
+        assert_eq!(model.predict_proba(&df), reference);
+        let stats = model.cache_stats();
+        assert_eq!(stats.misses, df.n_cols() as u64);
+        assert_eq!(stats.hits, df.n_cols() as u64);
+        // A copy-on-write corruption re-encodes only the touched column.
+        let mut corrupted = df.clone();
+        corrupted.column_mut(0).set_null(5);
+        let expected = lr.predict_proba(&featurizer.transform(&corrupted));
+        assert_eq!(model.predict_proba(&corrupted), expected);
+        let stats = model.cache_stats();
+        assert_eq!(stats.misses, df.n_cols() as u64 + 1);
+        model.clear_encoding_cache();
+        assert_eq!(model.cache_stats().entries, 0);
     }
 
     #[test]

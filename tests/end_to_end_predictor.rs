@@ -84,7 +84,9 @@ fn predictor_supports_auc_metric() {
     let predictor =
         PerformancePredictor::fit(Arc::clone(&model), &test, &gens, &config, &mut rng).unwrap();
     let est = predictor.predict(&serving).unwrap();
-    let truth = Metric::Auc.score_model(model.as_ref(), &serving);
+    let truth = Metric::Auc
+        .score_model(model.as_ref(), &serving)
+        .expect("lr on heart is binary");
     assert!(
         (est - truth).abs() < 0.15,
         "AUC estimate {est} vs true {truth}"
