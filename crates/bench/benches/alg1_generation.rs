@@ -8,9 +8,12 @@
 //! EXPERIMENTS.md.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lvp_core::{generate_training_examples_seeded, Metric};
+use lvp_core::{
+    generate_training_examples_instrumented, generate_training_examples_seeded, Metric,
+};
 use lvp_corruptions::standard_tabular_suite;
 use lvp_models::{train_model_quick, BlackBoxModel, ModelKind};
+use lvp_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -36,15 +39,39 @@ fn bench_alg1_generation(c: &mut Criterion) {
         )
         .expect("accuracy metric fits any class count")
     };
+    let registry = Registry::new();
+    let run_instrumented = |parallel: bool| {
+        generate_training_examples_instrumented(
+            model.as_ref(),
+            &test,
+            &gens,
+            25,
+            5,
+            Metric::Accuracy,
+            42,
+            parallel,
+            Some(&registry),
+        )
+        .expect("accuracy metric fits any class count")
+    };
 
-    // Sanity: the two paths must agree before we time them.
+    // Sanity: all paths must agree before we time them.
     assert_eq!(run(false), run(true));
+    assert_eq!(run(false), run_instrumented(false));
 
     c.bench_function("alg1_generation_sequential_4gens_x25", |b| {
         b.iter(|| run(false))
     });
     c.bench_function("alg1_generation_parallel_4gens_x25", |b| {
         b.iter(|| run(true))
+    });
+    // Instrumented variants quantify the telemetry overhead (phase timers,
+    // counter increments, cache-stat publishing) against the bare loop.
+    c.bench_function("alg1_generation_sequential_instrumented", |b| {
+        b.iter(|| run_instrumented(false))
+    });
+    c.bench_function("alg1_generation_parallel_instrumented", |b| {
+        b.iter(|| run_instrumented(true))
     });
 }
 

@@ -21,9 +21,11 @@ use lvp_corruptions::ErrorGen;
 use lvp_dataframe::DataFrame;
 use lvp_linalg::DenseMatrix;
 use lvp_models::BlackBoxModel;
+use lvp_telemetry::{Counter, Histogram, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Derives the RNG seed for one (generator, run) task.
 ///
@@ -106,15 +108,93 @@ where
     T: Send,
     F: Fn(GeneratedBatch<'_>) -> T + Sync,
 {
+    generate_batches_instrumented(
+        model,
+        test,
+        generators,
+        runs_per_generator,
+        clean_copies,
+        metric,
+        master_seed,
+        parallel,
+        None,
+        featurize,
+    )
+}
+
+/// Pre-resolved registry handles for the generation loop. Resolved once
+/// before the fan-out; each task touches only atomics.
+struct EngineMetrics {
+    /// `engine.batches_generated` — total batches (corrupt + clean).
+    batches: Counter,
+    /// `engine.batches_clean` — clean-copy batches only.
+    clean: Counter,
+    /// `engine.seeds_used` — per-run RNG seeds derived (== tasks run).
+    seeds: Counter,
+    /// `engine.generate_phase` — subsample + corrupt wall time per batch.
+    generate: Histogram,
+    /// `engine.score_phase` — model inference + metric wall time per batch.
+    score: Histogram,
+    /// `engine.featurize_phase` — featurize-closure wall time per batch.
+    featurize: Histogram,
+}
+
+impl EngineMetrics {
+    fn resolve(registry: &Registry) -> Self {
+        Self {
+            batches: registry.counter("engine.batches_generated"),
+            clean: registry.counter("engine.batches_clean"),
+            seeds: registry.counter("engine.seeds_used"),
+            generate: registry.histogram("engine.generate_phase"),
+            score: registry.histogram("engine.score_phase"),
+            featurize: registry.histogram("engine.featurize_phase"),
+        }
+    }
+}
+
+/// [`generate_batches_seeded`] with optional telemetry.
+///
+/// When `telemetry` is `Some`, the engine records per-phase wall-clock
+/// histograms (`engine.generate_phase`, `engine.score_phase`,
+/// `engine.featurize_phase`), batch/seed counters, and — after the loop —
+/// flushes the model's buffered metrics via
+/// [`BlackBoxModel::publish_telemetry`]. Counter and histogram-count totals
+/// are identical at any thread count (atomic adds commute); histogram
+/// *buckets* hold wall-clock data and are excluded from deterministic
+/// snapshot views. Telemetry never touches an RNG, so the generated batches
+/// are bit-identical with and without it.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_batches_instrumented<T, F>(
+    model: &dyn BlackBoxModel,
+    test: &DataFrame,
+    generators: &[Box<dyn ErrorGen>],
+    runs_per_generator: usize,
+    clean_copies: usize,
+    metric: Metric,
+    master_seed: u64,
+    parallel: bool,
+    telemetry: Option<&Registry>,
+    featurize: F,
+) -> Result<Vec<T>, CoreError>
+where
+    T: Send,
+    F: Fn(GeneratedBatch<'_>) -> T + Sync,
+{
     metric.validate_n_classes(model.n_classes())?;
     let clean_stream = generators.len();
     let tasks: Vec<(usize, usize)> = (0..generators.len())
         .flat_map(|g| (0..runs_per_generator).map(move |r| (g, r)))
         .chain((0..clean_copies).map(|r| (clean_stream, r)))
         .collect();
+    let metrics = telemetry.map(EngineMetrics::resolve);
+    let metrics = metrics.as_ref();
 
     let run_one = |(g, r): (usize, usize)| -> T {
         let mut rng = StdRng::seed_from_u64(derive_run_seed(master_seed, g, r));
+        if let Some(m) = metrics {
+            m.seeds.inc();
+        }
+        let started = Instant::now();
         let batch = if g < clean_stream {
             // Corrupt a random-size subsample so the learned regressor sees
             // the same batch-size regime it will face at serving time
@@ -123,14 +203,20 @@ where
             let lo = subsample_lower_bound(test.n_rows());
             let base = test.sample_n(rng.gen_range(lo..=test.n_rows()), &mut rng);
             let corrupted = generators[g].corrupt_with_model(&base, Some(model), &mut rng);
+            let generated = Instant::now();
             let proba = model.predict_proba(&corrupted);
-            GeneratedBatch {
+            let batch = GeneratedBatch {
                 score: metric
                     .score(&proba, corrupted.labels())
                     .expect("metric validated against the model's class count above"),
                 proba,
                 generator: generators[g].name(),
+            };
+            if let Some(m) = metrics {
+                m.generate.record(generated - started);
+                m.score.record(generated.elapsed());
             }
+            batch
         } else {
             // Clean copies teach the meta-model the error-free regime; the
             // rows are still subsampled so the batch-size distribution
@@ -138,23 +224,44 @@ where
             let n = test.n_rows();
             let take = rng.gen_range((n / 2).max(1)..=n);
             let clean = test.sample_n(take, &mut rng);
+            let generated = Instant::now();
             let proba = model.predict_proba(&clean);
-            GeneratedBatch {
+            let batch = GeneratedBatch {
                 score: metric
                     .score(&proba, clean.labels())
                     .expect("metric validated against the model's class count above"),
                 proba,
                 generator: "clean",
+            };
+            if let Some(m) = metrics {
+                m.generate.record(generated - started);
+                m.score.record(generated.elapsed());
+                m.clean.inc();
             }
+            batch
         };
-        featurize(batch)
+        if let Some(m) = metrics {
+            m.batches.inc();
+            let featurize_started = Instant::now();
+            let out = featurize(batch);
+            m.featurize.record(featurize_started.elapsed());
+            out
+        } else {
+            featurize(batch)
+        }
     };
 
-    Ok(if parallel {
+    let results = if parallel {
         tasks.into_par_iter().map(run_one).collect()
     } else {
         tasks.into_iter().map(run_one).collect()
-    })
+    };
+    if telemetry.is_some() {
+        // Flush model-internal totals (e.g. encoding-cache counters) that
+        // the hot path only buffers locally.
+        model.publish_telemetry();
+    }
+    Ok(results)
 }
 
 /// Seeded variant of
@@ -173,7 +280,7 @@ pub fn generate_training_examples_seeded(
     master_seed: u64,
     parallel: bool,
 ) -> Result<Vec<TrainingExample>, CoreError> {
-    generate_batches_seeded(
+    generate_training_examples_instrumented(
         model,
         test,
         generators,
@@ -182,6 +289,34 @@ pub fn generate_training_examples_seeded(
         metric,
         master_seed,
         parallel,
+        None,
+    )
+}
+
+/// [`generate_training_examples_seeded`] with optional telemetry (see
+/// [`generate_batches_instrumented`] for the metrics recorded).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_training_examples_instrumented(
+    model: &dyn BlackBoxModel,
+    test: &DataFrame,
+    generators: &[Box<dyn ErrorGen>],
+    runs_per_generator: usize,
+    clean_copies: usize,
+    metric: Metric,
+    master_seed: u64,
+    parallel: bool,
+    telemetry: Option<&Registry>,
+) -> Result<Vec<TrainingExample>, CoreError> {
+    generate_batches_instrumented(
+        model,
+        test,
+        generators,
+        runs_per_generator,
+        clean_copies,
+        metric,
+        master_seed,
+        parallel,
+        telemetry,
         |batch| TrainingExample {
             features: prediction_statistics(&batch.proba),
             score: batch.score,
@@ -225,6 +360,79 @@ mod tests {
         assert_eq!(subsample_lower_bound(9), 4);
         assert_eq!(subsample_lower_bound(10), 5);
         assert_eq!(subsample_lower_bound(300), 100);
+    }
+
+    #[test]
+    fn subsample_range_composes_with_sample_n_for_every_frame_size() {
+        // The generation loop draws `sample_n(gen_range(lo..=n))`; the whole
+        // range must produce exactly-sized samples for any frame size,
+        // including the tiny-frame fallback and the `take == n` endpoint
+        // where `sample_n` must return the full frame (not panic or pad).
+        use lvp_dataframe::toy_frame;
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 2, 3, 5, 10, 11, 31] {
+            let df = toy_frame(n);
+            let lo = subsample_lower_bound(n);
+            for take in lo..=n {
+                assert_eq!(df.sample_n(take, &mut rng).n_rows(), take, "n={n}");
+            }
+            // Oversized requests (beyond the generation loop's range) cap.
+            assert_eq!(df.sample_n(n + 1, &mut rng).n_rows(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn instrumented_engine_counts_batches_and_leaves_output_unchanged() {
+        let df = toy_frame(100);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut model = train_logistic_regression(&df, &mut rng).unwrap();
+        let registry = Registry::new();
+        model.attach_telemetry(&registry);
+        let gens = standard_tabular_suite(df.schema());
+        let plain = generate_training_examples_seeded(
+            model.as_ref(),
+            &df,
+            &gens,
+            3,
+            2,
+            Metric::Accuracy,
+            5,
+            true,
+        )
+        .unwrap();
+        let instrumented = generate_training_examples_instrumented(
+            model.as_ref(),
+            &df,
+            &gens,
+            3,
+            2,
+            Metric::Accuracy,
+            5,
+            true,
+            Some(&registry),
+        )
+        .unwrap();
+        assert_eq!(plain, instrumented, "telemetry must not perturb batches");
+        let total = (gens.len() * 3 + 2) as u64;
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["engine.batches_generated"], total);
+        assert_eq!(snap.counters["engine.batches_clean"], 2);
+        assert_eq!(snap.counters["engine.seeds_used"], total);
+        for phase in [
+            "engine.generate_phase",
+            "engine.score_phase",
+            "engine.featurize_phase",
+        ] {
+            let h = &snap.histograms[phase];
+            assert_eq!(h.count, total, "{phase}");
+            assert_eq!(h.bucket_total(), h.count, "{phase}");
+        }
+        // The engine flushed the model's cache counters at the end.
+        assert!(snap.counters.contains_key("model.cache.hits"));
+        assert!(
+            snap.counters["model.predict.calls"] >= 2 * total,
+            "both runs went through the instrumented model"
+        );
     }
 
     #[test]

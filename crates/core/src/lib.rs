@@ -28,11 +28,12 @@ mod validator;
 
 pub use baselines::{Baseline, BbseDetector, BbseHardDetector, RelationalShiftDetector};
 pub use engine::{
-    derive_run_seed, generate_batches_seeded, generate_training_examples_seeded,
+    derive_run_seed, generate_batches_instrumented, generate_batches_seeded,
+    generate_training_examples_instrumented, generate_training_examples_seeded,
     subsample_lower_bound, GeneratedBatch,
 };
 pub use features::{feature_dimensionality, prediction_statistics};
-pub use monitor::{BatchMonitor, BatchReport, MonitorPolicy};
+pub use monitor::{BatchMonitor, BatchReport, BatchTelemetry, ClassDrift, MonitorPolicy};
 pub use persistence::{
     from_json, load_json, save_json, to_json, verdicts_identical, MetricTag, MonitorArtifact,
     PredictorArtifact, ValidatorArtifact, ARTIFACT_VERSION,

@@ -11,6 +11,9 @@
 
 use crate::{CoreError, PerformancePredictor};
 use lvp_dataframe::DataFrame;
+use lvp_linalg::DenseMatrix;
+use lvp_stats::ks_two_sample;
+use lvp_telemetry::{Counter, Gauge, Registry};
 use serde::{Deserialize, Serialize};
 
 /// Alarm policy for a [`BatchMonitor`].
@@ -35,8 +38,32 @@ impl Default for MonitorPolicy {
     }
 }
 
+/// Drift evidence for one class column: a two-sample KS test of the model's
+/// serving-batch output distribution against its reference (held-out test)
+/// output distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDrift {
+    /// Class column index.
+    pub class: usize,
+    /// KS D statistic between serving and reference output distributions.
+    pub statistic: f64,
+    /// Asymptotic p-value under "no drift".
+    pub p_value: f64,
+}
+
+/// Per-batch observability payload carried on every [`BatchReport`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BatchTelemetry {
+    /// Consecutive-smoothed-violation streak *after* this batch.
+    pub violation_streak: usize,
+    /// Per-class output drift against the retained reference outputs;
+    /// empty unless [`BatchMonitor::retain_reference_outputs`] was called
+    /// and the batch went through [`BatchMonitor::observe`].
+    pub per_class_ks: Vec<ClassDrift>,
+}
+
 /// The monitor's verdict on one batch.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
     /// Sequence number of the batch (starting at 0, monotonically
     /// increasing across restarts restored from a
@@ -55,6 +82,8 @@ pub struct BatchReport {
     pub smoothed_violation: bool,
     /// Whether the debounced alarm is firing.
     pub alarm: bool,
+    /// Streak state and per-class drift statistics for this batch.
+    pub telemetry: BatchTelemetry,
 }
 
 /// Tracks estimated scores across a stream of serving batches and raises
@@ -69,6 +98,27 @@ pub struct BatchMonitor {
     /// (restored from a [`MonitorArtifact`](crate::MonitorArtifact));
     /// `history` only holds this process's reports.
     batches_seen: usize,
+    /// Model outputs on the reference (held-out test) frame, retained for
+    /// per-class drift tests. `None` until
+    /// [`Self::retain_reference_outputs`] is called (and after a restore —
+    /// artifacts do not persist output matrices).
+    reference_outputs: Option<DenseMatrix>,
+    metrics: Option<MonitorMetrics>,
+}
+
+/// Pre-resolved registry handles for [`BatchMonitor::observe`]. All values
+/// derive from seeded estimates, so none are volatile.
+struct MonitorMetrics {
+    /// `monitor.raw_score` — the latest raw estimate.
+    raw: Gauge,
+    /// `monitor.smoothed_score` — the latest EWMA value.
+    smoothed: Gauge,
+    /// `monitor.violation_streak` — the current debounce streak.
+    streak: Gauge,
+    /// `monitor.alarm_batches` — batches reported with the alarm firing.
+    alarms: Counter,
+    /// `monitor.batches_observed` — total batches observed.
+    batches: Counter,
 }
 
 impl BatchMonitor {
@@ -90,32 +140,93 @@ impl BatchMonitor {
             smoothed: None,
             violation_streak: 0,
             batches_seen: 0,
+            reference_outputs: None,
+            metrics: None,
         })
+    }
+
+    /// Registers the monitor's gauges and counters with `registry`
+    /// (`monitor.raw_score`, `monitor.smoothed_score`,
+    /// `monitor.violation_streak`, `monitor.alarm_batches`,
+    /// `monitor.batches_observed`). All of them track seeded estimates, so
+    /// they appear in deterministic snapshot views.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = Some(MonitorMetrics {
+            raw: registry.gauge("monitor.raw_score"),
+            smoothed: registry.gauge("monitor.smoothed_score"),
+            streak: registry.gauge("monitor.violation_streak"),
+            alarms: registry.counter("monitor.alarm_batches"),
+            batches: registry.counter("monitor.batches_observed"),
+        });
+    }
+
+    /// Computes and retains the model's outputs on `reference` (normally
+    /// the held-out test frame the predictor was fitted on). Subsequent
+    /// [`Self::observe`] calls run a per-class KS drift test of each
+    /// batch's output distribution against these columns and attach the
+    /// results to [`BatchReport::telemetry`].
+    pub fn retain_reference_outputs(&mut self, reference: &DataFrame) -> Result<(), CoreError> {
+        self.reference_outputs = Some(self.predictor.model_outputs(reference)?);
+        Ok(())
     }
 
     /// Scores one serving batch and updates the alarm state.
     pub fn observe(&mut self, batch: &DataFrame) -> Result<BatchReport, CoreError> {
-        let estimate = self.predictor.predict(batch)?;
-        Ok(self.observe_estimate(estimate))
+        let (estimate, proba) = self.predictor.predict_with_outputs(batch)?;
+        let per_class_ks = match &self.reference_outputs {
+            Some(reference) => (0..proba.cols().min(reference.cols()))
+                .map(|class| {
+                    let outcome = ks_two_sample(&proba.column(class), &reference.column(class));
+                    ClassDrift {
+                        class,
+                        statistic: outcome.statistic,
+                        p_value: outcome.p_value,
+                    }
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        Ok(self.record(estimate, per_class_ks))
     }
 
     /// Updates the monitor from an externally computed estimate (e.g. when
     /// the predictor runs in a different process).
+    ///
+    /// The very first finite estimate seeds the EWMA directly (no zero-init
+    /// bias: `smoothed == estimate` for batch 0, so a healthy first batch
+    /// can never trip the smoothed signal). A non-finite estimate carries no
+    /// information and is quarantined: it is reported verbatim but not folded
+    /// into the EWMA — one NaN would otherwise poison every subsequent
+    /// smoothed value — and it neither extends nor resets the streak.
     pub fn observe_estimate(&mut self, estimate: f64) -> BatchReport {
+        self.record(estimate, Vec::new())
+    }
+
+    fn record(&mut self, estimate: f64, per_class_ks: Vec<ClassDrift>) -> BatchReport {
         let alpha = self.policy.ewma_alpha;
-        let smoothed = match self.smoothed {
-            Some(prev) => alpha * estimate + (1.0 - alpha) * prev,
-            None => estimate,
+        let finite = estimate.is_finite();
+        let smoothed = if finite {
+            let next = match self.smoothed {
+                Some(prev) => alpha * estimate + (1.0 - alpha) * prev,
+                None => estimate,
+            };
+            self.smoothed = Some(next);
+            next
+        } else {
+            // Report the last healthy EWMA (or the test score before any
+            // observation) without mutating state.
+            self.smoothed.unwrap_or_else(|| self.predictor.test_score())
         };
-        self.smoothed = Some(smoothed);
 
         let cutoff = (1.0 - self.policy.threshold) * self.predictor.test_score();
-        let raw_violation = estimate < cutoff;
-        let smoothed_violation = smoothed < cutoff;
-        if smoothed_violation {
-            self.violation_streak += 1;
-        } else {
-            self.violation_streak = 0;
+        let raw_violation = finite && estimate < cutoff;
+        let smoothed_violation = finite && smoothed < cutoff;
+        if finite {
+            if smoothed_violation {
+                self.violation_streak += 1;
+            } else {
+                self.violation_streak = 0;
+            }
         }
         let report = BatchReport {
             batch_index: self.batches_seen,
@@ -124,9 +235,22 @@ impl BatchMonitor {
             raw_violation,
             smoothed_violation,
             alarm: self.violation_streak >= self.policy.consecutive_violations,
+            telemetry: BatchTelemetry {
+                violation_streak: self.violation_streak,
+                per_class_ks,
+            },
         };
+        if let Some(m) = &self.metrics {
+            m.raw.set(estimate);
+            m.smoothed.set(smoothed);
+            m.streak.set(self.violation_streak as f64);
+            m.batches.inc();
+            if report.alarm {
+                m.alarms.inc();
+            }
+        }
         self.batches_seen += 1;
-        self.history.push(report);
+        self.history.push(report.clone());
         report
     }
 
@@ -274,6 +398,76 @@ mod tests {
     }
 
     #[test]
+    fn first_clean_batch_never_alarms_even_with_instant_debounce() {
+        // Regression: with a zero-initialized EWMA the first smoothed value
+        // would be α·estimate, far below the cutoff, and a policy with
+        // consecutive_violations = 1 would page on a perfectly healthy first
+        // batch. Seeding the EWMA with the raw estimate removes that bias.
+        let (mut m, serving) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            consecutive_violations: 1,
+            ewma_alpha: 0.1, // small α maximizes the hypothetical init bias
+        });
+        let mut rng = StdRng::seed_from_u64(35);
+        let r = m.observe(&serving.sample_n(100, &mut rng)).unwrap();
+        assert_eq!(
+            r.smoothed, r.estimate,
+            "batch 0 must seed the EWMA with the raw estimate"
+        );
+        assert!(!r.alarm, "{r:?}");
+        assert!(!m.alarming());
+    }
+
+    #[test]
+    fn nan_estimate_does_not_poison_the_ewma() {
+        let (mut m, _) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            consecutive_violations: 2,
+            ewma_alpha: 0.5,
+        });
+        m.observe_estimate(0.9);
+        let r_nan = m.observe_estimate(f64::NAN);
+        assert!(r_nan.estimate.is_nan(), "reported verbatim");
+        assert_eq!(r_nan.smoothed, 0.9, "EWMA untouched by the NaN");
+        assert!(!r_nan.raw_violation && !r_nan.smoothed_violation && !r_nan.alarm);
+        // The stream keeps working afterwards with finite smoothed values.
+        let r = m.observe_estimate(0.7);
+        assert!((r.smoothed - 0.8).abs() < 1e-12, "{r:?}");
+        assert!(r.smoothed.is_finite());
+    }
+
+    #[test]
+    fn nan_estimate_neither_extends_nor_resets_the_streak() {
+        let (mut m, _) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            consecutive_violations: 2,
+            ewma_alpha: 1.0,
+        });
+        m.observe_estimate(0.0); // violation, streak = 1
+        assert_eq!(m.violation_streak(), 1);
+        m.observe_estimate(f64::INFINITY); // no information
+        assert_eq!(m.violation_streak(), 1, "streak held, not reset");
+        let r = m.observe_estimate(0.0); // second real violation
+        assert!(r.alarm, "{r:?}");
+    }
+
+    #[test]
+    fn nan_before_any_finite_estimate_is_harmless() {
+        let (mut m, _) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            consecutive_violations: 1,
+            ewma_alpha: 0.5,
+        });
+        let r = m.observe_estimate(f64::NAN);
+        assert!(!r.alarm && !r.smoothed_violation, "{r:?}");
+        assert!(r.smoothed.is_finite());
+        assert_eq!(m.smoothed(), None, "EWMA still unseeded");
+        // The next finite estimate seeds the EWMA exactly.
+        let r = m.observe_estimate(0.85);
+        assert_eq!(r.smoothed, 0.85);
+    }
+
+    #[test]
     fn ewma_smooths_estimates() {
         let (mut m, _) = monitor(MonitorPolicy {
             ewma_alpha: 0.5,
@@ -307,6 +501,95 @@ mod tests {
             0,
             "streak follows the smoothed signal"
         );
+    }
+
+    #[test]
+    fn attached_registry_tracks_scores_streak_and_alarms() {
+        let (mut m, _) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            consecutive_violations: 2,
+            ewma_alpha: 1.0,
+        });
+        let registry = Registry::new();
+        m.attach_telemetry(&registry);
+        m.observe_estimate(0.9);
+        m.observe_estimate(0.0);
+        let r = m.observe_estimate(0.0);
+        assert!(r.alarm);
+        assert_eq!(r.telemetry.violation_streak, 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["monitor.batches_observed"], 3);
+        assert_eq!(snap.counters["monitor.alarm_batches"], 1);
+        assert_eq!(snap.gauges["monitor.raw_score"], 0.0);
+        assert_eq!(snap.gauges["monitor.smoothed_score"], 0.0);
+        assert_eq!(snap.gauges["monitor.violation_streak"], 2.0);
+        // Monitor metrics derive from seeded estimates → none are volatile.
+        assert!(snap.volatile.is_empty());
+    }
+
+    #[test]
+    fn reference_outputs_enable_per_class_drift_tests() {
+        let (mut m, serving) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            ..MonitorPolicy::default()
+        });
+        let mut rng = StdRng::seed_from_u64(36);
+        // Without retained reference outputs the drift list stays empty.
+        let r = m.observe(&serving.sample_n(80, &mut rng)).unwrap();
+        assert!(r.telemetry.per_class_ks.is_empty());
+
+        m.retain_reference_outputs(&serving).unwrap();
+        let clean = m.observe(&serving.sample_n(80, &mut rng)).unwrap();
+        assert_eq!(clean.telemetry.per_class_ks.len(), 2, "one test per class");
+        for drift in &clean.telemetry.per_class_ks {
+            assert!(drift.statistic.is_finite() && drift.p_value.is_finite());
+            assert!(
+                drift.p_value > 0.01,
+                "clean subsample must not look drifted: {drift:?}"
+            );
+        }
+
+        // Wipe the label-revealing column: outputs shift, KS notices.
+        let mut corrupted = serving.clone();
+        for row in 0..corrupted.n_rows() {
+            corrupted.column_mut(1).set_null(row);
+        }
+        let drifted = m.observe(&corrupted).unwrap();
+        assert!(
+            drifted
+                .telemetry
+                .per_class_ks
+                .iter()
+                .any(|d| d.p_value < 0.01),
+            "{:?}",
+            drifted.telemetry.per_class_ks
+        );
+    }
+
+    #[test]
+    fn single_row_batches_flow_through_the_monitor_without_nan() {
+        // End-to-end exercise of the small-sample stats fixes: a one-row
+        // serving batch produces one-element percentile inputs and
+        // one-element KS samples (λ deep in the small-λ regime). Everything
+        // must stay finite and alarm-free on clean data.
+        let (mut m, serving) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            consecutive_violations: 1,
+            ewma_alpha: 1.0,
+        });
+        m.retain_reference_outputs(&serving).unwrap();
+        let mut rng = StdRng::seed_from_u64(37);
+        for _ in 0..3 {
+            let r = m.observe(&serving.sample_n(1, &mut rng)).unwrap();
+            assert!(r.estimate.is_finite() && r.smoothed.is_finite(), "{r:?}");
+            for drift in &r.telemetry.per_class_ks {
+                assert!(drift.p_value.is_finite(), "{drift:?}");
+                assert!(
+                    drift.p_value > 0.05,
+                    "a single row cannot evidence drift: {drift:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The learned performance predictor (Algorithms 1 and 2).
 
-use crate::engine::generate_training_examples_seeded;
+use crate::engine::{generate_training_examples_instrumented, generate_training_examples_seeded};
 use crate::features::prediction_statistics;
 use crate::{CoreError, Metric};
 use lvp_corruptions::ErrorGen;
@@ -8,6 +8,7 @@ use lvp_dataframe::DataFrame;
 use lvp_linalg::DenseMatrix;
 use lvp_models::forest::{default_forest_grid, ForestConfig, RandomForestRegressor};
 use lvp_models::{BlackBoxModel, Regressor};
+use lvp_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -146,6 +147,22 @@ impl PerformancePredictor {
         config: &PredictorConfig,
         rng: &mut StdRng,
     ) -> Result<Self, CoreError> {
+        Self::fit_instrumented(model, test, generators, config, rng, None)
+    }
+
+    /// [`Self::fit`] with optional telemetry: the Algorithm 1 generation
+    /// loop records its per-phase timings and batch counters into
+    /// `registry` (see
+    /// [`generate_batches_instrumented`](crate::generate_batches_instrumented)).
+    /// The fitted predictor is bit-identical with and without telemetry.
+    pub fn fit_instrumented(
+        model: Arc<dyn BlackBoxModel>,
+        test: &DataFrame,
+        generators: &[Box<dyn ErrorGen>],
+        config: &PredictorConfig,
+        rng: &mut StdRng,
+        telemetry: Option<&Registry>,
+    ) -> Result<Self, CoreError> {
         if test.n_rows() == 0 {
             return Err(CoreError::new("held-out test data is empty"));
         }
@@ -155,7 +172,7 @@ impl PerformancePredictor {
         let test_proba = model.predict_proba(test);
         let test_score = config.metric.score(&test_proba, test.labels())?;
 
-        let examples = generate_training_examples_seeded(
+        let examples = generate_training_examples_instrumented(
             model.as_ref(),
             test,
             generators,
@@ -164,6 +181,7 @@ impl PerformancePredictor {
             config.metric,
             rng.gen(),
             config.parallel,
+            telemetry,
         )?;
         let mut predictor = Self::fit_from_examples(model, examples, test_score, config, rng)?;
         predictor.schema_fingerprint = Some(test.schema().fingerprint());
@@ -210,12 +228,31 @@ impl PerformancePredictor {
     /// Algorithm 2: estimates the model's score on an unseen, unlabeled
     /// serving batch.
     pub fn predict(&self, serving: &DataFrame) -> Result<f64, CoreError> {
-        if serving.n_rows() == 0 {
+        self.predict_with_outputs(serving)
+            .map(|(estimate, _)| estimate)
+    }
+
+    /// [`Self::predict`], also returning the black box model's raw output
+    /// matrix for the batch. Consumers that need the outputs anyway (e.g.
+    /// a monitor running per-class drift tests against reference outputs)
+    /// avoid a second `predict_proba` pass.
+    pub fn predict_with_outputs(
+        &self,
+        serving: &DataFrame,
+    ) -> Result<(f64, DenseMatrix), CoreError> {
+        let proba = self.model_outputs(serving)?;
+        let estimate = self.predict_from_outputs(&proba)?;
+        Ok((estimate, proba))
+    }
+
+    /// The black box model's raw outputs on a non-empty, schema-checked
+    /// frame (no score estimation).
+    pub fn model_outputs(&self, frame: &DataFrame) -> Result<DenseMatrix, CoreError> {
+        if frame.n_rows() == 0 {
             return Err(CoreError::new("serving batch is empty"));
         }
-        check_schema_fingerprint(self.schema_fingerprint, serving)?;
-        let proba = self.model.predict_proba(serving);
-        self.predict_from_outputs(&proba)
+        check_schema_fingerprint(self.schema_fingerprint, frame)?;
+        Ok(self.model.predict_proba(frame))
     }
 
     /// Estimates the score directly from a batch of model outputs.

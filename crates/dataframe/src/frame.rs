@@ -427,6 +427,27 @@ mod tests {
     }
 
     #[test]
+    fn sample_n_oversized_returns_every_row_exactly_once() {
+        // Regression: n > n_rows must be a permutation of the full frame —
+        // all rows present, none duplicated — not a short or padded sample.
+        let df = toy_frame(7);
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [7, 8, 100, usize::MAX] {
+            let s = df.sample_n(n, &mut rng);
+            assert_eq!(s.n_rows(), 7, "n={n}");
+            let mut labels: Vec<u32> = s.labels().to_vec();
+            labels.sort_unstable();
+            let mut want: Vec<u32> = df.labels().to_vec();
+            want.sort_unstable();
+            assert_eq!(labels, want, "n={n}");
+        }
+        // Degenerate frames stay well-defined.
+        let empty = df.sample_n(0, &mut rng);
+        assert_eq!(empty.n_rows(), 0);
+        assert_eq!(empty.n_cols(), df.n_cols());
+    }
+
+    #[test]
     fn balance_classes_equalizes_counts() {
         // 8 even (class 0), but drop some to make it unbalanced: build custom.
         let schema = Schema::new(vec![Field::new("x", ColumnType::Numeric)]).unwrap();

@@ -23,6 +23,7 @@
 
 use lvp_dataframe::{Column, ColumnId};
 use lvp_linalg::ColumnBlock;
+use lvp_telemetry::{Counter, Gauge, Registry};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -173,6 +174,22 @@ impl Default for EncodingCache {
 /// so any thread may safely hit any shard's entries.
 pub struct ShardedEncodingCache {
     shards: Vec<Mutex<EncodingCache>>,
+    telemetry: Option<CacheTelemetry>,
+}
+
+/// Registry handles the cache publishes into, plus the totals already
+/// published (so each [`ShardedEncodingCache::publish_stats`] call adds
+/// only the delta and the registry counters stay monotonic).
+///
+/// Hit/miss/eviction totals depend on which shard each worker thread lands
+/// on, so every metric here is registered *volatile* — present in raw
+/// snapshots, dropped from the deterministic view.
+struct CacheTelemetry {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    entries: Gauge,
+    published: Mutex<CacheStats>,
 }
 
 impl ShardedEncodingCache {
@@ -184,7 +201,39 @@ impl ShardedEncodingCache {
             shards: (0..n)
                 .map(|_| Mutex::new(EncodingCache::with_capacity(max_entries_per_shard)))
                 .collect(),
+            telemetry: None,
         }
+    }
+
+    /// Registers this cache's counters under `prefix` (e.g. `model.cache`
+    /// → `model.cache.hits`, `.misses`, `.evictions`, `.entries`).
+    ///
+    /// All four metrics are *volatile*: shard scheduling makes the totals
+    /// thread-schedule-dependent, so they are excluded from deterministic
+    /// snapshot views. Counters advance on [`Self::publish_stats`], not on
+    /// every lookup — the hot path stays free of registry traffic.
+    pub fn attach_telemetry(&mut self, registry: &Registry, prefix: &str) {
+        self.telemetry = Some(CacheTelemetry {
+            hits: registry.volatile_counter(&format!("{prefix}.hits")),
+            misses: registry.volatile_counter(&format!("{prefix}.misses")),
+            evictions: registry.volatile_counter(&format!("{prefix}.evictions")),
+            entries: registry.volatile_gauge(&format!("{prefix}.entries")),
+            published: Mutex::new(CacheStats::default()),
+        });
+    }
+
+    /// Pushes the counters accumulated since the last publish into the
+    /// attached registry (no-op when none is attached).
+    pub fn publish_stats(&self) {
+        let Some(t) = &self.telemetry else { return };
+        let now = self.stats();
+        let mut published = t.published.lock().unwrap_or_else(|p| p.into_inner());
+        t.hits.add(now.hits.saturating_sub(published.hits));
+        t.misses.add(now.misses.saturating_sub(published.misses));
+        t.evictions
+            .add(now.evictions.saturating_sub(published.evictions));
+        t.entries.set(now.entries as f64);
+        *published = now;
     }
 
     /// Shard count sized for this machine's parallelism, default capacity.
@@ -291,6 +340,31 @@ mod tests {
         assert_eq!(cache.stats().evictions, 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn publish_stats_emits_monotonic_deltas() {
+        let registry = Registry::new();
+        let mut sharded = ShardedEncodingCache::new(1, 8);
+        sharded.attach_telemetry(&registry, "cache");
+        let df = toy_frame(4);
+        sharded.with_worker_cache(|c| {
+            c.get_or_encode(0, df.column_id(0), &df.column_shared(0), one_row_block);
+            c.get_or_encode(0, df.column_id(0), &df.column_shared(0), one_row_block);
+        });
+        sharded.publish_stats();
+        // Publishing twice with no new traffic must not double-count.
+        sharded.publish_stats();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["cache.hits"], 1);
+        assert_eq!(snap.counters["cache.misses"], 1);
+        assert_eq!(snap.counters["cache.evictions"], 0);
+        assert_eq!(snap.gauges["cache.entries"], 1.0);
+        // Cache metrics are scheduling-dependent → volatile.
+        assert!(snap.volatile.contains(&"cache.hits".to_string()));
+        assert!(snap.deterministic().counters.is_empty());
+        // Unattached caches ignore the call.
+        ShardedEncodingCache::new(1, 8).publish_stats();
     }
 
     #[test]

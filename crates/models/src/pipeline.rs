@@ -9,6 +9,7 @@ use crate::{BlackBoxModel, Classifier, ModelError};
 use lvp_dataframe::DataFrame;
 use lvp_featurize::{CacheStats, FeaturePipeline, PipelineConfig, ShardedEncodingCache};
 use lvp_linalg::DenseMatrix;
+use lvp_telemetry::{Counter, Histogram, Registry, Span};
 use rand::Rng;
 
 /// A feature pipeline and classifier bundled behind the black box contract.
@@ -31,6 +32,15 @@ pub struct PipelineModel {
     /// Interior mutability keeps the `&self` black box contract while each
     /// worker thread populates its own shard.
     encoding_cache: ShardedEncodingCache,
+    telemetry: Option<PredictTelemetry>,
+}
+
+/// Pre-resolved registry handles for the `predict_proba` hot path: pure
+/// atomics per call, no name lookups.
+struct PredictTelemetry {
+    calls: Counter,
+    rows: Counter,
+    latency: Histogram,
 }
 
 impl PipelineModel {
@@ -45,6 +55,7 @@ impl PipelineModel {
             classifier,
             name: name.into(),
             encoding_cache: ShardedEncodingCache::with_default_shards(),
+            telemetry: None,
         }
     }
 
@@ -61,6 +72,11 @@ impl PipelineModel {
 
 impl BlackBoxModel for PipelineModel {
     fn predict_proba(&self, data: &DataFrame) -> DenseMatrix {
+        let _span = self.telemetry.as_ref().map(|t| {
+            t.calls.inc();
+            t.rows.add(data.n_rows() as u64);
+            Span::new(t.latency.clone())
+        });
         let x = self
             .encoding_cache
             .with_worker_cache(|cache| self.featurizer.transform_cached(data, cache));
@@ -73,6 +89,25 @@ impl BlackBoxModel for PipelineModel {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Registers `model.predict.{calls,rows,latency}` plus the encoding
+    /// cache's `model.cache.*` counters. Call/row totals are deterministic
+    /// for a seeded workload; latency buckets are wall-clock and cache
+    /// counters shard-scheduling-dependent, so those stay out of
+    /// deterministic snapshot views.
+    fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(PredictTelemetry {
+            calls: registry.counter("model.predict.calls"),
+            rows: registry.counter("model.predict.rows"),
+            latency: registry.histogram("model.predict.latency"),
+        });
+        self.encoding_cache
+            .attach_telemetry(registry, "model.cache");
+    }
+
+    fn publish_telemetry(&self) {
+        self.encoding_cache.publish_stats();
     }
 }
 
@@ -352,6 +387,38 @@ mod tests {
         assert_eq!(stats.misses, df.n_cols() as u64 + 1);
         model.clear_encoding_cache();
         assert_eq!(model.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn attached_telemetry_counts_calls_rows_and_cache_traffic() {
+        let df = toy_frame(40);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = train_logistic_regression(&df, &mut rng).unwrap();
+        let registry = Registry::new();
+        model.attach_telemetry(&registry);
+        let reference = {
+            let mut rng = StdRng::seed_from_u64(4);
+            train_logistic_regression(&df, &mut rng)
+                .unwrap()
+                .predict_proba(&df)
+        };
+        // Instrumentation must not change the outputs.
+        assert_eq!(model.predict_proba(&df), reference);
+        assert_eq!(model.predict_proba(&df), reference);
+        model.publish_telemetry();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["model.predict.calls"], 2);
+        assert_eq!(snap.counters["model.predict.rows"], 80);
+        let h = &snap.histograms["model.predict.latency"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.bucket_total(), h.count);
+        // The second call hit the cache for every column.
+        assert_eq!(snap.counters["model.cache.hits"], df.n_cols() as u64);
+        assert_eq!(snap.counters["model.cache.misses"], df.n_cols() as u64);
+        // Uninstrumented models stay silent.
+        let quiet = train_logistic_regression(&df, &mut rng).unwrap();
+        quiet.publish_telemetry();
+        quiet.predict_proba(&df);
     }
 
     #[test]

@@ -10,14 +10,17 @@ pub const VIGINTILE_COUNT: usize = 21;
 /// Percentile of an already-sorted slice using linear interpolation
 /// (the same `linear` convention as NumPy's default).
 ///
-/// `q` must be in `[0, 100]`. Empty input returns NaN.
+/// `q` is clamped into `[0, 100]`, so `q = 0` always returns `min` and
+/// `q = 100` always returns `max` — including for tiny inputs (n ≤ 3),
+/// where an unclamped rank used to be able to index one past the end in
+/// release builds when float error nudged a grid endpoint above 100.
+/// Empty input returns NaN.
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    debug_assert!((0.0..=100.0).contains(&q));
     match sorted.len() {
         0 => f64::NAN,
         1 => sorted[0],
         n => {
-            let rank = q / 100.0 * (n - 1) as f64;
+            let rank = (q.clamp(0.0, 100.0) / 100.0 * (n - 1) as f64).clamp(0.0, (n - 1) as f64);
             let lo = rank.floor() as usize;
             let hi = rank.ceil() as usize;
             if lo == hi {
@@ -133,6 +136,33 @@ mod tests {
     fn empty_input_yields_zeros() {
         let out = percentiles(&[], &[0.0, 50.0, 100.0]);
         assert_eq!(out, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn boundary_percentiles_are_exact_for_tiny_inputs() {
+        // q = 0 must be min and q = 100 must be max for n ∈ {1, 2, 3} —
+        // the small-n regime where interpolation ranks land exactly on the
+        // array ends and any off-by-one indexes out of bounds.
+        let cases: [&[f64]; 3] = [&[4.0], &[1.0, 9.0], &[1.0, 5.0, 9.0]];
+        for sorted in cases {
+            let n = sorted.len();
+            assert_eq!(percentile_sorted(sorted, 0.0), sorted[0], "min, n={n}");
+            assert_eq!(
+                percentile_sorted(sorted, 100.0),
+                sorted[n - 1],
+                "max, n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_q_clamps_instead_of_indexing_past_the_end() {
+        // Accumulated float error can push a grid endpoint marginally past
+        // 100; in release builds the old rank computation indexed one past
+        // the end. The clamp pins those to min/max.
+        let sorted = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&sorted, 100.0 + 1e-9), 3.0);
+        assert_eq!(percentile_sorted(&sorted, -1e-9), 1.0);
     }
 
     #[test]

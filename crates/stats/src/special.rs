@@ -111,9 +111,31 @@ pub fn chi2_sf(x: f64, df: f64) -> f64 {
 ///
 /// `Q(λ) = 2 Σ_{j≥1} (-1)^{j-1} exp(-2 j² λ²)`; this is the asymptotic null
 /// distribution of the scaled two-sample KS statistic.
+///
+/// For small `λ` the alternating series converges too slowly (its terms are
+/// all ≈ 1), so a fixed-iteration truncation returns garbage — tiny batches
+/// and near-identical samples land exactly there and used to pick up bogus
+/// near-zero p-values. That regime instead uses the Jacobi-theta transform
+/// of the CDF, `K(λ) = (√(2π)/λ) Σ_{j≥1} exp(−(2j−1)²π²/(8λ²))`, which
+/// converges in a handful of terms, and returns `1 − K(λ)`.
 pub fn kolmogorov_sf(lambda: f64) -> f64 {
     if lambda <= 0.0 {
         return 1.0;
+    }
+    if lambda < 1.0 {
+        let pi = std::f64::consts::PI;
+        let factor = (2.0 * pi).sqrt() / lambda;
+        let scale = pi * pi / (8.0 * lambda * lambda);
+        let mut cdf = 0.0;
+        for j in 1..=20u32 {
+            let odd = f64::from(2 * j - 1);
+            let term = (-odd * odd * scale).exp();
+            cdf += term;
+            if term < 1e-16 * cdf {
+                break;
+            }
+        }
+        return (1.0 - factor * cdf).clamp(0.0, 1.0);
     }
     let mut sum = 0.0;
     let mut sign = 1.0;
@@ -197,6 +219,28 @@ mod tests {
         assert!((v - 0.049).abs() < 2e-3, "got {v}");
         assert_eq!(kolmogorov_sf(0.0), 1.0);
         assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn kolmogorov_sf_small_lambda_is_one_not_garbage() {
+        // Q(λ) → 1 as λ → 0; the truncated alternating series used to
+        // return junk below λ ≈ 0.04 because its terms stay ≈ 1 for 100
+        // iterations. The theta-transform branch must agree with theory.
+        for lambda in [1e-6, 1e-3, 0.01, 0.05, 0.1, 0.2] {
+            let v = kolmogorov_sf(lambda);
+            assert!(v > 1.0 - 1e-9, "Q({lambda}) = {v}");
+        }
+        // Q(0.5) ≈ 0.9639 (tabulated).
+        assert!((kolmogorov_sf(0.5) - 0.9639).abs() < 1e-3);
+    }
+
+    #[test]
+    fn kolmogorov_sf_branches_agree_at_the_crossover() {
+        // The theta series (λ < 1) and the alternating series (λ ≥ 1)
+        // must describe the same distribution where they meet.
+        let below = kolmogorov_sf(1.0 - 1e-9);
+        let above = kolmogorov_sf(1.0);
+        assert!((below - above).abs() < 1e-8, "{below} vs {above}");
     }
 
     #[test]

@@ -234,6 +234,57 @@ mod tests {
     }
 
     #[test]
+    fn ks_one_element_samples_are_well_defined() {
+        // n = m = 1 gives n_e = 0.5, the smallest possible effective sample;
+        // the scaled statistic λ lands deep in the small-λ regime where the
+        // survival function used to return garbage. Identical singletons must
+        // give no evidence, distinct ones a finite, non-significant p-value.
+        let same = ks_two_sample(&[0.3], &[0.3]);
+        assert_eq!(same.statistic, 0.0);
+        assert!((same.p_value - 1.0).abs() < 1e-9);
+
+        let diff = ks_two_sample(&[0.0], &[1.0]);
+        assert!((diff.statistic - 1.0).abs() < 1e-12);
+        assert!(diff.p_value.is_finite());
+        assert!(
+            (0.2..=1.0).contains(&diff.p_value),
+            "one observation apiece can never be significant, p={}",
+            diff.p_value
+        );
+    }
+
+    #[test]
+    fn ks_all_tied_samples_are_well_defined() {
+        // Every value identical within and across samples: D = 0, p = 1.
+        let tied = vec![0.7; 50];
+        let out = ks_two_sample(&tied, &tied);
+        assert_eq!(out.statistic, 0.0);
+        assert!((out.p_value - 1.0).abs() < 1e-9);
+
+        // Two distinct constants: ECDFs are disjoint step functions, D = 1,
+        // and the p-value must be a genuine small number, not NaN.
+        let a = vec![0.0; 50];
+        let b = vec![1.0; 50];
+        let out = ks_two_sample(&a, &b);
+        assert!((out.statistic - 1.0).abs() < 1e-12);
+        assert!(out.p_value.is_finite());
+        assert!(out.p_value < 1e-6, "p={}", out.p_value);
+    }
+
+    #[test]
+    fn ks_all_nan_sample_yields_no_evidence_not_nan() {
+        // A fully-corrupted column filters down to an empty sample; the
+        // outcome must stay finite so it cannot poison monitor EWMAs.
+        let a = [f64::NAN, f64::NAN, f64::NAN];
+        let b = [1.0, 2.0, 3.0];
+        for out in [ks_two_sample(&a, &b), ks_two_sample(&a, &a)] {
+            assert_eq!(out.statistic, 0.0);
+            assert_eq!(out.p_value, 1.0);
+            assert!(out.statistic.is_finite() && out.p_value.is_finite());
+        }
+    }
+
+    #[test]
     fn chi2_identical_counts_not_rejected() {
         let out = chi2_test_counts(&[50.0, 50.0], &[50.0, 50.0]);
         assert_eq!(out.statistic, 0.0);

@@ -56,6 +56,7 @@ pub use lvp_featurize as featurize;
 pub use lvp_linalg as linalg;
 pub use lvp_models as models;
 pub use lvp_stats as stats;
+pub use lvp_telemetry as telemetry;
 
 /// Convenience re-exports covering the common end-to-end workflow.
 pub mod prelude {

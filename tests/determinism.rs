@@ -116,6 +116,40 @@ fn generation_is_identical_across_thread_counts() {
     assert_eq!(one, four);
 }
 
+/// Attaching telemetry must be a pure observer: the instrumented fit path
+/// (engine phase timers, model call counters, cache publishing) never
+/// touches an RNG, so the fitted predictor's estimates are bit-identical
+/// with and without a registry attached.
+#[test]
+fn telemetry_does_not_perturb_predictor_estimates() {
+    let df = lvp::datasets::income(350, &mut StdRng::seed_from_u64(61));
+    let (source, serving) = df.split_frac(0.5, &mut StdRng::seed_from_u64(62));
+    let (train, test) = source.split_frac(0.7, &mut StdRng::seed_from_u64(63));
+
+    let estimate = |instrument: bool| -> f64 {
+        let registry = lvp_telemetry::Registry::new();
+        let mut model =
+            train_model_quick(ModelKind::Lr, &train, &mut StdRng::seed_from_u64(64)).unwrap();
+        if instrument {
+            model.attach_telemetry(&registry);
+        }
+        let model: Arc<dyn BlackBoxModel> = Arc::from(model);
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit_instrumented(
+            model,
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut StdRng::seed_from_u64(65),
+            instrument.then_some(&registry),
+        )
+        .unwrap();
+        predictor.predict(&serving).unwrap()
+    };
+
+    assert_eq!(estimate(false), estimate(true));
+}
+
 /// The trained `PipelineModel` featurizes through a sharded encoding cache
 /// whose per-thread shard assignment is scheduler-dependent. The generation
 /// stream must nonetheless stay bit-identical across sequential/parallel

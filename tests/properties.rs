@@ -47,6 +47,21 @@ proptest! {
     }
 
     #[test]
+    fn percentile_boundaries_hit_min_and_max_exactly(
+        values in prop::collection::vec(-1e6f64..1e6, 1..8),
+    ) {
+        // Small-n boundary contract: q = 0 is exactly min, q = 100 exactly
+        // max (no interpolation slop, no out-of-bounds rank) — the regime
+        // where tiny serving batches land.
+        let out = percentiles(&values, &[0.0, 100.0]);
+        let (min, max) = values
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        prop_assert_eq!(out[0], min);
+        prop_assert_eq!(out[1], max);
+    }
+
+    #[test]
     fn ks_statistic_is_in_unit_interval(
         a in prop::collection::vec(-100f64..100.0, 1..100),
         b in prop::collection::vec(-100f64..100.0, 1..100),
