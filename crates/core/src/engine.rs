@@ -75,6 +75,42 @@ pub struct GeneratedBatch<'a> {
     pub generator: &'a str,
 }
 
+/// A generation task whose batch could not be scored (the serving model
+/// failed terminally), recorded instead of aborting the whole loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedBatch {
+    /// Name of the generator whose run was skipped (`"clean"` for the
+    /// clean-copy stream).
+    pub generator: String,
+    /// Run index within the generator's stream.
+    pub run: usize,
+    /// The terminal serving failure.
+    pub error: lvp_models::ModelError,
+}
+
+/// Result of a fault-tolerant generation loop: the featurized batches that
+/// survived plus a record of every skipped task, both in deterministic
+/// task order.
+#[derive(Debug)]
+pub struct GenerationOutcome<T> {
+    /// Featurized batches whose scoring succeeded, in task order.
+    pub results: Vec<T>,
+    /// Tasks whose scoring failed terminally, in task order.
+    pub skipped: Vec<SkippedBatch>,
+}
+
+impl<T> GenerationOutcome<T> {
+    /// Fraction of generation tasks that produced a usable batch.
+    pub fn survival_fraction(&self) -> f64 {
+        let total = self.results.len() + self.skipped.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.results.len() as f64 / total as f64
+        }
+    }
+}
+
 /// Runs the data-generation loop of Algorithm 1 (lines 3–12) and maps each
 /// generated batch through `featurize`.
 ///
@@ -131,6 +167,9 @@ struct EngineMetrics {
     clean: Counter,
     /// `engine.seeds_used` — per-run RNG seeds derived (== tasks run).
     seeds: Counter,
+    /// `engine.batches_skipped` — tasks dropped because scoring failed
+    /// terminally (resilient path only).
+    skipped: Counter,
     /// `engine.generate_phase` — subsample + corrupt wall time per batch.
     generate: Histogram,
     /// `engine.score_phase` — model inference + metric wall time per batch.
@@ -145,6 +184,7 @@ impl EngineMetrics {
             batches: registry.counter("engine.batches_generated"),
             clean: registry.counter("engine.batches_clean"),
             seeds: registry.counter("engine.seeds_used"),
+            skipped: registry.counter("engine.batches_skipped"),
             generate: registry.histogram("engine.generate_phase"),
             score: registry.histogram("engine.score_phase"),
             featurize: registry.histogram("engine.featurize_phase"),
@@ -180,6 +220,59 @@ where
     T: Send,
     F: Fn(GeneratedBatch<'_>) -> T + Sync,
 {
+    let outcome = generate_batches_resilient(
+        model,
+        test,
+        generators,
+        runs_per_generator,
+        clean_copies,
+        metric,
+        master_seed,
+        parallel,
+        1.0,
+        telemetry,
+        featurize,
+    )?;
+    Ok(outcome.results)
+}
+
+/// Fault-tolerant variant of [`generate_batches_instrumented`]: a task
+/// whose scoring fails terminally (the serving model's
+/// [`BlackBoxModel::try_predict_proba`] returns an error even after its own
+/// retries) is *skipped and recorded* instead of panicking, and the loop
+/// succeeds as long as at least `min_survival` of its tasks produce a
+/// usable batch.
+///
+/// `min_survival` is a fraction in `[0, 1]`; `1.0` demands every task
+/// succeed (the first failure aborts with a [`CoreError`] whose source
+/// chain carries the typed [`lvp_models::ModelError`]). Skip decisions
+/// inherit the engine's determinism: with a content-keyed fault schedule
+/// (see `lvp-models`' `FaultPlan`) the same seed skips the same tasks at
+/// any thread count, and both `results` and `skipped` are collected in
+/// task order.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_batches_resilient<T, F>(
+    model: &dyn BlackBoxModel,
+    test: &DataFrame,
+    generators: &[Box<dyn ErrorGen>],
+    runs_per_generator: usize,
+    clean_copies: usize,
+    metric: Metric,
+    master_seed: u64,
+    parallel: bool,
+    min_survival: f64,
+    telemetry: Option<&Registry>,
+    featurize: F,
+) -> Result<GenerationOutcome<T>, CoreError>
+where
+    T: Send,
+    F: Fn(GeneratedBatch<'_>) -> T + Sync,
+{
+    if !(0.0..=1.0).contains(&min_survival) {
+        return Err(CoreError::new(format!(
+            "min_survival must lie in [0, 1], got {min_survival}"
+        )));
+    }
     metric.validate_n_classes(model.n_classes())?;
     let clean_stream = generators.len();
     let tasks: Vec<(usize, usize)> = (0..generators.len())
@@ -189,13 +282,13 @@ where
     let metrics = telemetry.map(EngineMetrics::resolve);
     let metrics = metrics.as_ref();
 
-    let run_one = |(g, r): (usize, usize)| -> T {
+    let run_one = |(g, r): (usize, usize)| -> Result<T, SkippedBatch> {
         let mut rng = StdRng::seed_from_u64(derive_run_seed(master_seed, g, r));
         if let Some(m) = metrics {
             m.seeds.inc();
         }
         let started = Instant::now();
-        let batch = if g < clean_stream {
+        let (batch_frame, generator_name) = if g < clean_stream {
             // Corrupt a random-size subsample so the learned regressor sees
             // the same batch-size regime it will face at serving time
             // (percentile features are order statistics and therefore
@@ -203,55 +296,53 @@ where
             let lo = subsample_lower_bound(test.n_rows());
             let base = test.sample_n(rng.gen_range(lo..=test.n_rows()), &mut rng);
             let corrupted = generators[g].corrupt_with_model(&base, Some(model), &mut rng);
-            let generated = Instant::now();
-            let proba = model.predict_proba(&corrupted);
-            let batch = GeneratedBatch {
-                score: metric
-                    .score(&proba, corrupted.labels())
-                    .expect("metric validated against the model's class count above"),
-                proba,
-                generator: generators[g].name(),
-            };
-            if let Some(m) = metrics {
-                m.generate.record(generated - started);
-                m.score.record(generated.elapsed());
-            }
-            batch
+            (corrupted, generators[g].name())
         } else {
             // Clean copies teach the meta-model the error-free regime; the
             // rows are still subsampled so the batch-size distribution
             // varies.
             let n = test.n_rows();
             let take = rng.gen_range((n / 2).max(1)..=n);
-            let clean = test.sample_n(take, &mut rng);
-            let generated = Instant::now();
-            let proba = model.predict_proba(&clean);
-            let batch = GeneratedBatch {
-                score: metric
-                    .score(&proba, clean.labels())
-                    .expect("metric validated against the model's class count above"),
-                proba,
-                generator: "clean",
-            };
-            if let Some(m) = metrics {
-                m.generate.record(generated - started);
-                m.score.record(generated.elapsed());
-                m.clean.inc();
+            (test.sample_n(take, &mut rng), "clean")
+        };
+        let generated = Instant::now();
+        let proba = match model.try_predict_proba(&batch_frame) {
+            Ok(proba) => proba,
+            Err(error) => {
+                if let Some(m) = metrics {
+                    m.skipped.inc();
+                }
+                return Err(SkippedBatch {
+                    generator: generator_name.to_string(),
+                    run: r,
+                    error,
+                });
             }
-            batch
+        };
+        let batch = GeneratedBatch {
+            score: metric
+                .score(&proba, batch_frame.labels())
+                .expect("metric validated against the model's class count above"),
+            proba,
+            generator: generator_name,
         };
         if let Some(m) = metrics {
+            m.generate.record(generated - started);
+            m.score.record(generated.elapsed());
+            if g >= clean_stream {
+                m.clean.inc();
+            }
             m.batches.inc();
             let featurize_started = Instant::now();
             let out = featurize(batch);
             m.featurize.record(featurize_started.elapsed());
-            out
+            Ok(out)
         } else {
-            featurize(batch)
+            Ok(featurize(batch))
         }
     };
 
-    let results = if parallel {
+    let collected: Vec<Result<T, SkippedBatch>> = if parallel {
         tasks.into_par_iter().map(run_one).collect()
     } else {
         tasks.into_iter().map(run_one).collect()
@@ -261,7 +352,38 @@ where
         // the hot path only buffers locally.
         model.publish_telemetry();
     }
-    Ok(results)
+    let total = collected.len();
+    let mut results = Vec::with_capacity(total);
+    let mut skipped = Vec::new();
+    for item in collected {
+        match item {
+            Ok(t) => results.push(t),
+            Err(s) => skipped.push(s),
+        }
+    }
+    let survival = if total == 0 {
+        1.0
+    } else {
+        results.len() as f64 / total as f64
+    };
+    if survival < min_survival {
+        let first = skipped
+            .first()
+            .expect("survival below 1.0 implies at least one skip");
+        return Err(CoreError::with_source(
+            format!(
+                "batch generation kept only {}/{} tasks (minimum survival {min_survival}); \
+                 first skip: generator '{}' run {}: {}",
+                results.len(),
+                total,
+                first.generator,
+                first.run,
+                first.error.message
+            ),
+            first.error.clone(),
+        ));
+    }
+    Ok(GenerationOutcome { results, skipped })
 }
 
 /// Seeded variant of
@@ -316,6 +438,40 @@ pub fn generate_training_examples_instrumented(
         metric,
         master_seed,
         parallel,
+        telemetry,
+        |batch| TrainingExample {
+            features: prediction_statistics(&batch.proba),
+            score: batch.score,
+            generator: batch.generator.to_string(),
+        },
+    )
+}
+
+/// Fault-tolerant variant of [`generate_training_examples_instrumented`]
+/// (see [`generate_batches_resilient`] for the skip-and-record contract).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_training_examples_resilient(
+    model: &dyn BlackBoxModel,
+    test: &DataFrame,
+    generators: &[Box<dyn ErrorGen>],
+    runs_per_generator: usize,
+    clean_copies: usize,
+    metric: Metric,
+    master_seed: u64,
+    parallel: bool,
+    min_survival: f64,
+    telemetry: Option<&Registry>,
+) -> Result<GenerationOutcome<TrainingExample>, CoreError> {
+    generate_batches_resilient(
+        model,
+        test,
+        generators,
+        runs_per_generator,
+        clean_copies,
+        metric,
+        master_seed,
+        parallel,
+        min_survival,
         telemetry,
         |batch| TrainingExample {
             features: prediction_statistics(&batch.proba),
@@ -486,6 +642,129 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ex.len(), gens.len() * 3 + 2);
+    }
+
+    /// A model that fails terminally on every batch whose row count is in
+    /// the poisoned set — content-dependent like a real fault plan, so the
+    /// skip schedule is thread-count independent.
+    struct SizePoisoned {
+        inner: Box<dyn BlackBoxModel>,
+        poisoned_rows: usize,
+    }
+
+    impl BlackBoxModel for SizePoisoned {
+        fn predict_proba(&self, data: &DataFrame) -> DenseMatrix {
+            self.try_predict_proba(data).unwrap()
+        }
+        fn try_predict_proba(
+            &self,
+            data: &DataFrame,
+        ) -> Result<DenseMatrix, lvp_models::ModelError> {
+            if data.n_rows().is_multiple_of(self.poisoned_rows) {
+                return Err(lvp_models::ModelError::transient("poisoned batch size"));
+            }
+            Ok(self.inner.predict_proba(data))
+        }
+        fn n_classes(&self) -> usize {
+            self.inner.n_classes()
+        }
+        fn name(&self) -> &str {
+            "size-poisoned"
+        }
+    }
+
+    #[test]
+    fn resilient_generation_skips_and_records_failed_tasks() {
+        let df = toy_frame(90);
+        let mut rng = StdRng::seed_from_u64(21);
+        let model = SizePoisoned {
+            inner: train_logistic_regression(&df, &mut rng).unwrap(),
+            poisoned_rows: 5,
+        };
+        let gens = standard_tabular_suite(df.schema());
+        let registry = Registry::new();
+        let outcome = generate_training_examples_resilient(
+            &model,
+            &df,
+            &gens,
+            4,
+            3,
+            Metric::Accuracy,
+            17,
+            true,
+            0.5,
+            Some(&registry),
+        )
+        .unwrap();
+        let total = gens.len() * 4 + 3;
+        assert!(!outcome.skipped.is_empty(), "some batch sizes divide by 5");
+        assert_eq!(outcome.results.len() + outcome.skipped.len(), total);
+        assert!(outcome.survival_fraction() < 1.0);
+        assert!(outcome.survival_fraction() >= 0.5);
+        for s in &outcome.skipped {
+            assert!(s.error.message.contains("poisoned"), "{:?}", s.error);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["engine.batches_skipped"],
+            outcome.skipped.len() as u64
+        );
+        assert_eq!(
+            snap.counters["engine.batches_generated"],
+            outcome.results.len() as u64
+        );
+
+        // Skip decisions are content-keyed → parallel ≡ sequential, both
+        // for the surviving examples and for the skip record.
+        let sequential = generate_training_examples_resilient(
+            &model,
+            &df,
+            &gens,
+            4,
+            3,
+            Metric::Accuracy,
+            17,
+            false,
+            0.5,
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.results, sequential.results);
+        assert_eq!(outcome.skipped, sequential.skipped);
+    }
+
+    #[test]
+    fn insufficient_survival_aborts_with_the_typed_cause() {
+        let df = toy_frame(40);
+        let mut rng = StdRng::seed_from_u64(22);
+        let model = SizePoisoned {
+            inner: train_logistic_regression(&df, &mut rng).unwrap(),
+            poisoned_rows: 1, // every batch fails
+        };
+        let gens = standard_tabular_suite(df.schema());
+        let err = generate_training_examples_resilient(
+            &model,
+            &df,
+            &gens,
+            2,
+            1,
+            Metric::Accuracy,
+            3,
+            false,
+            0.5,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("minimum survival"), "{err}");
+        // The source chain carries the typed serving failure.
+        let cause = err.model_error().expect("source preserved");
+        assert!(cause.is_retryable());
+
+        // The strict wrapper (min_survival = 1.0) also fails closed.
+        let err =
+            generate_training_examples_seeded(&model, &df, &gens, 2, 1, Metric::Accuracy, 3, false)
+                .unwrap_err();
+        assert!(err.model_error().is_some());
     }
 
     #[test]

@@ -28,9 +28,10 @@ mod validator;
 
 pub use baselines::{Baseline, BbseDetector, BbseHardDetector, RelationalShiftDetector};
 pub use engine::{
-    derive_run_seed, generate_batches_instrumented, generate_batches_seeded,
-    generate_training_examples_instrumented, generate_training_examples_seeded,
-    subsample_lower_bound, GeneratedBatch,
+    derive_run_seed, generate_batches_instrumented, generate_batches_resilient,
+    generate_batches_seeded, generate_training_examples_instrumented,
+    generate_training_examples_resilient, generate_training_examples_seeded, subsample_lower_bound,
+    GeneratedBatch, GenerationOutcome, SkippedBatch,
 };
 pub use features::{feature_dimensionality, prediction_statistics};
 pub use monitor::{BatchMonitor, BatchReport, BatchTelemetry, ClassDrift, MonitorPolicy};
@@ -106,17 +107,45 @@ impl Metric {
 }
 
 /// Errors produced while fitting or applying predictors and validators.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Wrapped failures (notably [`lvp_models::ModelError`]s from a remote
+/// serving path) are kept as a proper `source` chain rather than being
+/// stringified, so callers can walk [`std::error::Error::source`] — or use
+/// [`CoreError::model_error`] — to recover the typed cause and decide, for
+/// instance, whether a failed batch is retryable/degradable.
+#[derive(Debug)]
 pub struct CoreError {
     /// Human-readable description.
     pub message: String,
+    /// The underlying cause, when this error wraps a lower-level failure.
+    source: Option<Box<dyn std::error::Error + Send + Sync>>,
 }
 
 impl CoreError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
+            source: None,
         }
+    }
+
+    pub(crate) fn with_source(
+        message: impl Into<String>,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            message: message.into(),
+            source: Some(Box::new(source)),
+        }
+    }
+
+    /// The wrapped [`lvp_models::ModelError`], if this error originated in
+    /// the model-serving layer. Drives the monitor's degradation decision:
+    /// a serving failure degrades the batch, anything else stays fatal.
+    pub fn model_error(&self) -> Option<&lvp_models::ModelError> {
+        self.source
+            .as_deref()
+            .and_then(|s| s.downcast_ref::<lvp_models::ModelError>())
     }
 }
 
@@ -126,11 +155,17 @@ impl std::fmt::Display for CoreError {
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|s| s as &(dyn std::error::Error + 'static))
+    }
+}
 
 impl From<lvp_models::ModelError> for CoreError {
     fn from(e: lvp_models::ModelError) -> Self {
-        CoreError::new(e.message)
+        CoreError::with_source(e.message.clone(), e)
     }
 }
 

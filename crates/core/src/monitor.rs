@@ -82,6 +82,14 @@ pub struct BatchReport {
     pub smoothed_violation: bool,
     /// Whether the debounced alarm is firing.
     pub alarm: bool,
+    /// Whether this batch was *degraded*: the estimate is withheld (NaN)
+    /// because scoring failed terminally (remote serving failure) or
+    /// produced no information (non-finite estimate). Degraded batches
+    /// leave the EWMA and the violation streak untouched — they are
+    /// evidence of infrastructure trouble, not of model-quality trouble.
+    pub degraded: bool,
+    /// Why the batch was degraded, when [`Self::degraded`] is set.
+    pub degrade_reason: Option<String>,
     /// Streak state and per-class drift statistics for this batch.
     pub telemetry: BatchTelemetry,
 }
@@ -119,6 +127,8 @@ struct MonitorMetrics {
     alarms: Counter,
     /// `monitor.batches_observed` — total batches observed.
     batches: Counter,
+    /// `monitor.degraded_batches` — batches quarantined without an estimate.
+    degraded: Counter,
 }
 
 impl BatchMonitor {
@@ -157,6 +167,7 @@ impl BatchMonitor {
             streak: registry.gauge("monitor.violation_streak"),
             alarms: registry.counter("monitor.alarm_batches"),
             batches: registry.counter("monitor.batches_observed"),
+            degraded: registry.counter("monitor.degraded_batches"),
         });
     }
 
@@ -171,8 +182,28 @@ impl BatchMonitor {
     }
 
     /// Scores one serving batch and updates the alarm state.
+    ///
+    /// A *terminal serving failure* (the predictor's model exhausted its
+    /// retries against a remote endpoint — recognizable by the typed
+    /// [`lvp_models::ModelError`] on the error's source chain) does not
+    /// abort the monitoring run: the batch is quarantined and reported as a
+    /// degraded [`BatchReport`] — estimate withheld, EWMA and violation
+    /// streak untouched, reason recorded. Caller-side errors (empty batch,
+    /// schema mismatch) stay hard errors: retrying or skipping cannot make
+    /// an incompatible frame scoreable.
     pub fn observe(&mut self, batch: &DataFrame) -> Result<BatchReport, CoreError> {
-        let (estimate, proba) = self.predictor.predict_with_outputs(batch)?;
+        let (estimate, proba) = match self.predictor.predict_with_outputs(batch) {
+            Ok(pair) => pair,
+            Err(err) => {
+                return match err.model_error() {
+                    Some(cause) => Ok(self.record_degraded(format!(
+                        "serving failure on batch {}: {}",
+                        self.batches_seen, cause.message
+                    ))),
+                    None => Err(err),
+                };
+            }
+        };
         let per_class_ks = match &self.reference_outputs {
             Some(reference) => (0..proba.cols().min(reference.cols()))
                 .map(|class| {
@@ -203,8 +234,28 @@ impl BatchMonitor {
     }
 
     fn record(&mut self, estimate: f64, per_class_ks: Vec<ClassDrift>) -> BatchReport {
+        self.record_inner(estimate, per_class_ks, None)
+    }
+
+    /// Records a batch whose scoring failed terminally: the estimate is
+    /// withheld (NaN) and the report is marked degraded with `reason`.
+    fn record_degraded(&mut self, reason: String) -> BatchReport {
+        self.record_inner(f64::NAN, Vec::new(), Some(reason))
+    }
+
+    fn record_inner(
+        &mut self,
+        estimate: f64,
+        per_class_ks: Vec<ClassDrift>,
+        degrade_reason: Option<String>,
+    ) -> BatchReport {
         let alpha = self.policy.ewma_alpha;
-        let finite = estimate.is_finite();
+        // A batch is degraded when scoring failed (explicit reason) or the
+        // estimate carries no information (non-finite). Either way it is
+        // quarantined: reported, but never folded into the EWMA or streak.
+        let finite = estimate.is_finite() && degrade_reason.is_none();
+        let degrade_reason = degrade_reason
+            .or_else(|| (!finite).then(|| "non-finite estimate quarantined".to_string()));
         let smoothed = if finite {
             let next = match self.smoothed {
                 Some(prev) => alpha * estimate + (1.0 - alpha) * prev,
@@ -235,15 +286,24 @@ impl BatchMonitor {
             raw_violation,
             smoothed_violation,
             alarm: self.violation_streak >= self.policy.consecutive_violations,
+            degraded: !finite,
+            degrade_reason,
             telemetry: BatchTelemetry {
                 violation_streak: self.violation_streak,
                 per_class_ks,
             },
         };
         if let Some(m) = &self.metrics {
-            m.raw.set(estimate);
-            m.smoothed.set(smoothed);
-            m.streak.set(self.violation_streak as f64);
+            if finite {
+                m.raw.set(estimate);
+                m.smoothed.set(smoothed);
+                m.streak.set(self.violation_streak as f64);
+            } else {
+                // Degraded batches leave the score gauges at their last
+                // healthy values (a NaN gauge would also poison serialized
+                // telemetry views).
+                m.degraded.inc();
+            }
             m.batches.inc();
             if report.alarm {
                 m.alarms.inc();
@@ -590,6 +650,123 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A remote-endpoint stand-in that fails terminally whenever a batch
+    /// has exactly `poison_rows` rows (content-dependent, like a poisoned
+    /// key under a real fault plan).
+    struct FailOnRows {
+        inner: Arc<dyn BlackBoxModel>,
+        poison_rows: usize,
+    }
+
+    impl BlackBoxModel for FailOnRows {
+        fn predict_proba(&self, data: &lvp_dataframe::DataFrame) -> lvp_linalg::DenseMatrix {
+            self.try_predict_proba(data).unwrap()
+        }
+        fn try_predict_proba(
+            &self,
+            data: &lvp_dataframe::DataFrame,
+        ) -> Result<lvp_linalg::DenseMatrix, lvp_models::ModelError> {
+            if data.n_rows() == self.poison_rows {
+                return Err(lvp_models::ModelError::transient(
+                    "endpoint down: retry budget exhausted",
+                ));
+            }
+            Ok(self.inner.predict_proba(data))
+        }
+        fn n_classes(&self) -> usize {
+            self.inner.n_classes()
+        }
+        fn name(&self) -> &str {
+            "fail-on-rows"
+        }
+    }
+
+    #[test]
+    fn terminal_serving_failure_degrades_the_batch_not_the_run() {
+        let df = toy_frame(300);
+        let mut rng = StdRng::seed_from_u64(41);
+        let (train, rest) = df.split_frac(0.4, &mut rng);
+        let (test, serving) = rest.split_frac(0.5, &mut rng);
+        let model: Arc<dyn BlackBoxModel> = Arc::new(FailOnRows {
+            inner: Arc::from(train_logistic_regression(&train, &mut rng).unwrap()),
+            // Fit-time batches of the 90-row test frame hold ≥ 30 rows, so
+            // only the 13-row serving batches below ever hit the poison.
+            poison_rows: 13,
+        });
+        let gens = standard_tabular_suite(test.schema());
+        let predictor =
+            PerformancePredictor::fit(model, &test, &gens, &PredictorConfig::fast(), &mut rng)
+                .unwrap();
+        let mut m = BatchMonitor::new(
+            predictor,
+            MonitorPolicy {
+                threshold: TEST_THRESHOLD,
+                consecutive_violations: 2,
+                ewma_alpha: 0.5,
+            },
+        )
+        .unwrap();
+
+        let healthy = m.observe(&serving.sample_n(100, &mut rng)).unwrap();
+        assert!(!healthy.degraded && healthy.degrade_reason.is_none());
+        let ewma_before = m.smoothed();
+        let streak_before = m.violation_streak();
+
+        // The poisoned batch degrades instead of aborting the run.
+        let r = m.observe(&serving.sample_n(13, &mut rng)).unwrap();
+        assert!(r.degraded, "{r:?}");
+        assert!(r.estimate.is_nan(), "estimate withheld");
+        assert!(
+            r.degrade_reason
+                .as_deref()
+                .unwrap()
+                .contains("endpoint down"),
+            "{r:?}"
+        );
+        assert_eq!(
+            r.smoothed,
+            ewma_before.unwrap(),
+            "last healthy EWMA reported"
+        );
+        assert_eq!(m.smoothed(), ewma_before, "EWMA untouched");
+        assert_eq!(m.violation_streak(), streak_before, "streak untouched");
+        assert!(!r.alarm);
+        assert_eq!(m.batches_seen(), 2, "degraded batches still count");
+
+        // The stream recovers seamlessly afterwards.
+        let r = m.observe(&serving.sample_n(100, &mut rng)).unwrap();
+        assert!(!r.degraded && r.estimate.is_finite());
+
+        // Caller-side errors stay hard: an empty batch is not degradable.
+        let err = m.observe(&serving.select_rows(&[])).unwrap_err();
+        assert!(err.model_error().is_none());
+        assert!(err.message.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn degraded_batches_are_counted_and_leave_gauges_healthy() {
+        let (mut m, _) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            ..MonitorPolicy::default()
+        });
+        let registry = Registry::new();
+        m.attach_telemetry(&registry);
+        m.observe_estimate(0.9);
+        let r = m.observe_estimate(f64::NAN);
+        assert!(r.degraded);
+        assert_eq!(
+            r.degrade_reason.as_deref(),
+            Some("non-finite estimate quarantined")
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["monitor.degraded_batches"], 1);
+        assert_eq!(snap.counters["monitor.batches_observed"], 2);
+        // Score gauges keep their last healthy values (no NaN leaks into
+        // serialized telemetry views).
+        assert_eq!(snap.gauges["monitor.raw_score"], 0.9);
+        assert!(snap.gauges["monitor.smoothed_score"].is_finite());
     }
 
     #[test]

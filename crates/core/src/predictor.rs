@@ -1,6 +1,6 @@
 //! The learned performance predictor (Algorithms 1 and 2).
 
-use crate::engine::{generate_training_examples_instrumented, generate_training_examples_seeded};
+use crate::engine::{generate_training_examples_resilient, generate_training_examples_seeded};
 use crate::features::prediction_statistics;
 use crate::{CoreError, Metric};
 use lvp_corruptions::ErrorGen;
@@ -33,6 +33,12 @@ pub struct PredictorConfig {
     /// bit-identical to the sequential loop (see [`crate::engine`]), so
     /// this only trades wall-clock time for CPU.
     pub parallel: bool,
+    /// Minimum fraction of Algorithm 1 generation tasks that must score
+    /// successfully for the fit to proceed. `1.0` (the default) demands
+    /// every task succeed; lowering it lets fitting against a flaky remote
+    /// model skip-and-record terminally failed batches (see
+    /// [`generate_batches_resilient`](crate::generate_batches_resilient)).
+    pub min_batch_survival: f64,
 }
 
 impl Default for PredictorConfig {
@@ -44,6 +50,7 @@ impl Default for PredictorConfig {
             forest_grid: default_forest_grid(),
             cv_folds: 5,
             parallel: true,
+            min_batch_survival: 1.0,
         }
     }
 }
@@ -169,10 +176,13 @@ impl PerformancePredictor {
         if generators.is_empty() {
             return Err(CoreError::new("need at least one error generator"));
         }
-        let test_proba = model.predict_proba(test);
+        // The reference score is not skippable: without it there is no
+        // alarm threshold, so a terminal failure here fails the fit (with
+        // the typed cause on the error's source chain).
+        let test_proba = model.try_predict_proba(test)?;
         let test_score = config.metric.score(&test_proba, test.labels())?;
 
-        let examples = generate_training_examples_instrumented(
+        let examples = generate_training_examples_resilient(
             model.as_ref(),
             test,
             generators,
@@ -181,8 +191,10 @@ impl PerformancePredictor {
             config.metric,
             rng.gen(),
             config.parallel,
+            config.min_batch_survival,
             telemetry,
-        )?;
+        )?
+        .results;
         let mut predictor = Self::fit_from_examples(model, examples, test_score, config, rng)?;
         predictor.schema_fingerprint = Some(test.schema().fingerprint());
         Ok(predictor)
@@ -252,7 +264,10 @@ impl PerformancePredictor {
             return Err(CoreError::new("serving batch is empty"));
         }
         check_schema_fingerprint(self.schema_fingerprint, frame)?;
-        Ok(self.model.predict_proba(frame))
+        // Fallible path: a remote model's terminal serving failure becomes
+        // a CoreError whose source chain carries the typed ModelError, so
+        // the monitor can degrade the batch instead of aborting the run.
+        Ok(self.model.try_predict_proba(frame)?)
     }
 
     /// Estimates the score directly from a batch of model outputs.

@@ -23,7 +23,11 @@
 //!   performance predictor,
 //! * [`automl`] — three AutoML-style searchers producing opaque pipelines,
 //! * [`cloud`] — a simulated cloud prediction service (Google AutoML Tables
-//!   stand-in) that only exposes batched scoring over a handle.
+//!   stand-in) that only exposes batched scoring over a handle, with a
+//!   deterministic seed-driven fault-injection plan for chaos testing,
+//! * [`resilience`] — a fault-tolerant [`resilience::ResilientModel`]
+//!   wrapper (retry with seeded-jitter backoff, circuit breaker, request
+//!   chunking, response validation) for flaky remote endpoints.
 //!
 //! [`DataFrame`]: lvp_dataframe::DataFrame
 
@@ -37,10 +41,16 @@ pub mod gbdt;
 pub mod linear;
 pub mod mlp;
 pub mod naive_bayes;
+pub mod resilience;
 pub mod tree;
 
 mod opt;
 mod pipeline;
+
+pub use resilience::{
+    validate_probability_matrix, BreakerConfig, CircuitState, ResilienceConfig, ResilientModel,
+    VirtualClock,
+};
 
 pub use pipeline::{
     train_convnet, train_gbdt, train_logistic_regression, train_model, train_model_quick,
@@ -50,19 +60,89 @@ pub use pipeline::{
 use lvp_dataframe::DataFrame;
 use lvp_linalg::{CsrMatrix, DenseMatrix};
 
+/// Classification of a [`ModelError`], used by the resilience layer to
+/// decide whether an operation is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelErrorKind {
+    /// Transient infrastructure failure (timeout, dropped connection, 5xx);
+    /// the same request may well succeed on a retry.
+    Transient,
+    /// The service rejected the request to shed load (rate limit / quota);
+    /// retryable after backing off.
+    RateLimited,
+    /// The service answered, but the response violates the prediction
+    /// contract (wrong shape, non-finite or non-normalized probability
+    /// rows). Retryable — a healthy replica may answer correctly.
+    InvalidResponse,
+    /// The request itself is invalid (unknown handle, malformed frame);
+    /// retrying the identical request cannot succeed.
+    InvalidInput,
+    /// Unclassified failure (training errors, internal bugs); treated as
+    /// permanent.
+    #[default]
+    Internal,
+}
+
+impl ModelErrorKind {
+    /// Whether an error of this kind may succeed when the identical
+    /// request is retried.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ModelErrorKind::Transient
+                | ModelErrorKind::RateLimited
+                | ModelErrorKind::InvalidResponse
+        )
+    }
+}
+
 /// Error produced when a model cannot be trained or applied.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelError {
     /// Human-readable description.
     pub message: String,
+    /// Failure class (drives the resilience layer's retry decision).
+    pub kind: ModelErrorKind,
 }
 
 impl ModelError {
-    /// Creates an error from any displayable message.
+    /// Creates an unclassified (permanent) error from any displayable
+    /// message.
     pub fn new(message: impl Into<String>) -> Self {
+        Self::with_kind(message, ModelErrorKind::Internal)
+    }
+
+    /// Creates an error with an explicit failure class.
+    pub fn with_kind(message: impl Into<String>, kind: ModelErrorKind) -> Self {
         Self {
             message: message.into(),
+            kind,
         }
+    }
+
+    /// A retryable transient-infrastructure error.
+    pub fn transient(message: impl Into<String>) -> Self {
+        Self::with_kind(message, ModelErrorKind::Transient)
+    }
+
+    /// A retryable rate-limit / quota rejection.
+    pub fn rate_limited(message: impl Into<String>) -> Self {
+        Self::with_kind(message, ModelErrorKind::RateLimited)
+    }
+
+    /// A contract-violating response (wrong shape or corrupt probabilities).
+    pub fn invalid_response(message: impl Into<String>) -> Self {
+        Self::with_kind(message, ModelErrorKind::InvalidResponse)
+    }
+
+    /// A permanently invalid request.
+    pub fn invalid_input(message: impl Into<String>) -> Self {
+        Self::with_kind(message, ModelErrorKind::InvalidInput)
+    }
+
+    /// Whether the identical request may succeed on a retry.
+    pub fn is_retryable(&self) -> bool {
+        self.kind.is_retryable()
     }
 }
 
@@ -97,6 +177,16 @@ pub trait Regressor: Send + Sync {
 pub trait BlackBoxModel: Send + Sync {
     /// Class probabilities for a batch of raw tuples (`n × m`).
     fn predict_proba(&self, data: &DataFrame) -> DenseMatrix;
+    /// Fallible variant of [`Self::predict_proba`] for serving paths that
+    /// must survive remote failures. Local in-process models can never fail
+    /// a prediction, so the default simply wraps [`Self::predict_proba`];
+    /// remote adapters ([`cloud::RemoteModel`],
+    /// [`resilience::ResilientModel`]) override it to surface transport
+    /// errors and contract violations as typed [`ModelError`]s instead of
+    /// panicking.
+    fn try_predict_proba(&self, data: &DataFrame) -> Result<DenseMatrix, ModelError> {
+        Ok(self.predict_proba(data))
+    }
     /// Number of classes `m`.
     fn n_classes(&self) -> usize;
     /// Short display name (e.g. `"lr"`).

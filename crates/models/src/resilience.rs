@@ -1,0 +1,969 @@
+//! Fault tolerance for the remote serving path.
+//!
+//! The paper's capstone experiment (§6.3.2) validates a model hosted by a
+//! third-party cloud service, and related work on assessing black-box
+//! models under query budgets presupposes a client layer that survives
+//! flaky, metered endpoints. This module supplies that layer:
+//!
+//! * [`ResilientModel`] wraps any [`BlackBoxModel`] with retry + seeded
+//!   exponential backoff, per-call attempt budgets and deadlines, a
+//!   circuit breaker (closed → open → half-open), automatic request
+//!   chunking with partial-result reassembly, and a response validator
+//!   that rejects malformed probability matrices at the trust boundary;
+//! * [`VirtualClock`] replaces wall-clock time everywhere, so backoff
+//!   schedules, deadlines and breaker cooldowns are exactly reproducible
+//!   in tests and chaos runs — "sleeping" advances the clock instead of
+//!   blocking a thread;
+//! * [`validate_probability_matrix`] is the shared contract check, also
+//!   enforced at the [`RemoteModel`](crate::cloud::RemoteModel) boundary
+//!   for non-resilient callers.
+//!
+//! # Determinism
+//!
+//! Nothing here reads ambient time or randomness. Backoff jitter is a pure
+//! function of `(jitter_seed, request key, attempt)`, where the request
+//! key ([`frame_content_key`]) hashes the batch *content* — not its
+//! arrival order — so the retry schedule of a given logical request is
+//! identical at any thread count. Circuit-breaker state, by contrast,
+//! depends on the *interleaving* of call outcomes across threads, so its
+//! metrics are registered as volatile and excluded from deterministic
+//! telemetry views.
+
+use crate::{BlackBoxModel, ModelError, ModelErrorKind};
+use lvp_dataframe::{Column, DataFrame};
+use lvp_linalg::DenseMatrix;
+use lvp_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically advancing virtual clock in nanoseconds, shared between
+/// a fault-injecting service (simulated latency) and the resilience layer
+/// (backoff, deadlines, breaker cooldowns). Cloning shares the underlying
+/// cell.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock(Arc<AtomicU64>);
+
+impl VirtualClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_nanos(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock (a virtual "sleep" or simulated latency).
+    pub fn advance(&self, nanos: u64) {
+        self.0.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+/// Mixes inputs through two rounds of the splitmix64 finalizer; the same
+/// construction the generation engine uses for per-run seeds.
+fn mix64(mut z: u64) -> u64 {
+    for _ in 0..2 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// Content key of a batch request: an FNV-1a hash over the frame's schema
+/// fingerprint, labels and every cell value.
+///
+/// Fault plans and backoff jitter key on this instead of a request arrival
+/// counter, so the fault/retry schedule of a logical request does not
+/// depend on how rayon interleaves requests across threads.
+pub fn frame_content_key(frame: &DataFrame) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ frame.schema().fingerprint();
+    let mut eat = |word: u64| {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            hash ^= (word >> shift) & 0xFF;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(frame.n_rows() as u64);
+    for &label in frame.labels() {
+        eat(u64::from(label));
+    }
+    let eat_opt_f64 = |hash: &mut u64, v: Option<f64>| {
+        let word = v.map_or(u64::MAX, f64::to_bits);
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            *hash ^= (word >> shift) & 0xFF;
+            *hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    let eat_opt_str = |hash: &mut u64, v: Option<&String>| match v {
+        None => {
+            *hash ^= 0xFF;
+            *hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        Some(s) => {
+            for &b in s.as_bytes() {
+                *hash ^= u64::from(b);
+                *hash = hash.wrapping_mul(FNV_PRIME);
+            }
+            *hash ^= 0xFE;
+            *hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for col in 0..frame.n_cols() {
+        match frame.column(col) {
+            Column::Numeric(values) => {
+                for &v in values {
+                    eat_opt_f64(&mut hash, v);
+                }
+            }
+            Column::Categorical(values) | Column::Text(values) => {
+                for v in values {
+                    eat_opt_str(&mut hash, v.as_ref());
+                }
+            }
+            Column::Image(values) => {
+                for v in values {
+                    match v {
+                        None => eat_opt_f64(&mut hash, None),
+                        Some(img) => {
+                            eat_opt_f64(&mut hash, Some(img.width as f64));
+                            eat_opt_f64(&mut hash, Some(img.height as f64));
+                            for &px in &img.pixels {
+                                eat_opt_f64(&mut hash, Some(px));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    mix64(hash)
+}
+
+/// Row-sum tolerance of [`validate_probability_matrix`]. Softmax and
+/// logistic outputs normalize to well within this; corrupted rows (scaled,
+/// non-finite) are far outside it.
+pub const ROW_SUM_TOLERANCE: f64 = 1e-4;
+
+/// Checks a prediction response against the probability contract: the
+/// matrix must have exactly `expected_rows × n_classes` entries, every
+/// entry must be finite and in `[0, 1]` (within tolerance), and every row
+/// must sum to 1 within [`ROW_SUM_TOLERANCE`].
+///
+/// This is the trust boundary between a remote service and the predictor:
+/// a malformed response becomes a typed, retryable
+/// [`ModelErrorKind::InvalidResponse`] instead of garbage flowing into
+/// `prediction_statistics`.
+pub fn validate_probability_matrix(
+    proba: &DenseMatrix,
+    expected_rows: usize,
+    n_classes: usize,
+) -> Result<(), ModelError> {
+    if proba.rows() != expected_rows {
+        return Err(ModelError::invalid_response(format!(
+            "truncated response: {} rows returned for a {expected_rows}-row request",
+            proba.rows()
+        )));
+    }
+    if proba.cols() != n_classes {
+        return Err(ModelError::invalid_response(format!(
+            "response has {} class columns, expected {n_classes}",
+            proba.cols()
+        )));
+    }
+    for (i, row) in proba.row_iter().enumerate() {
+        let mut sum = 0.0;
+        for &p in row {
+            if !p.is_finite() || !(-ROW_SUM_TOLERANCE..=1.0 + ROW_SUM_TOLERANCE).contains(&p) {
+                return Err(ModelError::invalid_response(format!(
+                    "corrupted response: row {i} contains probability {p}"
+                )));
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+            return Err(ModelError::invalid_response(format!(
+                "corrupted response: row {i} sums to {sum}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Circuit breaker configuration of a [`ResilientModel`].
+///
+/// The breaker watches *call-level* outcomes (a call that exhausts its
+/// retry budget counts as one failure; a successful call resets the run),
+/// not individual attempt failures — concurrent callers would otherwise
+/// interleave their attempt failures into spuriously long runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive terminally-failed calls that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Virtual nanoseconds the breaker stays open before admitting
+    /// half-open probe calls.
+    pub cooldown_nanos: u64,
+    /// Successful half-open probes required to close the breaker again.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown_nanos: 30_000_000_000, // 30 virtual seconds
+            half_open_successes: 2,
+        }
+    }
+}
+
+/// Retry, chunking and breaker knobs of a [`ResilientModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Attempts per chunk before the call fails terminally (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (1-based) is
+    /// `min(base · 2^(k−1), max) · jitter`, with jitter in `[0.5, 1.5)`
+    /// derived from `(jitter_seed, request key, k)`.
+    pub base_backoff_nanos: u64,
+    /// Cap on the un-jittered exponential backoff.
+    pub max_backoff_nanos: u64,
+    /// Seed of the deterministic backoff jitter.
+    pub jitter_seed: u64,
+    /// Per-call budget on the virtual clock across all chunks and retries;
+    /// 0 disables the deadline.
+    pub call_deadline_nanos: u64,
+    /// Rows per request chunk; 0 sends each call as a single request.
+    pub chunk_rows: usize,
+    /// Circuit breaker policy.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_backoff_nanos: 10_000_000, // 10 virtual ms
+            max_backoff_nanos: 1_000_000_000,
+            jitter_seed: 0x5EED_1E55,
+            call_deadline_nanos: 0,
+            chunk_rows: 0,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Circuit breaker state of a [`ResilientModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Calls flow through; consecutive terminal failures are counted.
+    Closed,
+    /// Calls are rejected without touching the endpoint until the cooldown
+    /// elapses on the virtual clock.
+    Open,
+    /// Probe calls are admitted; enough successes close the breaker, any
+    /// failure re-opens it.
+    HalfOpen,
+}
+
+impl CircuitState {
+    fn gauge_value(self) -> f64 {
+        match self {
+            CircuitState::Closed => 0.0,
+            CircuitState::Open => 1.0,
+            CircuitState::HalfOpen => 2.0,
+        }
+    }
+}
+
+struct BreakerState {
+    state: CircuitState,
+    consecutive_failures: u32,
+    opened_at_nanos: u64,
+    half_open_successes: u32,
+}
+
+/// Pre-resolved telemetry handles. Retry/attempt counters derive from the
+/// content-keyed fault schedule and are deterministic at any thread count;
+/// breaker metrics depend on cross-thread interleaving and are volatile.
+struct ResilienceMetrics {
+    /// `resilience.calls` — predict calls entering the wrapper.
+    calls: Counter,
+    /// `resilience.call_failures` — calls that failed terminally.
+    call_failures: Counter,
+    /// `resilience.attempts` — individual endpoint attempts (per chunk).
+    attempts: Counter,
+    /// `resilience.retries` — attempts beyond the first for a chunk.
+    retries: Counter,
+    /// `resilience.chunks` — request chunks issued.
+    chunks: Counter,
+    /// `resilience.transient_errors` — attempts failed with a transient error.
+    transient: Counter,
+    /// `resilience.rate_limited` — attempts rejected by rate limiting.
+    rate_limited: Counter,
+    /// `resilience.invalid_responses` — responses rejected by the validator.
+    invalid: Counter,
+    /// `resilience.backoff` — virtual backoff durations slept before retries.
+    backoff: Histogram,
+    /// `resilience.breaker_state` — 0 closed / 1 open / 2 half-open (volatile).
+    breaker_state: Gauge,
+    /// `resilience.breaker_transitions` — state changes (volatile).
+    breaker_transitions: Counter,
+    /// `resilience.breaker_rejections` — calls rejected while open (volatile).
+    breaker_rejections: Counter,
+}
+
+impl ResilienceMetrics {
+    fn resolve(registry: &Registry) -> Self {
+        Self {
+            calls: registry.counter("resilience.calls"),
+            call_failures: registry.counter("resilience.call_failures"),
+            attempts: registry.counter("resilience.attempts"),
+            retries: registry.counter("resilience.retries"),
+            chunks: registry.counter("resilience.chunks"),
+            transient: registry.counter("resilience.transient_errors"),
+            rate_limited: registry.counter("resilience.rate_limited"),
+            invalid: registry.counter("resilience.invalid_responses"),
+            backoff: registry.histogram("resilience.backoff"),
+            breaker_state: registry.volatile_gauge("resilience.breaker_state"),
+            breaker_transitions: registry.volatile_counter("resilience.breaker_transitions"),
+            breaker_rejections: registry.volatile_counter("resilience.breaker_rejections"),
+        }
+    }
+}
+
+/// A fault-tolerant [`BlackBoxModel`] wrapper for flaky remote endpoints.
+///
+/// Every `predict_proba` call is split into row chunks (optional), each
+/// chunk is retried with deterministic seeded-jitter exponential backoff
+/// under a per-call attempt budget and virtual-clock deadline, responses
+/// are checked against the probability contract before reassembly, and a
+/// circuit breaker sheds load after sustained terminal failures.
+///
+/// Successfully validated chunks are kept across retries of their
+/// neighbours (partial-result reassembly): a 1000-row call with one flaky
+/// chunk re-requests only that chunk.
+pub struct ResilientModel {
+    inner: Arc<dyn BlackBoxModel>,
+    config: ResilienceConfig,
+    clock: VirtualClock,
+    breaker: Mutex<BreakerState>,
+    name: String,
+    metrics: Option<ResilienceMetrics>,
+}
+
+impl ResilientModel {
+    /// Wraps `inner` with the given policy, on a fresh virtual clock.
+    pub fn new(inner: Arc<dyn BlackBoxModel>, config: ResilienceConfig) -> Self {
+        Self::with_clock(inner, config, VirtualClock::new())
+    }
+
+    /// Wraps `inner`, sharing `clock` with (for instance) a fault-injecting
+    /// service that simulates latency on the same timeline.
+    pub fn with_clock(
+        inner: Arc<dyn BlackBoxModel>,
+        config: ResilienceConfig,
+        clock: VirtualClock,
+    ) -> Self {
+        let name = format!("resilient({})", inner.name());
+        Self {
+            inner,
+            config,
+            clock,
+            breaker: Mutex::new(BreakerState {
+                state: CircuitState::Closed,
+                consecutive_failures: 0,
+                opened_at_nanos: 0,
+                half_open_successes: 0,
+            }),
+            name,
+            metrics: None,
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    /// Current circuit-breaker state. A poisoned breaker lock (a peer
+    /// thread panicked mid-transition) reads as [`CircuitState::Open`]:
+    /// the conservative answer for a breaker whose state is unknowable.
+    pub fn circuit_state(&self) -> CircuitState {
+        self.breaker
+            .lock()
+            .map(|b| b.state)
+            .unwrap_or(CircuitState::Open)
+    }
+
+    /// Un-jittered exponential backoff before retry `attempt` (1-based).
+    fn raw_backoff_nanos(&self, attempt: u32) -> u64 {
+        let doublings = attempt.saturating_sub(1).min(62);
+        self.config
+            .base_backoff_nanos
+            .saturating_mul(1u64 << doublings)
+            .min(self.config.max_backoff_nanos)
+    }
+
+    /// Deterministic jittered backoff: `raw · [0.5, 1.5)`, derived from
+    /// `(jitter_seed, key, attempt)` — a pure function, so the schedule is
+    /// identical across runs and thread counts.
+    fn backoff_nanos(&self, key: u64, attempt: u32) -> u64 {
+        let raw = self.raw_backoff_nanos(attempt) as f64;
+        let h = mix64(
+            self.config.jitter_seed.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ key
+                ^ u64::from(attempt).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+        );
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        (raw * (0.5 + unit)) as u64
+    }
+
+    /// Breaker admission check; transitions open → half-open after the
+    /// cooldown. Returns an error when calls must be shed.
+    fn admit(&self) -> Result<(), ModelError> {
+        let mut b = self
+            .breaker
+            .lock()
+            .map_err(|_| ModelError::new("circuit breaker state poisoned by a panicked thread"))?;
+        if b.state == CircuitState::Open {
+            if self.clock.now_nanos() >= b.opened_at_nanos + self.config.breaker.cooldown_nanos {
+                b.state = CircuitState::HalfOpen;
+                b.half_open_successes = 0;
+                self.record_breaker(&b);
+            } else {
+                if let Some(m) = &self.metrics {
+                    m.breaker_rejections.inc();
+                }
+                return Err(ModelError::transient(
+                    "circuit breaker open: calls are being shed until the cooldown elapses",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn record_breaker(&self, b: &BreakerState) {
+        if let Some(m) = &self.metrics {
+            m.breaker_state.set(b.state.gauge_value());
+            m.breaker_transitions.inc();
+        }
+    }
+
+    fn on_call_success(&self) {
+        if let Ok(mut b) = self.breaker.lock() {
+            b.consecutive_failures = 0;
+            if b.state == CircuitState::HalfOpen {
+                b.half_open_successes += 1;
+                if b.half_open_successes >= self.config.breaker.half_open_successes {
+                    b.state = CircuitState::Closed;
+                    self.record_breaker(&b);
+                }
+            }
+        }
+    }
+
+    fn on_call_failure(&self) {
+        if let Ok(mut b) = self.breaker.lock() {
+            match b.state {
+                CircuitState::HalfOpen => {
+                    b.state = CircuitState::Open;
+                    b.opened_at_nanos = self.clock.now_nanos();
+                    self.record_breaker(&b);
+                }
+                CircuitState::Closed => {
+                    b.consecutive_failures += 1;
+                    if b.consecutive_failures >= self.config.breaker.failure_threshold {
+                        b.state = CircuitState::Open;
+                        b.opened_at_nanos = self.clock.now_nanos();
+                        self.record_breaker(&b);
+                    }
+                }
+                CircuitState::Open => {}
+            }
+        }
+    }
+
+    /// One chunk with retries. `deadline` is the absolute virtual-clock
+    /// cutoff for the whole call (`u64::MAX` when disabled).
+    fn predict_chunk(&self, chunk: &DataFrame, deadline: u64) -> Result<DenseMatrix, ModelError> {
+        let key = frame_content_key(chunk);
+        let n_classes = self.inner.n_classes();
+        let mut last_error = None;
+        if let Some(m) = &self.metrics {
+            m.chunks.inc();
+        }
+        for attempt in 1..=self.config.max_attempts.max(1) {
+            if attempt > 1 {
+                let backoff = self.backoff_nanos(key, attempt - 1);
+                if self.clock.now_nanos().saturating_add(backoff) > deadline {
+                    return Err(ModelError::transient(format!(
+                        "call deadline exceeded after {} attempts; last error: {}",
+                        attempt - 1,
+                        last_error.map_or_else(|| "none".into(), |e: ModelError| e.message)
+                    )));
+                }
+                self.clock.advance(backoff);
+                if let Some(m) = &self.metrics {
+                    m.retries.inc();
+                    m.backoff.record(Duration::from_nanos(backoff));
+                }
+            }
+            if let Some(m) = &self.metrics {
+                m.attempts.inc();
+            }
+            let outcome = self.inner.try_predict_proba(chunk).and_then(|proba| {
+                validate_probability_matrix(&proba, chunk.n_rows(), n_classes)?;
+                Ok(proba)
+            });
+            match outcome {
+                Ok(proba) => return Ok(proba),
+                Err(e) => {
+                    if let Some(m) = &self.metrics {
+                        match e.kind {
+                            ModelErrorKind::Transient => m.transient.inc(),
+                            ModelErrorKind::RateLimited => m.rate_limited.inc(),
+                            ModelErrorKind::InvalidResponse => m.invalid.inc(),
+                            _ => {}
+                        }
+                    }
+                    if !e.is_retryable() {
+                        return Err(e);
+                    }
+                    last_error = Some(e);
+                }
+            }
+        }
+        Err(ModelError::transient(format!(
+            "retry budget of {} attempts exhausted; last error: {}",
+            self.config.max_attempts.max(1),
+            last_error.map_or_else(|| "none".into(), |e| e.message)
+        )))
+    }
+}
+
+impl BlackBoxModel for ResilientModel {
+    /// Infallible trait entry point; panics if the call fails terminally
+    /// even after retries. Serving paths that must survive terminal
+    /// failures (the batch monitor, the generation engine) go through
+    /// [`Self::try_predict_proba`] instead.
+    fn predict_proba(&self, data: &DataFrame) -> DenseMatrix {
+        self.try_predict_proba(data)
+            .unwrap_or_else(|e| panic!("resilient call failed terminally: {e}"))
+    }
+
+    fn try_predict_proba(&self, data: &DataFrame) -> Result<DenseMatrix, ModelError> {
+        if let Some(m) = &self.metrics {
+            m.calls.inc();
+        }
+        let fail = |this: &Self, e: ModelError| {
+            this.on_call_failure();
+            if let Some(m) = &this.metrics {
+                m.call_failures.inc();
+            }
+            Err(e)
+        };
+        if let Err(e) = self.admit() {
+            // A shed call is a terminal failure for the caller but must not
+            // extend the breaker's failure run (it never reached the
+            // endpoint), so it bypasses `fail`.
+            if let Some(m) = &self.metrics {
+                m.call_failures.inc();
+            }
+            return Err(e);
+        }
+        let deadline = if self.config.call_deadline_nanos == 0 {
+            u64::MAX
+        } else {
+            self.clock
+                .now_nanos()
+                .saturating_add(self.config.call_deadline_nanos)
+        };
+        let n = data.n_rows();
+        let chunk_rows = if self.config.chunk_rows == 0 {
+            n.max(1)
+        } else {
+            self.config.chunk_rows
+        };
+        if n <= chunk_rows {
+            return match self.predict_chunk(data, deadline) {
+                Ok(proba) => {
+                    self.on_call_success();
+                    Ok(proba)
+                }
+                Err(e) => fail(self, e),
+            };
+        }
+        // Chunked path: completed chunks are retained while later chunks
+        // retry, then reassembled in row order.
+        let mut parts = Vec::with_capacity(n.div_ceil(chunk_rows));
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk_rows).min(n);
+            let indices: Vec<usize> = (start..end).collect();
+            let chunk = data.select_rows(&indices);
+            match self.predict_chunk(&chunk, deadline) {
+                Ok(proba) => parts.push(proba),
+                Err(e) => {
+                    return fail(
+                        self,
+                        ModelError::with_kind(
+                            format!(
+                                "chunk {}..{} of a {n}-row request failed terminally \
+                                 ({} chunks already reassembled): {}",
+                                start,
+                                end,
+                                parts.len(),
+                                e.message
+                            ),
+                            e.kind,
+                        ),
+                    )
+                }
+            }
+            start = end;
+        }
+        let views: Vec<&DenseMatrix> = parts.iter().collect();
+        let assembled = DenseMatrix::vstack(&views)
+            .map_err(|e| ModelError::new(format!("chunk reassembly failed: {e}")))?;
+        self.on_call_success();
+        Ok(assembled)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.inner.n_classes()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn attach_telemetry(&mut self, registry: &Registry) {
+        let metrics = ResilienceMetrics::resolve(registry);
+        metrics
+            .breaker_state
+            .set(CircuitState::Closed.gauge_value());
+        self.metrics = Some(metrics);
+    }
+
+    fn publish_telemetry(&self) {
+        self.inner.publish_telemetry();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvp_dataframe::toy_frame;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A scripted inner model: fails the first `failures_per_call` attempts
+    /// of every call (keyed per request), or fails always when
+    /// `always_fail` is set.
+    struct Scripted {
+        n_classes: usize,
+        attempts: AtomicUsize,
+        fail_first: usize,
+        always_fail: bool,
+        corrupt_instead: bool,
+    }
+
+    impl Scripted {
+        fn healthy_after(fail_first: usize) -> Self {
+            Self {
+                n_classes: 2,
+                attempts: AtomicUsize::new(0),
+                fail_first,
+                always_fail: false,
+                corrupt_instead: false,
+            }
+        }
+
+        fn broken() -> Self {
+            Self {
+                always_fail: true,
+                ..Self::healthy_after(0)
+            }
+        }
+
+        fn uniform(&self, n: usize) -> DenseMatrix {
+            DenseMatrix::from_vec(n, self.n_classes, vec![0.5; n * self.n_classes]).unwrap()
+        }
+    }
+
+    impl BlackBoxModel for Scripted {
+        fn predict_proba(&self, data: &DataFrame) -> DenseMatrix {
+            self.try_predict_proba(data).unwrap()
+        }
+
+        fn try_predict_proba(&self, data: &DataFrame) -> Result<DenseMatrix, ModelError> {
+            let attempt = self.attempts.fetch_add(1, Ordering::SeqCst);
+            if self.always_fail || attempt < self.fail_first {
+                if self.corrupt_instead {
+                    let mut bad = self.uniform(data.n_rows());
+                    bad.set(0, 0, f64::NAN);
+                    return Ok(bad);
+                }
+                return Err(ModelError::transient("injected"));
+            }
+            Ok(self.uniform(data.n_rows()))
+        }
+
+        fn n_classes(&self) -> usize {
+            self.n_classes
+        }
+
+        fn name(&self) -> &str {
+            "scripted"
+        }
+    }
+
+    fn resilient(inner: Scripted, config: ResilienceConfig) -> ResilientModel {
+        ResilientModel::new(Arc::new(inner), config)
+    }
+
+    #[test]
+    fn validator_enforces_the_probability_contract() {
+        let good = DenseMatrix::from_rows(&[vec![0.25, 0.75], vec![1.0, 0.0]]).unwrap();
+        assert!(validate_probability_matrix(&good, 2, 2).is_ok());
+        // Truncated.
+        let err = validate_probability_matrix(&good, 3, 2).unwrap_err();
+        assert_eq!(err.kind, ModelErrorKind::InvalidResponse);
+        assert!(err.message.contains("truncated"), "{err}");
+        // Wrong width.
+        assert!(validate_probability_matrix(&good, 2, 3).is_err());
+        // Non-finite.
+        let nan = DenseMatrix::from_rows(&[vec![f64::NAN, 1.0]]).unwrap();
+        assert!(validate_probability_matrix(&nan, 1, 2).is_err());
+        // Non-normalized.
+        let scaled = DenseMatrix::from_rows(&[vec![0.9, 0.9]]).unwrap();
+        let err = validate_probability_matrix(&scaled, 1, 2).unwrap_err();
+        assert!(err.message.contains("sums to"), "{err}");
+        // Negative probability.
+        let neg = DenseMatrix::from_rows(&[vec![-0.2, 1.2]]).unwrap();
+        assert!(validate_probability_matrix(&neg, 1, 2).is_err());
+        // All retryable: a healthy replica may answer correctly.
+        assert!(validate_probability_matrix(&neg, 1, 2)
+            .unwrap_err()
+            .is_retryable());
+    }
+
+    #[test]
+    fn retries_recover_from_transient_failures() {
+        let model = resilient(Scripted::healthy_after(3), ResilienceConfig::default());
+        let df = toy_frame(12);
+        let proba = model.try_predict_proba(&df).unwrap();
+        assert_eq!(proba.rows(), 12);
+        assert_eq!(model.circuit_state(), CircuitState::Closed);
+        // Three backoffs were slept on the virtual clock.
+        assert!(model.clock().now_nanos() > 0);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_typed_terminal_error() {
+        let model = resilient(
+            Scripted::broken(),
+            ResilienceConfig {
+                max_attempts: 3,
+                breaker: BreakerConfig {
+                    failure_threshold: 100,
+                    ..BreakerConfig::default()
+                },
+                ..ResilienceConfig::default()
+            },
+        );
+        let err = model.try_predict_proba(&toy_frame(5)).unwrap_err();
+        assert!(err.message.contains("retry budget"), "{err}");
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn corrupted_responses_are_rejected_and_retried() {
+        let inner = Scripted {
+            corrupt_instead: true,
+            ..Scripted::healthy_after(2)
+        };
+        let model = resilient(inner, ResilienceConfig::default());
+        let proba = model.try_predict_proba(&toy_frame(8)).unwrap();
+        // The NaN-poisoned responses never escaped the trust boundary.
+        assert!(proba.data().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_exponential() {
+        let model = resilient(Scripted::broken(), ResilienceConfig::default());
+        let key = frame_content_key(&toy_frame(7));
+        let schedule: Vec<u64> = (1..=6).map(|a| model.backoff_nanos(key, a)).collect();
+        // Deterministic: recomputing yields the identical schedule.
+        let again: Vec<u64> = (1..=6).map(|a| model.backoff_nanos(key, a)).collect();
+        assert_eq!(schedule, again);
+        // Jitter stays within [0.5, 1.5) of the raw exponential value.
+        for (i, &b) in schedule.iter().enumerate() {
+            let raw = model.raw_backoff_nanos(i as u32 + 1) as f64;
+            assert!(
+                (b as f64) >= raw * 0.5 && (b as f64) < raw * 1.5,
+                "{i}: {b}"
+            );
+        }
+        // A different key re-rolls the jitter.
+        let other: Vec<u64> = (1..=6)
+            .map(|a| model.backoff_nanos(key ^ 0xDEAD, a))
+            .collect();
+        assert_ne!(schedule, other);
+    }
+
+    #[test]
+    fn deadline_bounds_the_virtual_time_spent_retrying() {
+        let model = resilient(
+            Scripted::broken(),
+            ResilienceConfig {
+                max_attempts: 100,
+                base_backoff_nanos: 1_000_000,
+                call_deadline_nanos: 10_000_000,
+                breaker: BreakerConfig {
+                    failure_threshold: 100,
+                    ..BreakerConfig::default()
+                },
+                ..ResilienceConfig::default()
+            },
+        );
+        let start = model.clock().now_nanos();
+        let err = model.try_predict_proba(&toy_frame(4)).unwrap_err();
+        assert!(err.message.contains("deadline"), "{err}");
+        assert!(model.clock().now_nanos() - start <= 10_000_000);
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let inner = Scripted::healthy_after(2 * 3); // first two calls fail terminally
+        let model = resilient(
+            inner,
+            ResilienceConfig {
+                max_attempts: 3,
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown_nanos: 1_000,
+                    half_open_successes: 2,
+                },
+                ..ResilienceConfig::default()
+            },
+        );
+        let df = toy_frame(6);
+        assert_eq!(model.circuit_state(), CircuitState::Closed);
+        // Two terminal call failures trip the breaker.
+        assert!(model.try_predict_proba(&df).is_err());
+        assert_eq!(model.circuit_state(), CircuitState::Closed);
+        assert!(model.try_predict_proba(&df).is_err());
+        assert_eq!(model.circuit_state(), CircuitState::Open);
+        // While open, calls are shed without touching the endpoint.
+        let before = model.clock().now_nanos();
+        let err = model.try_predict_proba(&df).unwrap_err();
+        assert!(err.message.contains("circuit breaker open"), "{err}");
+        assert_eq!(model.clock().now_nanos(), before, "no endpoint attempt");
+        // After the cooldown the breaker admits half-open probes.
+        model.clock().advance(1_000);
+        assert!(model.try_predict_proba(&df).is_ok());
+        assert_eq!(model.circuit_state(), CircuitState::HalfOpen);
+        assert!(model.try_predict_proba(&df).is_ok());
+        assert_eq!(model.circuit_state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_the_breaker() {
+        let model = resilient(
+            Scripted::broken(),
+            ResilienceConfig {
+                max_attempts: 1,
+                breaker: BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown_nanos: 500,
+                    half_open_successes: 1,
+                },
+                ..ResilienceConfig::default()
+            },
+        );
+        let df = toy_frame(3);
+        assert!(model.try_predict_proba(&df).is_err());
+        assert_eq!(model.circuit_state(), CircuitState::Open);
+        model.clock().advance(500);
+        assert!(model.try_predict_proba(&df).is_err());
+        assert_eq!(model.circuit_state(), CircuitState::Open, "probe failed");
+    }
+
+    #[test]
+    fn chunked_calls_reassemble_in_row_order() {
+        // An order-sensitive inner model: probability of class 1 encodes
+        // the row's numeric feature, so reassembly errors are visible.
+        struct RowEcho;
+        impl BlackBoxModel for RowEcho {
+            fn predict_proba(&self, data: &DataFrame) -> DenseMatrix {
+                let values = data.column(0).as_numeric().unwrap();
+                let rows: Vec<Vec<f64>> = values
+                    .iter()
+                    .map(|v| {
+                        let p = (v.unwrap_or(0.0).abs() % 100.0) / 200.0;
+                        vec![1.0 - p, p]
+                    })
+                    .collect();
+                DenseMatrix::from_rows(&rows).unwrap()
+            }
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn name(&self) -> &str {
+                "row-echo"
+            }
+        }
+        let df = toy_frame(37);
+        let unchunked = RowEcho.predict_proba(&df);
+        let model = ResilientModel::new(
+            Arc::new(RowEcho),
+            ResilienceConfig {
+                chunk_rows: 8,
+                ..ResilienceConfig::default()
+            },
+        );
+        assert_eq!(model.try_predict_proba(&df).unwrap(), unchunked);
+    }
+
+    #[test]
+    fn telemetry_counts_attempts_retries_and_breaker_state() {
+        let mut model = resilient(Scripted::healthy_after(2), ResilienceConfig::default());
+        let registry = Registry::new();
+        model.attach_telemetry(&registry);
+        let df = toy_frame(9);
+        assert!(model.try_predict_proba(&df).is_ok());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["resilience.calls"], 1);
+        assert_eq!(snap.counters["resilience.attempts"], 3);
+        assert_eq!(snap.counters["resilience.retries"], 2);
+        assert_eq!(snap.counters["resilience.transient_errors"], 2);
+        assert_eq!(snap.counters["resilience.call_failures"], 0);
+        assert_eq!(snap.histograms["resilience.backoff"].count, 2);
+        assert_eq!(snap.gauges["resilience.breaker_state"], 0.0);
+        // Breaker metrics are scheduling-dependent → volatile; the retry
+        // counters derive from the content-keyed schedule → deterministic.
+        assert!(snap.volatile.contains(&"resilience.breaker_state".into()));
+        assert!(!snap.volatile.contains(&"resilience.retries".into()));
+    }
+
+    #[test]
+    fn frame_content_key_tracks_content_not_identity() {
+        let a = toy_frame(20);
+        let b = toy_frame(20);
+        assert_eq!(frame_content_key(&a), frame_content_key(&b));
+        assert_ne!(frame_content_key(&a), frame_content_key(&toy_frame(21)));
+        let mut mutated = a.clone();
+        mutated.column_mut(1).set_null(3);
+        assert_ne!(frame_content_key(&a), frame_content_key(&mutated));
+    }
+}

@@ -61,11 +61,14 @@ pub use lvp_telemetry as telemetry;
 /// Convenience re-exports covering the common end-to-end workflow.
 pub mod prelude {
     pub use lvp_core::{
-        Baseline, BbseDetector, BbseHardDetector, Metric, PerformancePredictor,
-        PerformanceValidator, PredictorConfig, RelationalShiftDetector, ValidatorConfig,
+        Baseline, BatchMonitor, BatchReport, BbseDetector, BbseHardDetector, Metric, MonitorPolicy,
+        PerformancePredictor, PerformanceValidator, PredictorConfig, RelationalShiftDetector,
+        ValidatorConfig,
     };
     pub use lvp_corruptions::ErrorGen;
     pub use lvp_dataframe::{ColumnType, DataFrame, Schema};
     pub use lvp_linalg::{CsrMatrix, DenseMatrix};
-    pub use lvp_models::BlackBoxModel;
+    pub use lvp_models::{
+        BlackBoxModel, ModelError, ModelErrorKind, ResilienceConfig, ResilientModel, VirtualClock,
+    };
 }
