@@ -33,7 +33,7 @@ pub use engine::{
     generate_training_examples_resilient, generate_training_examples_seeded, subsample_lower_bound,
     GeneratedBatch, GenerationOutcome, SkippedBatch,
 };
-pub use features::{feature_dimensionality, prediction_statistics};
+pub use features::{feature_dimensionality, prediction_statistics, BatchSketch, FeatureSource};
 pub use monitor::{BatchMonitor, BatchReport, BatchTelemetry, ClassDrift, MonitorPolicy};
 pub use persistence::{
     from_json, load_json, save_json, to_json, verdicts_identical, MetricTag, MonitorArtifact,

@@ -8,13 +8,24 @@
 //! exponentially weighted moving average, and applies a debounced alarm
 //! policy (alarm only after `k` consecutive violations) so a single noisy
 //! batch does not page an on-call engineer.
+//!
+//! Batches need not be materialized: [`BatchMonitor::observe_chunk`] folds
+//! row chunks into a fixed-memory [`BatchSketch`] window and
+//! [`BatchMonitor::finish_window`] scores the accumulated state, so a
+//! million-row batch (or an unbounded traffic window) streams through in
+//! `O(bins)` memory. [`BatchMonitor::merge_shard_sketches`] folds the
+//! windows of N independent shards into one fleet-level [`BatchReport`]
+//! that is bit-identical to what a single stream over all rows would have
+//! produced.
 
+use crate::features::BatchSketch;
 use crate::{CoreError, PerformancePredictor};
 use lvp_dataframe::DataFrame;
 use lvp_linalg::DenseMatrix;
-use lvp_stats::ks_two_sample;
-use lvp_telemetry::{Counter, Gauge, Registry};
+use lvp_stats::{ks_two_sample, EcdfSketch};
+use lvp_telemetry::{Counter, Gauge, Histogram, Registry};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Alarm policy for a [`BatchMonitor`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -111,6 +122,16 @@ pub struct BatchMonitor {
     /// [`Self::retain_reference_outputs`] is called (and after a restore —
     /// artifacts do not persist output matrices).
     reference_outputs: Option<DenseMatrix>,
+    /// Compressed ECDFs of the reference outputs — the sketched-path drift
+    /// reference. Unlike the raw matrix these *do* survive a restore (they
+    /// travel in the [`MonitorArtifact`](crate::MonitorArtifact)).
+    reference_ecdf: Option<Vec<EcdfSketch>>,
+    /// The currently open streaming window, `None` between windows.
+    window: Option<BatchSketch>,
+    /// Set when a chunk of the open window failed to score terminally; the
+    /// window then finishes as a degraded report instead of an estimate
+    /// computed from a sketch with silently missing rows.
+    window_degraded: Option<String>,
     metrics: Option<MonitorMetrics>,
 }
 
@@ -129,6 +150,17 @@ struct MonitorMetrics {
     batches: Counter,
     /// `monitor.degraded_batches` — batches quarantined without an estimate.
     degraded: Counter,
+    /// `monitor.chunks_observed` — row chunks folded into streaming windows.
+    chunks: Counter,
+    /// `monitor.chunk_rows` — total rows folded via the streaming path.
+    chunk_rows: Counter,
+    /// `monitor.sketch_merges` — shard sketches folded into fleet reports.
+    sketch_merges: Counter,
+    /// `monitor.window_sketch_bytes` — footprint of the open window sketch.
+    window_bytes: Gauge,
+    /// `monitor.chunk_latency` — wall-clock time per observed chunk
+    /// (volatile: excluded from deterministic snapshot views).
+    chunk_latency: Histogram,
 }
 
 impl BatchMonitor {
@@ -151,6 +183,9 @@ impl BatchMonitor {
             violation_streak: 0,
             batches_seen: 0,
             reference_outputs: None,
+            reference_ecdf: None,
+            window: None,
+            window_degraded: None,
             metrics: None,
         })
     }
@@ -168,6 +203,11 @@ impl BatchMonitor {
             alarms: registry.counter("monitor.alarm_batches"),
             batches: registry.counter("monitor.batches_observed"),
             degraded: registry.counter("monitor.degraded_batches"),
+            chunks: registry.counter("monitor.chunks_observed"),
+            chunk_rows: registry.counter("monitor.chunk_rows"),
+            sketch_merges: registry.counter("monitor.sketch_merges"),
+            window_bytes: registry.gauge("monitor.window_sketch_bytes"),
+            chunk_latency: registry.histogram("monitor.chunk_latency"),
         });
     }
 
@@ -177,7 +217,9 @@ impl BatchMonitor {
     /// batch's output distribution against these columns and attach the
     /// results to [`BatchReport::telemetry`].
     pub fn retain_reference_outputs(&mut self, reference: &DataFrame) -> Result<(), CoreError> {
-        self.reference_outputs = Some(self.predictor.model_outputs(reference)?);
+        let outputs = self.predictor.model_outputs(reference)?;
+        self.reference_ecdf = Some(BatchSketch::from_outputs(&outputs).ecdfs().to_vec());
+        self.reference_outputs = Some(outputs);
         Ok(())
     }
 
@@ -231,6 +273,163 @@ impl BatchMonitor {
     /// smoothed value — and it neither extends nor resets the streak.
     pub fn observe_estimate(&mut self, estimate: f64) -> BatchReport {
         self.record(estimate, Vec::new())
+    }
+
+    /// Folds one chunk of serving rows into the open streaming window
+    /// (opening one if none is open), in fixed memory: only the window's
+    /// [`BatchSketch`] is retained, never the rows or outputs themselves.
+    ///
+    /// A terminal serving failure on a chunk poisons the *window*, not the
+    /// run: remaining chunks are accepted (and counted) but
+    /// [`Self::finish_window`] then yields a degraded report — an estimate
+    /// computed from a sketch with silently missing rows would understate
+    /// drift. Caller-side errors (schema mismatch) stay hard errors.
+    pub fn observe_chunk(&mut self, chunk: &DataFrame) -> Result<(), CoreError> {
+        let started = Instant::now();
+        let proba = match self.predictor.model_outputs(chunk) {
+            Ok(proba) => proba,
+            Err(err) => {
+                return match err.model_error() {
+                    Some(cause) => {
+                        self.poison_window(format!(
+                            "serving failure on chunk of window {}: {}",
+                            self.batches_seen, cause.message
+                        ));
+                        self.note_chunk(0, started);
+                        Ok(())
+                    }
+                    None => Err(err),
+                };
+            }
+        };
+        self.fold_output_chunk(&proba)?;
+        self.note_chunk(proba.rows(), started);
+        Ok(())
+    }
+
+    /// Folds one chunk of already-computed model outputs into the open
+    /// window (e.g. when the model serves in a different process and only
+    /// its outputs reach the monitor).
+    pub fn observe_output_chunk(&mut self, proba: &DenseMatrix) -> Result<(), CoreError> {
+        let started = Instant::now();
+        self.fold_output_chunk(proba)?;
+        self.note_chunk(proba.rows(), started);
+        Ok(())
+    }
+
+    fn fold_output_chunk(&mut self, proba: &DenseMatrix) -> Result<(), CoreError> {
+        let window = self
+            .window
+            .get_or_insert_with(|| BatchSketch::new(self.predictor.n_classes()));
+        window.observe_chunk(proba)
+    }
+
+    fn note_chunk(&mut self, rows: usize, started: Instant) {
+        if let Some(m) = &self.metrics {
+            m.chunks.inc();
+            m.chunk_rows.add(rows as u64);
+            if let Some(w) = &self.window {
+                m.window_bytes.set(w.approx_bytes() as f64);
+            }
+            m.chunk_latency.record(started.elapsed());
+        }
+    }
+
+    /// Marks the open window as unsalvageable (opening one if none is
+    /// open, so the degradation is reported even when the first chunk
+    /// failed); [`Self::finish_window`] will yield a degraded report.
+    pub fn abandon_window(&mut self, reason: impl Into<String>) {
+        self.poison_window(reason.into());
+    }
+
+    fn poison_window(&mut self, reason: String) {
+        self.window
+            .get_or_insert_with(|| BatchSketch::new(self.predictor.n_classes()));
+        // First failure wins: the earliest reason is the root cause.
+        self.window_degraded.get_or_insert(reason);
+    }
+
+    /// Closes the open streaming window: scores the accumulated sketch
+    /// state, runs the per-class drift tests against the reference ECDFs
+    /// (when retained), updates the alarm state, and resets the window.
+    ///
+    /// Errors when no window is open (no [`Self::observe_chunk`] since the
+    /// last finish) — silently reporting on an empty window would look
+    /// like a healthy batch.
+    pub fn finish_window(&mut self) -> Result<BatchReport, CoreError> {
+        let window = self
+            .window
+            .take()
+            .ok_or_else(|| CoreError::new("no open streaming window to finish"))?;
+        if let Some(reason) = self.window_degraded.take() {
+            return Ok(self.record_degraded(reason));
+        }
+        self.report_sketch(&window)
+    }
+
+    /// Folds the window sketches of N independent shards into one
+    /// fleet-level report, merging in slice order.
+    ///
+    /// Because [`BatchSketch::merge`] is exactly associative and
+    /// commutative, the merged state — and therefore the report — is
+    /// bit-identical to what a single stream over every shard's rows would
+    /// have produced, at any thread count and for any chunking.
+    pub fn merge_shard_sketches(
+        &mut self,
+        shards: &[BatchSketch],
+    ) -> Result<BatchReport, CoreError> {
+        let Some((first, rest)) = shards.split_first() else {
+            return Err(CoreError::new("no shard sketches to merge"));
+        };
+        let mut merged = first.clone();
+        for shard in rest {
+            merged.merge(shard)?;
+        }
+        if let Some(m) = &self.metrics {
+            m.sketch_merges.add(shards.len() as u64);
+        }
+        self.report_sketch(&merged)
+    }
+
+    /// Shared tail of the streaming paths: estimate from sketch state,
+    /// sketched per-class drift tests, alarm-state update.
+    fn report_sketch(&mut self, sketch: &BatchSketch) -> Result<BatchReport, CoreError> {
+        let estimate = self.predictor.predict_from_sketch(sketch)?;
+        let per_class_ks = match &self.reference_ecdf {
+            Some(reference) => sketch
+                .ecdfs()
+                .iter()
+                .zip(reference)
+                .enumerate()
+                .map(|(class, (serving, reference))| {
+                    let outcome = serving
+                        .ks_test(reference)
+                        .map_err(|e| CoreError::with_source("sketched drift test", e))?;
+                    Ok(ClassDrift {
+                        class,
+                        statistic: outcome.statistic,
+                        p_value: outcome.p_value,
+                    })
+                })
+                .collect::<Result<Vec<_>, CoreError>>()?,
+            None => Vec::new(),
+        };
+        Ok(self.record(estimate, per_class_ks))
+    }
+
+    /// The currently open streaming window, if any.
+    pub fn window(&self) -> Option<&BatchSketch> {
+        self.window.as_ref()
+    }
+
+    /// Why the open window is poisoned, if it is.
+    pub fn window_degraded(&self) -> Option<&str> {
+        self.window_degraded.as_deref()
+    }
+
+    /// The compressed reference ECDFs, when retained.
+    pub fn reference_ecdf(&self) -> Option<&[EcdfSketch]> {
+        self.reference_ecdf.as_deref()
     }
 
     fn record(&mut self, estimate: f64, per_class_ks: Vec<ClassDrift>) -> BatchReport {
@@ -349,26 +548,39 @@ impl BatchMonitor {
         self.violation_streak
     }
 
-    /// Resets the alarm state and history (e.g. after remediation).
+    /// Resets the alarm state, history and any open streaming window
+    /// (e.g. after remediation).
     pub fn reset(&mut self) {
         self.history.clear();
         self.smoothed = None;
         self.violation_streak = 0;
         self.batches_seen = 0;
+        self.window = None;
+        self.window_degraded = None;
     }
 
     /// Reassembles a monitor from persisted state (persistence support).
+    /// The open streaming window (if any) carries over bit-identically, so
+    /// a window that started before a crash finishes with the exact report
+    /// an uninterrupted monitor would have produced.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         predictor: PerformancePredictor,
         policy: MonitorPolicy,
         smoothed: Option<f64>,
         violation_streak: usize,
         batches_seen: usize,
+        window: Option<BatchSketch>,
+        window_degraded: Option<String>,
+        reference_ecdf: Option<Vec<EcdfSketch>>,
     ) -> Result<Self, CoreError> {
         let mut monitor = Self::new(predictor, policy)?;
         monitor.smoothed = smoothed;
         monitor.violation_streak = violation_streak;
         monitor.batches_seen = batches_seen;
+        monitor.window = window;
+        monitor.window_degraded = window_degraded;
+        monitor.reference_ecdf = reference_ecdf;
         Ok(monitor)
     }
 }
@@ -774,9 +986,167 @@ mod tests {
         let (mut m, serving) = monitor(MonitorPolicy::default());
         let mut rng = StdRng::seed_from_u64(33);
         m.observe(&serving.sample_n(50, &mut rng)).unwrap();
+        m.observe_chunk(&serving).unwrap();
         m.reset();
         assert!(m.history().is_empty());
         assert!(!m.alarming());
+        assert!(m.window().is_none());
+    }
+
+    #[test]
+    fn streamed_window_matches_materialized_batch_estimate() {
+        let (mut m, serving) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            ..MonitorPolicy::default()
+        });
+        // Stream the batch through in chunks...
+        let rows: Vec<usize> = (0..serving.n_rows()).collect();
+        for chunk in rows.chunks(17) {
+            m.observe_chunk(&serving.select_rows(chunk)).unwrap();
+        }
+        assert_eq!(
+            m.window().unwrap().rows(),
+            serving.n_rows() as u64,
+            "all rows folded in"
+        );
+        let streamed = m.finish_window().unwrap();
+        assert!(m.window().is_none(), "window closed");
+        assert!(streamed.estimate.is_finite());
+        // ...and score the identical sketch state directly: the report's
+        // estimate must match bit for bit (same sketch → same features).
+        let proba = m.predictor().model_outputs(&serving).unwrap();
+        let direct = m
+            .predictor()
+            .predict_from_sketch(&BatchSketch::from_outputs(&proba));
+        assert_eq!(streamed.estimate.to_bits(), direct.unwrap().to_bits());
+        // A healthy full serving frame stays alarm-free.
+        assert!(!streamed.alarm, "{streamed:?}");
+    }
+
+    #[test]
+    fn finishing_without_a_window_is_an_error() {
+        let (mut m, _) = monitor(MonitorPolicy::default());
+        assert!(m.finish_window().is_err());
+    }
+
+    #[test]
+    fn merged_shards_report_bit_identically_to_a_single_stream() {
+        let (mut m, serving) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            ..MonitorPolicy::default()
+        });
+        m.retain_reference_outputs(&serving).unwrap();
+        let rows: Vec<usize> = (0..serving.n_rows()).collect();
+
+        // One monitor-level stream over everything...
+        for chunk in rows.chunks(13) {
+            m.observe_chunk(&serving.select_rows(chunk)).unwrap();
+        }
+        let single = m.finish_window().unwrap();
+
+        // ...versus 4 shards, each sketching independently.
+        let proba = m.predictor().model_outputs(&serving).unwrap();
+        let shards: Vec<BatchSketch> = rows
+            .chunks(rows.len().div_ceil(4))
+            .map(|shard_rows| BatchSketch::from_outputs(&proba.select_rows(shard_rows)))
+            .collect();
+        assert_eq!(shards.len(), 4);
+        let merged = m.merge_shard_sketches(&shards).unwrap();
+
+        assert_eq!(single.estimate.to_bits(), merged.estimate.to_bits());
+        assert_eq!(
+            single.telemetry.per_class_ks, merged.telemetry.per_class_ks,
+            "sketched drift tests agree exactly"
+        );
+    }
+
+    #[test]
+    fn chunk_serving_failure_degrades_the_window_not_the_run() {
+        let df = toy_frame(300);
+        let mut rng = StdRng::seed_from_u64(51);
+        let (train, rest) = df.split_frac(0.4, &mut rng);
+        let (test, serving) = rest.split_frac(0.5, &mut rng);
+        let model: Arc<dyn BlackBoxModel> = Arc::new(FailOnRows {
+            inner: Arc::from(train_logistic_regression(&train, &mut rng).unwrap()),
+            poison_rows: 13,
+        });
+        let gens = standard_tabular_suite(test.schema());
+        let predictor =
+            PerformancePredictor::fit(model, &test, &gens, &PredictorConfig::fast(), &mut rng)
+                .unwrap();
+        let mut m = BatchMonitor::new(
+            predictor,
+            MonitorPolicy {
+                threshold: TEST_THRESHOLD,
+                ..MonitorPolicy::default()
+            },
+        )
+        .unwrap();
+
+        m.observe_chunk(&serving.sample_n(50, &mut rng)).unwrap();
+        m.observe_chunk(&serving.sample_n(13, &mut rng)).unwrap(); // poisoned
+        m.observe_chunk(&serving.sample_n(50, &mut rng)).unwrap();
+        let r = m.finish_window().unwrap();
+        assert!(r.degraded, "{r:?}");
+        assert!(r.estimate.is_nan(), "estimate withheld");
+        assert!(
+            r.degrade_reason
+                .as_deref()
+                .unwrap()
+                .contains("endpoint down"),
+            "{r:?}"
+        );
+
+        // The next window is clean and recovers seamlessly.
+        m.observe_chunk(&serving.sample_n(50, &mut rng)).unwrap();
+        let r = m.finish_window().unwrap();
+        assert!(!r.degraded && r.estimate.is_finite(), "{r:?}");
+    }
+
+    #[test]
+    fn abandoned_window_reports_degraded() {
+        let (mut m, serving) = monitor(MonitorPolicy::default());
+        m.observe_chunk(&serving).unwrap();
+        m.abandon_window("upstream queue lost the tail of the window");
+        let r = m.finish_window().unwrap();
+        assert!(r.degraded);
+        assert_eq!(
+            r.degrade_reason.as_deref(),
+            Some("upstream queue lost the tail of the window")
+        );
+    }
+
+    #[test]
+    fn streaming_telemetry_tracks_chunks_rows_and_footprint() {
+        let (mut m, serving) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            ..MonitorPolicy::default()
+        });
+        let registry = Registry::new();
+        m.attach_telemetry(&registry);
+        let rows: Vec<usize> = (0..serving.n_rows()).collect();
+        for chunk in rows.chunks(20) {
+            m.observe_chunk(&serving.select_rows(chunk)).unwrap();
+        }
+        let expected_bytes = m.window().unwrap().approx_bytes();
+        m.finish_window().unwrap();
+        let shard = BatchSketch::from_outputs(&m.predictor().model_outputs(&serving).unwrap());
+        m.merge_shard_sketches(&[shard]).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["monitor.chunks_observed"],
+            rows.len().div_ceil(20) as u64
+        );
+        assert_eq!(snap.counters["monitor.chunk_rows"], rows.len() as u64);
+        assert_eq!(snap.counters["monitor.sketch_merges"], 1);
+        assert_eq!(
+            snap.gauges["monitor.window_sketch_bytes"],
+            expected_bytes as f64
+        );
+        // Chunk latency records wall-clock per chunk; the deterministic
+        // view keeps its call count but strips the durations.
+        let latency = &snap.histograms["monitor.chunk_latency"];
+        assert_eq!(latency.count, rows.len().div_ceil(20) as u64);
     }
 
     #[test]

@@ -23,18 +23,27 @@
 //!
 //! [`Schema::fingerprint`]: lvp_dataframe::Schema::fingerprint
 
+use crate::features::BatchSketch;
 use crate::{BatchMonitor, CoreError, Metric, MonitorPolicy, PerformancePredictor};
 use crate::{PerformanceValidator, ValidationOutcome};
 use lvp_linalg::DenseMatrix;
 use lvp_models::forest::RandomForestRegressor;
 use lvp_models::gbdt::GbdtClassifier;
 use lvp_models::BlackBoxModel;
+use lvp_stats::EcdfSketch;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::Arc;
 
 /// Current artifact format version, shared by all three artifact types.
-pub const ARTIFACT_VERSION: u32 = 2;
+///
+/// Version history: 1 — original format, no input contract; 2 — adds the
+/// schema-fingerprint/class-count input contract; 3 — adds streaming
+/// sketch state (the validator's test-output ECDFs, the monitor's open
+/// window and reference ECDFs). Every added field is an `Option`, so older
+/// artifacts deserialize with `None` and the loaders reconstruct (or skip)
+/// the missing state.
+pub const ARTIFACT_VERSION: u32 = 3;
 
 /// Serializes an artifact (or anything serde-serializable) to JSON.
 pub fn to_json<T: Serialize>(artifact: &T) -> Result<String, CoreError> {
@@ -62,9 +71,9 @@ pub fn load_json<T: Deserialize>(path: impl AsRef<Path>) -> Result<T, CoreError>
 }
 
 fn check_version(kind: &str, version: u32) -> Result<(), CoreError> {
-    // Version 1 artifacts (pre input-contract) are still loadable: their
-    // contract fields deserialize as `None` and the corresponding checks
-    // are skipped.
+    // All prior versions are still loadable: fields they predate
+    // deserialize as `None` and the loaders reconstruct or skip the
+    // corresponding state (see [`ARTIFACT_VERSION`]).
     if version == 0 || version > ARTIFACT_VERSION {
         return Err(CoreError::new(format!(
             "unsupported {kind} artifact version {version} (supported: 1..={ARTIFACT_VERSION})"
@@ -203,6 +212,11 @@ pub struct ValidatorArtifact {
     pub use_ks_features: bool,
     /// Fingerprint of the fit-time test schema.
     pub schema_fingerprint: Option<u64>,
+    /// Compressed ECDF sketches of the test-time outputs (the sketched-path
+    /// KS reference). `None` in pre-version-3 artifacts; rebuilt from
+    /// `test_columns` at load time (a pure function of them), so restored
+    /// validators behave identically either way.
+    pub test_ecdf: Option<Vec<EcdfSketch>>,
 }
 
 impl PerformanceValidator {
@@ -217,6 +231,7 @@ impl PerformanceValidator {
             metric: self.metric().into(),
             use_ks_features: self.use_ks_features(),
             schema_fingerprint: self.schema_fingerprint(),
+            test_ecdf: Some(self.test_ecdf().to_vec()),
         }
     }
 
@@ -242,6 +257,7 @@ impl PerformanceValidator {
             model,
             artifact.classifier,
             artifact.test_columns,
+            artifact.test_ecdf,
             artifact.test_score,
             artifact.threshold,
             artifact.metric.into(),
@@ -268,10 +284,23 @@ pub struct MonitorArtifact {
     pub violation_streak: usize,
     /// Total batches observed so far (continues the batch numbering).
     pub batches_seen: usize,
+    /// The open streaming window's sketch state, if a window was open when
+    /// the snapshot was taken (`None` in pre-version-3 artifacts). The
+    /// sketches persist bit-identically, so a window that started before a
+    /// crash finishes with the exact report an uninterrupted monitor would
+    /// have produced.
+    pub window: Option<BatchSketch>,
+    /// Why the open window was poisoned, when it was.
+    pub window_degraded: Option<String>,
+    /// Compressed reference ECDFs for the sketched drift tests (`None` in
+    /// pre-version-3 artifacts and when
+    /// [`BatchMonitor::retain_reference_outputs`] was never called).
+    pub reference_ecdf: Option<Vec<EcdfSketch>>,
 }
 
 impl BatchMonitor {
-    /// Snapshots the monitor's policy and alarm state for serialization.
+    /// Snapshots the monitor's policy and alarm state for serialization —
+    /// including any open streaming window, which survives bit-identically.
     pub fn to_artifact(&self) -> MonitorArtifact {
         MonitorArtifact {
             version: ARTIFACT_VERSION,
@@ -279,13 +308,19 @@ impl BatchMonitor {
             smoothed: self.smoothed(),
             violation_streak: self.violation_streak(),
             batches_seen: self.batches_seen(),
+            window: self.window().cloned(),
+            window_degraded: self.window_degraded().map(str::to_string),
+            reference_ecdf: self.reference_ecdf().map(<[EcdfSketch]>::to_vec),
         }
     }
 
     /// Restores a monitor from an artifact, reattaching a restored
     /// predictor. The report history does not survive the restart (ship it
-    /// to a log store if it must), but the EWMA value, debounce streak and
-    /// batch numbering do.
+    /// to a log store if it must), but the EWMA value, debounce streak,
+    /// batch numbering, open streaming window and reference ECDFs do. The
+    /// raw reference *outputs* do not — re-call
+    /// [`BatchMonitor::retain_reference_outputs`] if the exact-path drift
+    /// tests are needed; the sketched path works immediately.
     pub fn from_artifact(
         artifact: MonitorArtifact,
         predictor: PerformancePredictor,
@@ -297,6 +332,9 @@ impl BatchMonitor {
             artifact.smoothed,
             artifact.violation_streak,
             artifact.batches_seen,
+            artifact.window,
+            artifact.window_degraded,
+            artifact.reference_ecdf,
         )
     }
 }
@@ -522,6 +560,156 @@ mod tests {
         assert_eq!(
             restored.predict(&serving).unwrap(),
             predictor.predict(&serving).unwrap()
+        );
+    }
+
+    #[test]
+    fn version_2_validator_artifacts_load_and_validate_identically() {
+        // A v2 artifact predates the sketch era: no `test_ecdf` field at
+        // all in its JSON. Serialize through a v2-shaped mirror struct to
+        // prove missing-field tolerance (not just `null` tolerance), then
+        // check the restored validator agrees bit-for-bit on both the
+        // exact and the sketched validation paths.
+        #[derive(Serialize)]
+        struct ValidatorArtifactV2 {
+            version: u32,
+            classifier: GbdtClassifier,
+            test_columns: Vec<Vec<f64>>,
+            test_score: f64,
+            threshold: f64,
+            metric: MetricTag,
+            use_ks_features: bool,
+            schema_fingerprint: Option<u64>,
+        }
+
+        let (model, test, serving) = fitted();
+        let mut rng = StdRng::seed_from_u64(9);
+        let gens = standard_tabular_suite(test.schema());
+        let validator = PerformanceValidator::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &ValidatorConfig::fast(0.08),
+            &mut rng,
+        )
+        .unwrap();
+
+        let full = validator.to_artifact();
+        assert_eq!(full.version, 3);
+        assert!(full.test_ecdf.is_some());
+        let v2 = ValidatorArtifactV2 {
+            version: 2,
+            classifier: full.classifier.clone(),
+            test_columns: full.test_columns.clone(),
+            test_score: full.test_score,
+            threshold: full.threshold,
+            metric: full.metric,
+            use_ks_features: full.use_ks_features,
+            schema_fingerprint: full.schema_fingerprint,
+        };
+        let json = to_json(&v2).unwrap();
+        assert!(!json.contains("test_ecdf"), "field genuinely absent");
+        let artifact: ValidatorArtifact = from_json(&json).unwrap();
+        assert_eq!(artifact.test_ecdf, None);
+        let restored = PerformanceValidator::from_artifact(artifact, Arc::clone(&model)).unwrap();
+
+        // The missing sketches were rebuilt from the retained columns —
+        // identical to the freshly fitted state.
+        assert_eq!(restored.test_ecdf(), validator.test_ecdf());
+        let proba = model.predict_proba(&serving);
+        assert!(verdicts_identical(&validator, &restored, &proba).unwrap());
+        let sketch = crate::BatchSketch::from_outputs(&proba);
+        let a = validator.validate_sketch(&sketch).unwrap();
+        let b = restored.validate_sketch(&sketch).unwrap();
+        assert_eq!(a.within_threshold, b.within_threshold);
+        assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+    }
+
+    #[test]
+    fn version_2_monitor_artifacts_still_load() {
+        #[derive(Serialize)]
+        struct MonitorArtifactV2 {
+            version: u32,
+            policy: MonitorPolicy,
+            smoothed: Option<f64>,
+            violation_streak: usize,
+            batches_seen: usize,
+        }
+
+        let (model, test, _) = fitted();
+        let mut rng = StdRng::seed_from_u64(10);
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let v2 = MonitorArtifactV2 {
+            version: 2,
+            policy: MonitorPolicy::default(),
+            smoothed: Some(0.9),
+            violation_streak: 1,
+            batches_seen: 7,
+        };
+        let json = to_json(&v2).unwrap();
+        let artifact: MonitorArtifact = from_json(&json).unwrap();
+        assert_eq!(artifact.window, None);
+        assert_eq!(artifact.reference_ecdf, None);
+        let restored = BatchMonitor::from_artifact(artifact, predictor).unwrap();
+        assert_eq!(restored.batches_seen(), 7);
+        assert_eq!(restored.violation_streak(), 1);
+        assert_eq!(restored.smoothed(), Some(0.9));
+        assert!(restored.window().is_none());
+    }
+
+    #[test]
+    fn open_window_survives_an_artifact_round_trip_bit_identically() {
+        let (model, test, serving) = fitted();
+        let mut rng = StdRng::seed_from_u64(11);
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut monitor = BatchMonitor::new(predictor, MonitorPolicy::default()).unwrap();
+        monitor.retain_reference_outputs(&test).unwrap();
+
+        // Open a window, stream half the batch, then "crash".
+        let rows: Vec<usize> = (0..serving.n_rows()).collect();
+        let (first_half, second_half) = rows.split_at(rows.len() / 2);
+        for chunk in first_half.chunks(11) {
+            monitor.observe_chunk(&serving.select_rows(chunk)).unwrap();
+        }
+        let json = to_json(&monitor.to_artifact()).unwrap();
+
+        // Restore and stream the remaining rows into the carried-over
+        // window; an uninterrupted monitor does the same without the
+        // restart. The final reports must agree bit for bit.
+        let artifact: MonitorArtifact = from_json(&json).unwrap();
+        let predictor2 = PerformancePredictor::from_artifact(
+            monitor.predictor().to_artifact(),
+            Arc::clone(&model),
+        )
+        .unwrap();
+        let mut restored = BatchMonitor::from_artifact(artifact, predictor2).unwrap();
+        assert_eq!(restored.window(), monitor.window());
+        for chunk in second_half.chunks(11) {
+            restored.observe_chunk(&serving.select_rows(chunk)).unwrap();
+            monitor.observe_chunk(&serving.select_rows(chunk)).unwrap();
+        }
+        let r_restored = restored.finish_window().unwrap();
+        let r_live = monitor.finish_window().unwrap();
+        assert_eq!(r_restored.estimate.to_bits(), r_live.estimate.to_bits());
+        assert_eq!(
+            r_restored.telemetry.per_class_ks,
+            r_live.telemetry.per_class_ks
         );
     }
 

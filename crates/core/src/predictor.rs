@@ -298,6 +298,33 @@ impl PerformancePredictor {
         Ok(self.regressor.predict(&x)[0].clamp(0.0, 1.0))
     }
 
+    /// Estimates the score from streamed sketch state — the fixed-memory
+    /// counterpart of [`Self::predict_from_outputs`] for batches built
+    /// incrementally via [`crate::BatchSketch::observe_chunk`] (or merged
+    /// from shards). Each percentile feature is within the sketches'
+    /// proven value-error bound of the exact path.
+    pub fn predict_from_sketch(&self, sketch: &crate::BatchSketch) -> Result<f64, CoreError> {
+        if sketch.n_classes() != self.n_classes {
+            return Err(CoreError::new(format!(
+                "batch sketch tracks {} class columns but the predictor was \
+                 fitted for {} classes",
+                sketch.n_classes(),
+                self.n_classes
+            )));
+        }
+        let features = sketch.prediction_statistics();
+        if features.len() != self.n_feature_dims {
+            return Err(CoreError::new(format!(
+                "sketch featurization produced {} dims but the meta-regressor \
+                 expects {}",
+                features.len(),
+                self.n_feature_dims
+            )));
+        }
+        let x = DenseMatrix::from_rows(&[features]).expect("single feature row");
+        Ok(self.regressor.predict(&x)[0].clamp(0.0, 1.0))
+    }
+
     /// The model's score on the held-out test data (the reference point for
     /// alarm thresholds).
     pub fn test_score(&self) -> f64 {

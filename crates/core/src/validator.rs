@@ -11,21 +11,22 @@
 //! Lipton et al.).
 
 use crate::engine::generate_batches_seeded;
-use crate::features::prediction_statistics;
+use crate::features::{featurize_source, BatchSketch, FeatureSource, KsReference};
 use crate::{CoreError, Metric};
 use lvp_corruptions::ErrorGen;
 use lvp_dataframe::DataFrame;
 use lvp_linalg::{CsrMatrix, DenseMatrix};
 use lvp_models::gbdt::{GbdtClassifier, GbdtConfig};
 use lvp_models::{BlackBoxModel, Classifier};
-use lvp_stats::ks_two_sample;
+use lvp_stats::{EcdfSketch, DEFAULT_SKETCH_BINS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-/// Featurizes one batch of model outputs: percentile statistics plus,
-/// when `test_columns` is given, per-class KS statistic and p-value
-/// against the retained test-time outputs.
+/// Featurizes one batch of materialized model outputs: percentile
+/// statistics plus, when `test_columns` is given, per-class KS statistic
+/// and p-value against the retained test-time outputs (the exact path of
+/// [`featurize_source`]).
 ///
 /// Free function (rather than a method) so the fitting loop can featurize
 /// before the validator exists, and so the per-class test columns are
@@ -34,28 +35,24 @@ fn featurize_outputs(
     proba: &DenseMatrix,
     test_columns: Option<&[Vec<f64>]>,
 ) -> Result<Vec<f64>, CoreError> {
-    let mut f = prediction_statistics(proba);
-    if let Some(test_columns) = test_columns {
-        // A serving batch with a different class count than the retained
-        // test outputs must be rejected outright: truncating (or padding)
-        // the KS loop would shift every downstream GBDT feature index and
-        // the classifier would silently consume garbage.
-        if test_columns.len() != proba.cols() {
-            return Err(CoreError::new(format!(
-                "output matrix has {} class columns but the validator \
-                 retained test outputs for {} classes",
-                proba.cols(),
-                test_columns.len()
-            )));
-        }
-        for (class, test_col) in test_columns.iter().enumerate() {
-            let serving_col = proba.column(class);
-            let outcome = ks_two_sample(&serving_col, test_col);
-            f.push(outcome.statistic);
-            f.push(outcome.p_value);
-        }
-    }
-    Ok(f)
+    let reference = match test_columns {
+        Some(cols) => KsReference::Exact(cols),
+        None => KsReference::None,
+    };
+    featurize_source(&FeatureSource::Exact(proba), &reference)
+}
+
+/// Compresses the retained per-class test-time output columns into unit
+/// range ECDF sketches — the sketched-path counterpart of `test_columns`.
+///
+/// A pure deterministic function of the columns, so it can be recomputed
+/// when loading artifacts that predate the sketch field and yield the
+/// exact same state a fresh fit would have produced.
+pub(crate) fn sketch_test_columns(test_columns: &[Vec<f64>]) -> Vec<EcdfSketch> {
+    test_columns
+        .iter()
+        .map(|col| EcdfSketch::from_values(col, 0.0, 1.0, DEFAULT_SKETCH_BINS))
+        .collect()
 }
 
 /// Configuration for fitting a [`PerformanceValidator`].
@@ -129,8 +126,13 @@ pub struct PerformanceValidator {
     model: Arc<dyn BlackBoxModel>,
     classifier: GbdtClassifier,
     /// Per-class test-time output columns, materialized once at fit time —
-    /// the KS features compare every serving batch against these.
+    /// the exact-path KS features compare every serving batch against
+    /// these.
     test_columns: Vec<Vec<f64>>,
+    /// Compressed ECDF sketches of the same test-time outputs — the
+    /// sketched-path KS reference, so validating a streamed batch never
+    /// touches the materialized columns.
+    test_ecdf: Vec<EcdfSketch>,
     test_score: f64,
     threshold: f64,
     metric: Metric,
@@ -214,10 +216,12 @@ impl PerformanceValidator {
         );
         let mut gbdt_rng = StdRng::seed_from_u64(rng.gen());
         let classifier = GbdtClassifier::fit(&x, &labels, 2, &config.gbdt, &mut gbdt_rng)?;
+        let test_ecdf = sketch_test_columns(&test_columns);
         Ok(Self {
             model,
             classifier,
             test_columns,
+            test_ecdf,
             test_score,
             threshold: config.threshold,
             metric: config.metric,
@@ -235,6 +239,37 @@ impl PerformanceValidator {
             proba,
             self.use_ks_features.then_some(self.test_columns.as_slice()),
         )
+    }
+
+    /// Featurizes streamed sketch state: percentile statistics queried
+    /// from the quantile sketches plus (optionally) per-class KS features
+    /// computed on compressed ECDFs against the retained test-output
+    /// sketches. Same feature layout as [`Self::featurize`], each
+    /// dimension within the sketches' proven error bound of the exact
+    /// path.
+    pub fn featurize_sketch(&self, sketch: &BatchSketch) -> Result<Vec<f64>, CoreError> {
+        let reference = if self.use_ks_features {
+            KsReference::Sketched(&self.test_ecdf)
+        } else {
+            KsReference::None
+        };
+        featurize_source(&FeatureSource::Sketched(sketch), &reference)
+    }
+
+    /// Decides from streamed sketch state directly — the fixed-memory
+    /// counterpart of [`Self::validate_outputs`] for batches too large (or
+    /// too distributed) to materialize.
+    pub fn validate_sketch(&self, sketch: &BatchSketch) -> Result<ValidationOutcome, CoreError> {
+        if sketch.n_classes() != self.model.n_classes() {
+            return Err(CoreError::new(format!(
+                "batch sketch tracks {} class columns but the validator was \
+                 fitted for {} classes",
+                sketch.n_classes(),
+                self.model.n_classes()
+            )));
+        }
+        let features = self.featurize_sketch(sketch)?;
+        self.classify(features)
     }
 
     /// Decides whether the model's predictions on the serving batch can be
@@ -259,6 +294,12 @@ impl PerformanceValidator {
             )));
         }
         let features = self.featurize(proba)?;
+        self.classify(features)
+    }
+
+    /// Runs the fitted GBDT over one feature row (shared tail of the exact
+    /// and sketched validation paths).
+    fn classify(&self, features: Vec<f64>) -> Result<ValidationOutcome, CoreError> {
         let x = CsrMatrix::from_dense(
             &DenseMatrix::from_rows(&[features]).expect("single feature row"),
         );
@@ -301,27 +342,40 @@ impl PerformanceValidator {
         &self.test_columns
     }
 
+    /// The compressed ECDF sketches of the test-time outputs.
+    pub fn test_ecdf(&self) -> &[EcdfSketch] {
+        &self.test_ecdf
+    }
+
     /// Clones the fitted GBDT classifier (persistence support).
     pub(crate) fn classifier_clone(&self) -> GbdtClassifier {
         self.classifier.clone()
     }
 
     /// Reassembles a validator from its parts (persistence support).
+    ///
+    /// `test_ecdf` is `None` for artifacts written before the sketch era;
+    /// the sketches are then recomputed from the retained columns — a pure
+    /// function of them, so the rebuilt state is identical to what a fresh
+    /// fit would have persisted.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         model: Arc<dyn BlackBoxModel>,
         classifier: GbdtClassifier,
         test_columns: Vec<Vec<f64>>,
+        test_ecdf: Option<Vec<EcdfSketch>>,
         test_score: f64,
         threshold: f64,
         metric: Metric,
         use_ks_features: bool,
         schema_fingerprint: Option<u64>,
     ) -> Self {
+        let test_ecdf = test_ecdf.unwrap_or_else(|| sketch_test_columns(&test_columns));
         Self {
             model,
             classifier,
             test_columns,
+            test_ecdf,
             test_score,
             threshold,
             metric,
@@ -430,5 +484,50 @@ mod tests {
         let (validator, serving) = fitted_validator(0.05);
         let outcome = validator.validate(&serving).unwrap();
         assert!((0.0..=1.0).contains(&outcome.confidence));
+    }
+
+    #[test]
+    fn sketched_validation_agrees_with_exact_on_clean_data() {
+        let (validator, serving) = fitted_validator(0.10);
+        let proba = validator.model.predict_proba(&serving);
+        let exact = validator.validate_outputs(&proba).unwrap();
+        let sketch = BatchSketch::from_outputs(&proba);
+        let sketched = validator.validate_sketch(&sketch).unwrap();
+        assert_eq!(exact.within_threshold, sketched.within_threshold);
+    }
+
+    #[test]
+    fn sketched_features_share_layout_and_stay_near_exact() {
+        let (validator, serving) = fitted_validator(0.05);
+        let proba = validator.model.predict_proba(&serving);
+        let exact = validator.featurize(&proba).unwrap();
+        let sketch = BatchSketch::from_outputs(&proba);
+        let sketched = validator.featurize_sketch(&sketch).unwrap();
+        assert_eq!(exact.len(), sketched.len());
+        // Percentile block: bounded by the quantile sketches' proven
+        // value-error bound. KS block: p-values are smooth in D, so just
+        // check the statistics stay close.
+        let bound = sketch.value_error_bound() + 1e-12;
+        for (a, b) in exact[..42].iter().zip(&sketched[..42]) {
+            assert!((a - b).abs() <= bound, "exact {a} sketched {b}");
+        }
+        for pair in sketched[42..].chunks(2) {
+            assert!((0.0..=1.0).contains(&pair[0]));
+            assert!((0.0..=1.0).contains(&pair[1]));
+        }
+    }
+
+    #[test]
+    fn sketched_validation_rejects_mismatched_class_count() {
+        let (validator, _) = fitted_validator(0.05);
+        let sketch = BatchSketch::new(3);
+        assert!(validator.validate_sketch(&sketch).is_err());
+    }
+
+    #[test]
+    fn test_ecdf_is_a_pure_function_of_the_columns() {
+        let (validator, _) = fitted_validator(0.05);
+        let rebuilt = sketch_test_columns(validator.test_columns());
+        assert_eq!(validator.test_ecdf(), rebuilt.as_slice());
     }
 }

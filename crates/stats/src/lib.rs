@@ -13,6 +13,7 @@
 
 pub mod metrics;
 pub mod percentile;
+pub mod sketch;
 pub mod special;
 pub mod tests;
 
@@ -22,5 +23,7 @@ pub use metrics::{
 };
 pub use percentile::{
     percentile_sorted, percentiles, vigintile_grid, PercentileScratch, VIGINTILE_COUNT,
+    VIGINTILE_GRID,
 };
+pub use sketch::{EcdfSketch, QuantileSketch, SketchMergeError, DEFAULT_SKETCH_BINS};
 pub use tests::{bonferroni_alpha, chi2_gof_test, chi2_test_counts, ks_two_sample, TestOutcome};

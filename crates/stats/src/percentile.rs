@@ -7,6 +7,16 @@
 /// Number of percentile positions in the paper's 0,5,…,100 grid.
 pub const VIGINTILE_COUNT: usize = 21;
 
+/// The paper's percentile grid as a shared constant: 0, 5, 10, …, 100.
+///
+/// Every featurization path — the exact [`PercentileScratch`] sort and the
+/// sketch query path ([`crate::QuantileSketch::extend_percentiles`]) —
+/// reads this single definition, so the two feature layouts cannot drift.
+pub const VIGINTILE_GRID: [f64; VIGINTILE_COUNT] = [
+    0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0, 60.0, 65.0, 70.0, 75.0,
+    80.0, 85.0, 90.0, 95.0, 100.0,
+];
+
 /// Percentile of an already-sorted slice using linear interpolation
 /// (the same `linear` convention as NumPy's default).
 ///
@@ -82,9 +92,10 @@ impl PercentileScratch {
     }
 }
 
-/// The paper's percentile grid: 0, 5, 10, …, 100.
+/// The paper's percentile grid: 0, 5, 10, …, 100 (a `Vec` view of the
+/// shared [`VIGINTILE_GRID`] constant).
 pub fn vigintile_grid() -> Vec<f64> {
-    (0..VIGINTILE_COUNT).map(|i| i as f64 * 5.0).collect()
+    VIGINTILE_GRID.to_vec()
 }
 
 #[cfg(test)]
@@ -97,6 +108,17 @@ mod tests {
         assert_eq!(g.len(), VIGINTILE_COUNT);
         assert_eq!(g[0], 0.0);
         assert_eq!(*g.last().unwrap(), 100.0);
+    }
+
+    #[test]
+    fn grid_constant_matches_the_generated_grid() {
+        // The shared constant is the single source of truth for both the
+        // exact and the sketch feature layouts; pin it against the
+        // arithmetic definition.
+        for (i, &q) in VIGINTILE_GRID.iter().enumerate() {
+            assert_eq!(q, i as f64 * 5.0);
+        }
+        assert_eq!(vigintile_grid(), VIGINTILE_GRID.to_vec());
     }
 
     #[test]

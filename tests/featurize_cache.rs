@@ -2,9 +2,11 @@
 //! bit-identical to the cold path on arbitrarily corrupted copy-on-write
 //! copies, and must re-encode exactly the columns a copy touched.
 
+use lvp_core::{prediction_statistics, BatchSketch};
 use lvp_corruptions::{extended_tabular_suite, standard_tabular_suite};
 use lvp_dataframe::{CellValue, ColumnType, DataFrameBuilder, Field, Schema};
 use lvp_featurize::{EncodingCache, FeaturePipeline, PipelineConfig};
+use lvp_models::train_logistic_regression;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,6 +63,40 @@ proptest! {
                 pipeline.transform(&corrupted),
                 "{}", gen.name()
             );
+        }
+    }
+
+    /// On every corrupted CoW copy, featurizing the model's outputs
+    /// through the streaming sketch stays within the sketches' proven
+    /// value-error bound of the exact sort-based featurization — so a
+    /// monitor running off sketches sees the same drift signal the
+    /// materialized path would, for any corruption the generators produce.
+    #[test]
+    fn sketched_features_track_exact_features_on_corrupted_copies(
+        nums in prop::collection::vec(-1000f64..1000.0, 8..60),
+        cats in prop::collection::vec(0u8..255, 8..60),
+        seed in 0u64..1000,
+    ) {
+        let df = build_frame(&nums, &cats);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = train_logistic_regression(&df, &mut rng).unwrap();
+        let mut gens = standard_tabular_suite(df.schema());
+        gens.extend(extended_tabular_suite(df.schema()));
+        for gen in gens {
+            let corrupted = gen.corrupt(&df.clone(), &mut StdRng::seed_from_u64(seed));
+            let proba = model.predict_proba(&corrupted);
+            let exact = prediction_statistics(&proba);
+            let sketch = BatchSketch::from_outputs(&proba);
+            let sketched = sketch.prediction_statistics();
+            prop_assert_eq!(exact.len(), sketched.len(), "{}", gen.name());
+            let bound = sketch.value_error_bound() + 1e-12;
+            for (i, (e, s)) in exact.iter().zip(&sketched).enumerate() {
+                prop_assert!(
+                    (e - s).abs() <= bound,
+                    "{} dim {}: exact {} sketched {} bound {}",
+                    gen.name(), i, e, s, bound
+                );
+            }
         }
     }
 }

@@ -1,10 +1,11 @@
 //! Property-based tests over the workspace's core invariants.
 
+use lvp_core::BatchSketch;
 use lvp_corruptions::standard_tabular_suite;
 use lvp_dataframe::{CellValue, ColumnType, DataFrameBuilder, Field, Schema};
 use lvp_featurize::{FeaturePipeline, PipelineConfig};
 use lvp_linalg::{stable_softmax, DenseMatrix};
-use lvp_stats::{ks_two_sample, percentiles, vigintile_grid};
+use lvp_stats::{ks_two_sample, percentiles, vigintile_grid, EcdfSketch, QuantileSketch};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -202,6 +203,140 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+
+    /// The quantile sketch is a commutative monoid under merge: any
+    /// parenthesization and any order over the same inputs yields
+    /// bit-identical state (`PartialEq` on sketches is bit-identical, NaN
+    /// sentinels included). This is the algebraic fact behind the
+    /// shard-merged ≡ single-stream guarantee.
+    #[test]
+    fn quantile_sketch_merge_is_associative_and_commutative(
+        a in prop::collection::vec(0.0f64..1.0, 0..80),
+        b in prop::collection::vec(0.0f64..1.0, 0..80),
+        c in prop::collection::vec(0.0f64..1.0, 0..80),
+    ) {
+        let sketch = |v: &[f64]| {
+            let mut s = QuantileSketch::unit();
+            s.extend(v.iter().copied());
+            s
+        };
+        let (sa, sb, sc) = (sketch(&a), sketch(&b), sketch(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb).unwrap();
+        left.merge(&sc).unwrap();
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc).unwrap();
+        let mut right = sa.clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(&left, &right, "associativity");
+        // b ⊕ a == a ⊕ b
+        let mut ab = sa.clone();
+        ab.merge(&sb).unwrap();
+        let mut ba = sb.clone();
+        ba.merge(&sa).unwrap();
+        prop_assert_eq!(&ab, &ba, "commutativity");
+        // Merged state ≡ single-stream state over the concatenation.
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        prop_assert_eq!(&ab, &sketch(&concat), "merge ≡ stream");
+    }
+
+    #[test]
+    fn ecdf_sketch_merge_is_associative_and_commutative(
+        a in prop::collection::vec(0.0f64..1.0, 0..80),
+        b in prop::collection::vec(0.0f64..1.0, 0..80),
+        c in prop::collection::vec(0.0f64..1.0, 0..80),
+    ) {
+        let sketch = |v: &[f64]| EcdfSketch::from_values(v, 0.0, 1.0, 64);
+        let (sa, sb, sc) = (sketch(&a), sketch(&b), sketch(&c));
+        let mut left = sa.clone();
+        left.merge(&sb).unwrap();
+        left.merge(&sc).unwrap();
+        let mut bc = sb.clone();
+        bc.merge(&sc).unwrap();
+        let mut right = sa.clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(&left, &right, "associativity");
+        let mut ab = sa.clone();
+        ab.merge(&sb).unwrap();
+        let mut ba = sb.clone();
+        ba.merge(&sa).unwrap();
+        prop_assert_eq!(&ab, &ba, "commutativity");
+    }
+
+    /// Percentiles queried from the sketch stay within the proven
+    /// value-error bound of the exact sort-based oracle on adversarial
+    /// input shapes: sorted, reversed, all-tied, and NaN-bearing.
+    #[test]
+    fn sketch_percentile_error_is_bounded_on_adversarial_inputs(
+        values in prop::collection::vec(0.0f64..1.0, 1..400),
+        shape in 0usize..4,
+    ) {
+        let mut values = values;
+        match shape {
+            0 => values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap()),
+            1 => {
+                values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                values.reverse();
+            }
+            2 => {
+                let v = values[0];
+                values.iter_mut().for_each(|x| *x = v);
+            }
+            _ => {
+                // Poison every third cell, as a NaN-injecting corruption
+                // would; both paths must drop them identically.
+                values.iter_mut().skip(2).step_by(3).for_each(|x| *x = f64::NAN);
+            }
+        }
+        let mut sketch = QuantileSketch::unit();
+        sketch.extend(values.iter().copied());
+        let qs = vigintile_grid();
+        let exact = percentiles(&values, &qs);
+        let mut approx = Vec::new();
+        sketch.extend_percentiles(&qs, &mut approx);
+        let bound = sketch.value_error_bound() + 1e-12;
+        for (i, (e, s)) in exact.iter().zip(&approx).enumerate() {
+            prop_assert!((e - s).abs() <= bound, "q {}: exact {} sketched {}", qs[i], e, s);
+        }
+    }
+
+    /// Chunk boundaries and shard fan-out are invisible: any chunking of a
+    /// batch and any sharding (merged in order) produce features
+    /// bit-identical to the one-shot sketch of the whole batch.
+    #[test]
+    fn batch_sketch_features_are_chunking_and_sharding_invariant(
+        probs in prop::collection::vec(0.0f64..1.0, 1..200),
+        chunk in 1usize..64,
+        shards in 1usize..6,
+    ) {
+        let rows: Vec<Vec<f64>> = probs.iter().map(|&p| vec![p, 1.0 - p]).collect();
+        let m = DenseMatrix::from_rows(&rows).unwrap();
+        let whole = BatchSketch::from_outputs(&m);
+
+        let idx: Vec<usize> = (0..m.rows()).collect();
+        let mut chunked = BatchSketch::new(2);
+        for c in idx.chunks(chunk) {
+            chunked.observe_chunk(&m.select_rows(c)).unwrap();
+        }
+        prop_assert_eq!(
+            whole.prediction_statistics(),
+            chunked.prediction_statistics()
+        );
+
+        let per_shard = idx.len().div_ceil(shards);
+        let mut merged = BatchSketch::new(2);
+        for shard_rows in idx.chunks(per_shard) {
+            merged.merge(&BatchSketch::from_outputs(&m.select_rows(shard_rows))).unwrap();
+        }
+        let a = whole.prediction_statistics();
+        let b = merged.prediction_statistics();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 
