@@ -34,10 +34,12 @@ pub use engine::{
     GeneratedBatch, GenerationOutcome, SkippedBatch,
 };
 pub use features::{feature_dimensionality, prediction_statistics, BatchSketch, FeatureSource};
-pub use monitor::{BatchMonitor, BatchReport, BatchTelemetry, ClassDrift, MonitorPolicy};
+pub use monitor::{
+    BatchMonitor, BatchReport, BatchTelemetry, ClassDrift, MonitorPolicy, ShardWindow,
+};
 pub use persistence::{
     from_json, load_json, save_json, to_json, verdicts_identical, MetricTag, MonitorArtifact,
-    PredictorArtifact, ValidatorArtifact, ARTIFACT_VERSION,
+    PredictorArtifact, ServingArtifact, ValidatorArtifact, ARTIFACT_VERSION,
 };
 pub use predictor::{
     generate_training_examples, PerformancePredictor, PredictorConfig, TrainingExample,

@@ -74,7 +74,11 @@ pub struct BatchTelemetry {
 }
 
 /// The monitor's verdict on one batch.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializes losslessly except that the degraded-batch `NaN` estimate
+/// travels as JSON `null` and comes back as `NaN` (the vendored serde maps
+/// non-finite floats through `null`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchReport {
     /// Sequence number of the batch (starting at 0, monotonically
     /// increasing across restarts restored from a
@@ -105,12 +109,27 @@ pub struct BatchReport {
     pub telemetry: BatchTelemetry,
 }
 
+/// One shard's exported streaming window: the accumulated sketch state
+/// plus the shard's degradation marker, so fleet-level merging can honor
+/// a poisoned shard instead of silently scoring its partial sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardWindow {
+    /// The shard's accumulated window sketch.
+    pub sketch: BatchSketch,
+    /// Why the shard's window was degraded, if it was.
+    pub degraded: Option<String>,
+}
+
 /// Tracks estimated scores across a stream of serving batches and raises
 /// debounced alarms on sustained drops.
 pub struct BatchMonitor {
     predictor: PerformancePredictor,
     policy: MonitorPolicy,
     history: Vec<BatchReport>,
+    /// Oldest reports are dropped once `history` exceeds this bound;
+    /// `None` keeps everything (library default — long-running daemons set
+    /// a bound so an unbounded report stream cannot exhaust memory).
+    history_limit: Option<usize>,
     smoothed: Option<f64>,
     violation_streak: usize,
     /// Total batches observed, including ones observed before a restart
@@ -179,6 +198,7 @@ impl BatchMonitor {
             predictor,
             policy,
             history: Vec::new(),
+            history_limit: None,
             smoothed: None,
             violation_streak: 0,
             batches_seen: 0,
@@ -196,19 +216,45 @@ impl BatchMonitor {
     /// `monitor.batches_observed`). All of them track seeded estimates, so
     /// they appear in deterministic snapshot views.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.attach_telemetry_prefixed(registry, "");
+    }
+
+    /// Like [`Self::attach_telemetry`], but every metric name is prefixed
+    /// with `prefix` (e.g. prefix `"tenant.acme.fraud.v3."` yields
+    /// `tenant.acme.fraud.v3.monitor.raw_score`), so one registry can host
+    /// many monitors — one per deployment — without their gauges
+    /// clobbering each other.
+    pub fn attach_telemetry_prefixed(&mut self, registry: &Registry, prefix: &str) {
         self.metrics = Some(MonitorMetrics {
-            raw: registry.gauge("monitor.raw_score"),
-            smoothed: registry.gauge("monitor.smoothed_score"),
-            streak: registry.gauge("monitor.violation_streak"),
-            alarms: registry.counter("monitor.alarm_batches"),
-            batches: registry.counter("monitor.batches_observed"),
-            degraded: registry.counter("monitor.degraded_batches"),
-            chunks: registry.counter("monitor.chunks_observed"),
-            chunk_rows: registry.counter("monitor.chunk_rows"),
-            sketch_merges: registry.counter("monitor.sketch_merges"),
-            window_bytes: registry.gauge("monitor.window_sketch_bytes"),
-            chunk_latency: registry.histogram("monitor.chunk_latency"),
+            raw: registry.gauge(&format!("{prefix}monitor.raw_score")),
+            smoothed: registry.gauge(&format!("{prefix}monitor.smoothed_score")),
+            streak: registry.gauge(&format!("{prefix}monitor.violation_streak")),
+            alarms: registry.counter(&format!("{prefix}monitor.alarm_batches")),
+            batches: registry.counter(&format!("{prefix}monitor.batches_observed")),
+            degraded: registry.counter(&format!("{prefix}monitor.degraded_batches")),
+            chunks: registry.counter(&format!("{prefix}monitor.chunks_observed")),
+            chunk_rows: registry.counter(&format!("{prefix}monitor.chunk_rows")),
+            sketch_merges: registry.counter(&format!("{prefix}monitor.sketch_merges")),
+            window_bytes: registry.gauge(&format!("{prefix}monitor.window_sketch_bytes")),
+            chunk_latency: registry.histogram(&format!("{prefix}monitor.chunk_latency")),
         });
+    }
+
+    /// Bounds [`Self::history`] to the most recent `limit` reports (`None`
+    /// keeps everything). [`BatchReport::batch_index`] stays absolute, so
+    /// trimmed history still identifies batches unambiguously.
+    pub fn set_history_limit(&mut self, limit: Option<usize>) {
+        self.history_limit = limit;
+        self.trim_history();
+    }
+
+    fn trim_history(&mut self) {
+        if let Some(limit) = self.history_limit {
+            if self.history.len() > limit {
+                let excess = self.history.len() - limit;
+                self.history.drain(..excess);
+            }
+        }
     }
 
     /// Computes and retains the model's outputs on `reference` (normally
@@ -262,6 +308,16 @@ impl BatchMonitor {
         Ok(self.record(estimate, per_class_ks))
     }
 
+    /// Records a batch that was lost before it could be scored — shed by
+    /// an admission controller, dropped by an upstream queue — as a
+    /// degraded [`BatchReport`]: estimate withheld (NaN), `reason`
+    /// recorded, EWMA and violation streak untouched. The loss thereby
+    /// shows up in the history and the degraded-batch counter instead of
+    /// being silently dropped.
+    pub fn observe_degraded(&mut self, reason: impl Into<String>) -> BatchReport {
+        self.record_degraded(reason.into())
+    }
+
     /// Updates the monitor from an externally computed estimate (e.g. when
     /// the predictor runs in a different process).
     ///
@@ -310,6 +366,8 @@ impl BatchMonitor {
     /// Folds one chunk of already-computed model outputs into the open
     /// window (e.g. when the model serves in a different process and only
     /// its outputs reach the monitor).
+    ///
+    /// A zero-row chunk is a no-op: it neither opens nor extends a window.
     pub fn observe_output_chunk(&mut self, proba: &DenseMatrix) -> Result<(), CoreError> {
         let started = Instant::now();
         self.fold_output_chunk(proba)?;
@@ -318,6 +376,14 @@ impl BatchMonitor {
     }
 
     fn fold_output_chunk(&mut self, proba: &DenseMatrix) -> Result<(), CoreError> {
+        if proba.rows() == 0 {
+            // A zero-row chunk carries no evidence. Folding it in would
+            // open (or extend) a window whose every percentile feature is
+            // the sketch's empty-state neutral value — `finish_window`
+            // would then score that fabricated featurization as a real
+            // (and terrible-looking) batch. No-op instead.
+            return Ok(());
+        }
         let window = self
             .window
             .get_or_insert_with(|| BatchSketch::new(self.predictor.n_classes()));
@@ -368,7 +434,8 @@ impl BatchMonitor {
     }
 
     /// Folds the window sketches of N independent shards into one
-    /// fleet-level report, merging in slice order.
+    /// fleet-level report, merging in slice order. Errors on an empty
+    /// shard slice — there is no window state to report on.
     ///
     /// Because [`BatchSketch::merge`] is exactly associative and
     /// commutative, the merged state — and therefore the report — is
@@ -391,9 +458,58 @@ impl BatchMonitor {
         self.report_sketch(&merged)
     }
 
+    /// Exports (and closes) the open streaming window as a [`ShardWindow`]
+    /// for fleet-level aggregation, carrying any degradation marker along
+    /// with the sketch. Returns `None` when no window is open.
+    pub fn take_window_shard(&mut self) -> Option<ShardWindow> {
+        let sketch = self.window.take()?;
+        Some(ShardWindow {
+            sketch,
+            degraded: self.window_degraded.take(),
+        })
+    }
+
+    /// Like [`Self::merge_shard_sketches`], but honors each shard's
+    /// degradation marker: if *any* shard's window was poisoned, the merged
+    /// fleet report is degraded (first poisoned shard's reason recorded)
+    /// instead of an estimate computed from sketches with silently missing
+    /// rows — partial fleet evidence would understate drift exactly when a
+    /// shard is in trouble.
+    pub fn merge_shard_windows(
+        &mut self,
+        shards: &[ShardWindow],
+    ) -> Result<BatchReport, CoreError> {
+        if shards.is_empty() {
+            return Err(CoreError::new("no shard windows to merge"));
+        }
+        if let Some(m) = &self.metrics {
+            m.sketch_merges.add(shards.len() as u64);
+        }
+        let poisoned = shards
+            .iter()
+            .enumerate()
+            .find_map(|(idx, shard)| shard.degraded.as_ref().map(|reason| (idx, reason)));
+        if let Some((idx, reason)) = poisoned {
+            return Ok(self.record_degraded(format!("shard {idx} window degraded: {reason}")));
+        }
+        let mut merged = shards[0].sketch.clone();
+        for shard in &shards[1..] {
+            merged.merge(&shard.sketch)?;
+        }
+        self.report_sketch(&merged)
+    }
+
     /// Shared tail of the streaming paths: estimate from sketch state,
     /// sketched per-class drift tests, alarm-state update.
     fn report_sketch(&mut self, sketch: &BatchSketch) -> Result<BatchReport, CoreError> {
+        if sketch.rows() == 0 {
+            // Zero observed rows means every feature is the sketch's
+            // empty-state neutral value; scoring it would fabricate a
+            // batch out of nothing.
+            return Err(CoreError::new(
+                "cannot score a sketch with zero observed rows",
+            ));
+        }
         let estimate = self.predictor.predict_from_sketch(sketch)?;
         let per_class_ks = match &self.reference_ecdf {
             Some(reference) => sketch
@@ -510,10 +626,12 @@ impl BatchMonitor {
         }
         self.batches_seen += 1;
         self.history.push(report.clone());
+        self.trim_history();
         report
     }
 
-    /// All reports so far, in arrival order.
+    /// All retained reports, in arrival order (bounded by
+    /// [`Self::set_history_limit`]; everything by default).
     pub fn history(&self) -> &[BatchReport] {
         &self.history
     }
@@ -1027,6 +1145,152 @@ mod tests {
     fn finishing_without_a_window_is_an_error() {
         let (mut m, _) = monitor(MonitorPolicy::default());
         assert!(m.finish_window().is_err());
+    }
+
+    #[test]
+    fn zero_row_output_chunks_are_a_no_op() {
+        let (mut m, serving) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            ..MonitorPolicy::default()
+        });
+        let proba = m.predictor().model_outputs(&serving).unwrap();
+        let empty = proba.select_rows(&[]);
+        // Pre-fix this opened a window whose finish scored the sketch's
+        // all-neutral empty featurization as a real (terrible) batch.
+        m.observe_output_chunk(&empty).unwrap();
+        assert!(m.window().is_none(), "empty chunk must not open a window");
+        assert!(m.finish_window().is_err(), "nothing to finish");
+        // Interleaved with real rows, empty chunks change nothing.
+        m.observe_output_chunk(&empty).unwrap();
+        m.observe_output_chunk(&proba).unwrap();
+        m.observe_output_chunk(&empty).unwrap();
+        assert_eq!(m.window().unwrap().rows(), proba.rows() as u64);
+        let streamed = m.finish_window().unwrap();
+        assert!(!streamed.degraded && streamed.estimate.is_finite());
+        let direct = m
+            .predictor()
+            .predict_from_sketch(&BatchSketch::from_outputs(&proba))
+            .unwrap();
+        assert_eq!(streamed.estimate.to_bits(), direct.to_bits());
+        // The frame-level chunk path keeps its typed caller error.
+        let err = m.observe_chunk(&serving.select_rows(&[])).unwrap_err();
+        assert!(err.message.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn merging_zero_shards_is_a_typed_error() {
+        let (mut m, _) = monitor(MonitorPolicy::default());
+        let err = m.merge_shard_sketches(&[]).unwrap_err();
+        assert!(err.message.contains("no shard sketches"), "{err}");
+        let err = m.merge_shard_windows(&[]).unwrap_err();
+        assert!(err.message.contains("no shard windows"), "{err}");
+        assert_eq!(m.batches_seen(), 0, "failed merges consume no batch index");
+        assert!(m.history().is_empty());
+    }
+
+    #[test]
+    fn merging_only_empty_sketches_is_a_typed_error() {
+        let (mut m, _) = monitor(MonitorPolicy::default());
+        let n = m.predictor().n_classes();
+        let err = m
+            .merge_shard_sketches(&[BatchSketch::new(n), BatchSketch::new(n)])
+            .unwrap_err();
+        assert!(err.message.contains("zero observed rows"), "{err}");
+        assert_eq!(m.batches_seen(), 0);
+    }
+
+    #[test]
+    fn degraded_shard_window_poisons_the_merged_report() {
+        let (mut m, serving) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            ..MonitorPolicy::default()
+        });
+        let proba = m.predictor().model_outputs(&serving).unwrap();
+        let healthy = ShardWindow {
+            sketch: BatchSketch::from_outputs(&proba),
+            degraded: None,
+        };
+        let poisoned = ShardWindow {
+            sketch: BatchSketch::from_outputs(&proba.select_rows(&[0, 1, 2])),
+            degraded: Some("endpoint down: retry budget exhausted".to_string()),
+        };
+        let r = m.merge_shard_windows(&[healthy.clone(), poisoned]).unwrap();
+        assert!(r.degraded, "{r:?}");
+        assert!(r.estimate.is_nan(), "estimate withheld");
+        let reason = r.degrade_reason.as_deref().unwrap();
+        assert!(
+            reason.contains("shard 1") && reason.contains("endpoint down"),
+            "{reason}"
+        );
+        // An all-healthy fleet still scores, bit-identical to the single
+        // shard's own sketch.
+        let r = m.merge_shard_windows(&[healthy]).unwrap();
+        assert!(!r.degraded && r.estimate.is_finite());
+        let direct = m
+            .predictor()
+            .predict_from_sketch(&BatchSketch::from_outputs(&proba))
+            .unwrap();
+        assert_eq!(r.estimate.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn take_window_shard_exports_sketch_and_poison() {
+        let (mut m, serving) = monitor(MonitorPolicy::default());
+        assert!(m.take_window_shard().is_none(), "no window yet");
+        m.observe_chunk(&serving).unwrap();
+        m.abandon_window("upstream queue lost the tail of the window");
+        let shard = m.take_window_shard().unwrap();
+        assert_eq!(shard.sketch.rows(), serving.n_rows() as u64);
+        assert_eq!(
+            shard.degraded.as_deref(),
+            Some("upstream queue lost the tail of the window")
+        );
+        assert!(m.window().is_none() && m.window_degraded().is_none());
+    }
+
+    #[test]
+    fn history_limit_bounds_retention_with_absolute_indices() {
+        let (mut m, _) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            ..MonitorPolicy::default()
+        });
+        m.set_history_limit(Some(3));
+        for i in 0..7 {
+            m.observe_estimate(0.8 + 0.01 * i as f64);
+        }
+        assert_eq!(m.history().len(), 3, "history bounded");
+        assert_eq!(m.batches_seen(), 7, "absolute count unaffected");
+        let indices: Vec<usize> = m.history().iter().map(|r| r.batch_index).collect();
+        assert_eq!(indices, vec![4, 5, 6], "most recent reports retained");
+        // Tightening the limit trims immediately; lifting it stops trimming.
+        m.set_history_limit(Some(1));
+        assert_eq!(m.history().len(), 1);
+        m.set_history_limit(None);
+        m.observe_estimate(0.9);
+        assert_eq!(m.history().len(), 2);
+    }
+
+    #[test]
+    fn batch_report_serde_round_trips_including_nan_estimate() {
+        let (mut m, _) = monitor(MonitorPolicy {
+            threshold: TEST_THRESHOLD,
+            ..MonitorPolicy::default()
+        });
+        m.observe_estimate(0.9);
+        let degraded = m.observe_estimate(f64::NAN);
+        for report in m.history() {
+            let json = serde_json::to_string(report).unwrap();
+            let back: BatchReport = serde_json::from_str(&json).unwrap();
+            // NaN != NaN, so compare degraded reports field by field.
+            assert_eq!(back.batch_index, report.batch_index);
+            assert_eq!(back.estimate.is_nan(), report.estimate.is_nan());
+            if !report.estimate.is_nan() {
+                assert_eq!(back, *report);
+            }
+            assert_eq!(back.degrade_reason, report.degrade_reason);
+            assert_eq!(back.telemetry, report.telemetry);
+        }
+        assert!(degraded.degraded);
     }
 
     #[test]

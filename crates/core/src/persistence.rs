@@ -339,6 +339,40 @@ impl BatchMonitor {
     }
 }
 
+/// Self-contained snapshot of one serving deployment: the fitted predictor
+/// plus the monitor's alarm state, bundled so a single JSON value carries
+/// everything a serving daemon needs (minus the black box model handle,
+/// which is reattached at restore time like for the individual artifacts).
+/// This is the unit `lvpd` accepts on `register` and writes back out when
+/// snapshotting its registry — one bundle per `(tenant, model, version)`
+/// deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingArtifact {
+    /// The monitor's fitted predictor.
+    pub predictor: PredictorArtifact,
+    /// The monitor's policy and alarm state (EWMA, streak, open window).
+    pub monitor: MonitorArtifact,
+}
+
+impl ServingArtifact {
+    /// Bundles a live monitor (and the predictor inside it) into one
+    /// deployable artifact.
+    pub fn from_monitor(monitor: &BatchMonitor) -> Self {
+        Self {
+            predictor: monitor.predictor().to_artifact(),
+            monitor: monitor.to_artifact(),
+        }
+    }
+
+    /// Restores the bundled monitor, reattaching the black box model the
+    /// predictor scores with. State carries over bit-identically, open
+    /// streaming window included.
+    pub fn into_monitor(self, model: Arc<dyn BlackBoxModel>) -> Result<BatchMonitor, CoreError> {
+        let predictor = PerformancePredictor::from_artifact(self.predictor, model)?;
+        BatchMonitor::from_artifact(self.monitor, predictor)
+    }
+}
+
 /// One-call check that a restored validator agrees with the original on a
 /// batch of outputs (deployment smoke-test helper).
 pub fn verdicts_identical(
@@ -710,6 +744,40 @@ mod tests {
         assert_eq!(
             r_restored.telemetry.per_class_ks,
             r_live.telemetry.per_class_ks
+        );
+    }
+
+    #[test]
+    fn serving_artifact_bundles_predictor_and_monitor_state() {
+        let (model, test, _) = fitted();
+        let mut rng = StdRng::seed_from_u64(12);
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut monitor = BatchMonitor::new(predictor, MonitorPolicy::default()).unwrap();
+        monitor.observe_estimate(0.0);
+
+        let json = to_json(&ServingArtifact::from_monitor(&monitor)).unwrap();
+        let bundle: ServingArtifact = from_json(&json).unwrap();
+        let mut restored = bundle.into_monitor(Arc::clone(&model)).unwrap();
+        assert_eq!(restored.batches_seen(), 1);
+        assert_eq!(restored.violation_streak(), 1);
+        assert_eq!(restored.smoothed(), monitor.smoothed());
+        // Both continue identically.
+        let r_restored = restored.observe_estimate(0.0);
+        let r_live = monitor.observe_estimate(0.0);
+        assert_eq!(r_restored, r_live);
+        // Re-bundling the restored monitor is byte-identical to re-bundling
+        // the live one: nothing was lost in the round trip.
+        assert_eq!(
+            to_json(&ServingArtifact::from_monitor(&restored)).unwrap(),
+            to_json(&ServingArtifact::from_monitor(&monitor)).unwrap()
         );
     }
 

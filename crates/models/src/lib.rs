@@ -48,8 +48,8 @@ mod opt;
 mod pipeline;
 
 pub use resilience::{
-    validate_probability_matrix, BreakerConfig, CircuitState, ResilienceConfig, ResilientModel,
-    VirtualClock,
+    mix64, validate_probability_matrix, BreakerConfig, CircuitState, ResilienceConfig,
+    ResilientModel, VirtualClock,
 };
 
 pub use pipeline::{

@@ -62,8 +62,11 @@ impl VirtualClock {
 }
 
 /// Mixes inputs through two rounds of the splitmix64 finalizer; the same
-/// construction the generation engine uses for per-run seeds.
-fn mix64(mut z: u64) -> u64 {
+/// construction the generation engine uses for per-run seeds. Public so
+/// other admission-control layers (e.g. the `lvpd` daemon's per-tenant
+/// shedding) can derive deterministic retry-after jitter the same way the
+/// retry backoff here does.
+pub fn mix64(mut z: u64) -> u64 {
     for _ in 0..2 {
         z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

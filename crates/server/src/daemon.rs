@@ -1,0 +1,932 @@
+//! The daemon state machine: a registry of deployed monitors plus
+//! per-tenant admission control, independent of any transport.
+//!
+//! [`Daemon::handle_line`] maps one request line to one response line, so
+//! the whole protocol is testable without a socket; the TCP listener in
+//! [`crate::net`] is a thin framing layer over it.
+//!
+//! ## Admission control
+//!
+//! Streaming chunks are the unbounded input: a tenant can open windows on
+//! every deployment and feed them forever without calling `finish`. Each
+//! tenant therefore gets a bounded in-flight budget — the total number of
+//! chunks sitting in the tenant's unfinished windows. A chunk that would
+//! exceed the budget is *shed*, 429-style: the response carries a
+//! deterministic retry-after hint (exponential in the tenant's consecutive
+//! overflows, jittered like the [`lvp_models::ResilientModel`] backoff),
+//! and the target window is poisoned so its eventual `finish` reports a
+//! degraded batch — shed load degrades monitor state, it never silently
+//! disappears from it. Sustained overflow trips a per-tenant circuit
+//! breaker (same [`BreakerConfig`]/[`CircuitState`] vocabulary as the
+//! resilience layer): while open, every observe from the tenant is shed
+//! immediately with the remaining cooldown as the retry-after, and each
+//! shed full batch is recorded as a degraded report. Cooldowns run on a
+//! [`VirtualClock`] advanced a fixed tick per request, so breaker behavior
+//! is a pure function of the request sequence.
+
+use crate::protocol::{DeploymentEntry, MonitorKey, RegistrySnapshot, Request, Response};
+use lvp_core::{
+    feature_dimensionality, load_json, save_json, BatchMonitor, ServingArtifact, ARTIFACT_VERSION,
+};
+use lvp_linalg::DenseMatrix;
+use lvp_models::{mix64, BlackBoxModel, BreakerConfig, CircuitState, ModelError, VirtualClock};
+use lvp_telemetry::{Counter, Registry};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Stand-in for the black box model of a registered deployment. The model
+/// itself serves in the tenant's own infrastructure; the daemon only ever
+/// receives its *outputs* (or score estimates), so the monitor's model
+/// handle exists purely to satisfy the predictor's class-count contract.
+struct DetachedModel {
+    n_classes: usize,
+    label: String,
+}
+
+impl BlackBoxModel for DetachedModel {
+    fn predict_proba(&self, _data: &lvp_dataframe::DataFrame) -> DenseMatrix {
+        // Unreachable through the daemon: every observe path feeds
+        // pre-computed outputs or estimates. Fail loudly if a future code
+        // path tries to score raw frames against a detached handle.
+        panic!(
+            "detached model '{}' cannot predict; submit model outputs instead",
+            self.label
+        )
+    }
+
+    fn try_predict_proba(
+        &self,
+        _data: &lvp_dataframe::DataFrame,
+    ) -> Result<DenseMatrix, ModelError> {
+        Err(ModelError::invalid_input(format!(
+            "detached model '{}' cannot predict; submit model outputs instead",
+            self.label
+        )))
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn name(&self) -> &str {
+        "detached"
+    }
+}
+
+/// Admission-control and retention knobs of a [`Daemon`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// Per-tenant budget of in-flight chunks (chunks folded into windows
+    /// not yet closed by `finish`); the next chunk beyond it is shed.
+    pub queue_capacity: u64,
+    /// Per-tenant circuit breaker tripped by consecutive overflows.
+    pub breaker: BreakerConfig,
+    /// Virtual nanoseconds the clock advances per handled request; breaker
+    /// cooldowns are measured in these ticks, so behavior is a pure
+    /// function of the request sequence.
+    pub clock_tick_nanos: u64,
+    /// Base of the exponential retry-after hint on overflow sheds.
+    pub base_retry_nanos: u64,
+    /// Cap on the un-jittered exponential retry-after.
+    pub max_retry_nanos: u64,
+    /// Seed of the deterministic retry-after jitter.
+    pub jitter_seed: u64,
+    /// Report-history bound applied to every registered monitor (`None`
+    /// retains everything; daemons should bound it).
+    pub history_limit: Option<usize>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            breaker: BreakerConfig::default(),
+            clock_tick_nanos: 1_000_000, // 1 virtual ms per request
+            base_retry_nanos: 10_000_000,
+            max_retry_nanos: 1_000_000_000,
+            jitter_seed: 0x1_5EED_D0E5,
+            history_limit: Some(256),
+        }
+    }
+}
+
+/// Per-tenant admission gate: circuit breaker plus overflow bookkeeping.
+/// The in-flight chunk count is *not* stored here — it is derived from the
+/// open windows of the tenant's monitors, so it survives a registry
+/// save/restore cycle with no extra state.
+#[derive(Debug, Clone, Default)]
+struct TenantGate {
+    state: GateState,
+    consecutive_overflows: u32,
+    half_open_successes: u32,
+    opened_at_nanos: u64,
+    sheds: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum GateState {
+    #[default]
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl GateState {
+    fn circuit(self) -> CircuitState {
+        match self {
+            GateState::Closed => CircuitState::Closed,
+            GateState::Open => CircuitState::Open,
+            GateState::HalfOpen => CircuitState::HalfOpen,
+        }
+    }
+
+    /// Numeric encoding for the per-tenant breaker gauge.
+    fn gauge_value(self) -> f64 {
+        match self {
+            GateState::Closed => 0.0,
+            GateState::Open => 1.0,
+            GateState::HalfOpen => 2.0,
+        }
+    }
+}
+
+struct Deployment {
+    monitor: BatchMonitor,
+}
+
+#[derive(Default)]
+struct Inner {
+    deployments: BTreeMap<MonitorKey, Deployment>,
+    tenants: BTreeMap<String, TenantGate>,
+}
+
+/// Daemon-level request counters (all deterministic in the request
+/// sequence).
+struct ServerMetrics {
+    /// `server.requests` — lines handled.
+    requests: Counter,
+    /// `server.registrations` — deployments (re)installed.
+    registrations: Counter,
+    /// `server.shed_requests` — observes rejected by admission control.
+    shed: Counter,
+    /// `server.error_responses` — lines answered with an error status.
+    errors: Counter,
+}
+
+/// The lvpd daemon: a registry of deployed monitors keyed by
+/// `(tenant, model, version)` with per-tenant admission control, exposed
+/// as a pure line-in/line-out request handler.
+pub struct Daemon {
+    inner: Mutex<Inner>,
+    registry: Registry,
+    metrics: ServerMetrics,
+    clock: VirtualClock,
+    config: DaemonConfig,
+    shutdown: AtomicBool,
+}
+
+/// FNV-1a over a tenant name, for per-tenant jitter derivation.
+fn tenant_hash(tenant: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+impl Daemon {
+    /// An empty daemon.
+    pub fn new(config: DaemonConfig) -> Self {
+        let registry = Registry::new();
+        let metrics = ServerMetrics {
+            requests: registry.counter("server.requests"),
+            registrations: registry.counter("server.registrations"),
+            shed: registry.counter("server.shed_requests"),
+            errors: registry.counter("server.error_responses"),
+        };
+        Self {
+            inner: Mutex::new(Inner::default()),
+            registry,
+            metrics,
+            clock: VirtualClock::new(),
+            config,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// A daemon whose registry is restored from a [`RegistrySnapshot`]
+    /// file previously written by the `save` verb. Monitor state — open
+    /// streaming windows included — carries over bit-identically.
+    pub fn with_state_file(config: DaemonConfig, path: impl AsRef<Path>) -> Result<Self, String> {
+        let snapshot: RegistrySnapshot = load_json(path.as_ref()).map_err(|e| e.to_string())?;
+        if snapshot.version == 0 || snapshot.version > ARTIFACT_VERSION {
+            return Err(format!(
+                "unsupported registry snapshot version {} (supported: 1..={ARTIFACT_VERSION})",
+                snapshot.version
+            ));
+        }
+        let daemon = Self::new(config);
+        {
+            let mut inner = daemon.lock_inner();
+            for entry in snapshot.deployments {
+                daemon.install(&mut inner, entry.key, entry.artifact)?;
+            }
+        }
+        Ok(daemon)
+    }
+
+    /// The daemon's metrics registry (scraped by the `metrics` verb).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The virtual clock admission cooldowns run on.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The tenant's current admission circuit state (`Closed` for tenants
+    /// the daemon has never seen).
+    pub fn tenant_circuit(&self, tenant: &str) -> CircuitState {
+        self.lock_inner()
+            .tenants
+            .get(tenant)
+            .map(|gate| gate.state.circuit())
+            .unwrap_or(CircuitState::Closed)
+    }
+
+    /// Whether a `shutdown` request has been received.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown (also reachable through the `shutdown` verb).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// State access, recovering a poisoned lock: every mutation is a
+    /// single monitor/gate method call, so a panicking handler thread
+    /// leaves valid state behind and must not brick the daemon (mirroring
+    /// the telemetry registry's poisoning policy).
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Handles one request line, returning the response line (without the
+    /// trailing newline). Never panics on malformed input — parse and
+    /// validation failures come back as `status: "error"` responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match serde_json::from_str::<Request>(line) {
+            Ok(request) => self.handle_request(request),
+            Err(e) => {
+                self.clock.advance(self.config.clock_tick_nanos);
+                self.metrics.requests.inc();
+                self.metrics.errors.inc();
+                Response::error(format!("malformed request: {e}"))
+            }
+        };
+        serde_json::to_string(&response)
+            .unwrap_or_else(|e| format!("{{\"status\":\"error\",\"message\":\"encode: {e}\"}}"))
+    }
+
+    /// Typed entry point behind [`Self::handle_line`] (useful for
+    /// embedding the daemon without a socket). Advances the virtual clock
+    /// one tick, so admission timing is a pure function of the request
+    /// sequence.
+    pub fn handle_request(&self, request: Request) -> Response {
+        self.clock.advance(self.config.clock_tick_nanos);
+        self.metrics.requests.inc();
+        let response = self.dispatch(request);
+        if response.status == "error" {
+            self.metrics.errors.inc();
+        }
+        response
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
+        match request.verb.as_str() {
+            "register" => self.register(request),
+            "observe" => self.observe(request),
+            "finish" => self.finish(request),
+            "history" => self.history(request),
+            "metrics" => self.metrics(),
+            "list" => self.list(),
+            "save" => self.save(request),
+            "shutdown" => {
+                self.request_shutdown();
+                let mut r = Response::ok();
+                r.message = Some("shutting down".to_string());
+                r
+            }
+            other => Response::error(format!("unknown verb '{other}'")),
+        }
+    }
+
+    fn require_key(request: &Request) -> Result<MonitorKey, Box<Response>> {
+        match (&request.tenant, &request.model, &request.version) {
+            (Some(tenant), Some(model), Some(version)) => Ok(MonitorKey {
+                tenant: tenant.clone(),
+                model: model.clone(),
+                version: version.clone(),
+            }),
+            _ => Err(Box::new(Response::error(
+                "tenant, model and version are all required for this verb",
+            ))),
+        }
+    }
+
+    /// Installs (or replaces) a deployment, attaching per-tenant telemetry
+    /// and the configured history bound.
+    fn install(
+        &self,
+        inner: &mut Inner,
+        key: MonitorKey,
+        artifact: ServingArtifact,
+    ) -> Result<usize, String> {
+        let n_classes = artifact
+            .predictor
+            .n_classes
+            .unwrap_or(artifact.predictor.n_feature_dims / feature_dimensionality(1));
+        if n_classes == 0 {
+            return Err(format!("register {key}: artifact declares zero classes"));
+        }
+        let model: Arc<dyn BlackBoxModel> = Arc::new(DetachedModel {
+            n_classes,
+            label: key.to_string(),
+        });
+        let mut monitor = artifact
+            .into_monitor(model)
+            .map_err(|e| format!("register {key}: {e}"))?;
+        monitor.set_history_limit(self.config.history_limit);
+        monitor.attach_telemetry_prefixed(&self.registry, &key.metric_prefix());
+        let batches_seen = monitor.batches_seen();
+        inner.tenants.entry(key.tenant.clone()).or_default();
+        inner.deployments.insert(key, Deployment { monitor });
+        self.metrics.registrations.inc();
+        Ok(batches_seen)
+    }
+
+    fn register(&self, request: Request) -> Response {
+        let key = match Self::require_key(&request) {
+            Ok(key) => key,
+            Err(resp) => return *resp,
+        };
+        let Some(artifact) = request.artifact else {
+            return Response::error("register requires an artifact");
+        };
+        let mut inner = self.lock_inner();
+        match self.install(&mut inner, key.clone(), artifact) {
+            Ok(batches_seen) => {
+                let mut r = Response::ok();
+                r.message = Some(format!("registered {key}"));
+                r.batches_seen = Some(batches_seen);
+                r
+            }
+            Err(message) => Response::error(message),
+        }
+    }
+
+    /// Total in-flight chunks of a tenant: the chunk counts of every open
+    /// window across the tenant's deployments. Derived from monitor state
+    /// so it is exact after any save/restore cycle.
+    fn tenant_pending(inner: &Inner, tenant: &str) -> u64 {
+        inner
+            .deployments
+            .iter()
+            .filter(|(key, _)| key.tenant == tenant)
+            .filter_map(|(_, dep)| dep.monitor.window())
+            .map(|window| window.chunks())
+            .sum()
+    }
+
+    /// Deterministic retry-after for the `n`-th consecutive overflow:
+    /// exponential in `n`, capped, with jitter in `[0.5, 1.5)` derived
+    /// from `(jitter_seed, tenant, total sheds)` exactly like the
+    /// resilience layer's backoff jitter.
+    fn retry_after(&self, tenant: &str, consecutive: u32, sheds: u64) -> u64 {
+        let exp = consecutive.saturating_sub(1).min(16);
+        let raw = self
+            .config
+            .base_retry_nanos
+            .saturating_mul(1u64 << exp)
+            .min(self.config.max_retry_nanos);
+        let mixed = mix64(
+            self.config
+                .jitter_seed
+                .wrapping_add(tenant_hash(tenant))
+                .wrapping_add(sheds),
+        );
+        let frac = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+        ((raw as f64) * (0.5 + frac)) as u64
+    }
+
+    fn publish_gate(&self, tenant: &str, gate: &TenantGate, pending: u64) {
+        self.registry
+            .gauge(&format!("tenant.{tenant}.server.breaker_state"))
+            .set(gate.state.gauge_value());
+        self.registry
+            .gauge(&format!("tenant.{tenant}.server.queue_depth"))
+            .set(pending as f64);
+    }
+
+    fn note_shed(&self, tenant: &str) {
+        self.metrics.shed.inc();
+        self.registry
+            .counter(&format!("tenant.{tenant}.server.shed_requests"))
+            .inc();
+    }
+
+    fn observe(&self, request: Request) -> Response {
+        let key = match Self::require_key(&request) {
+            Ok(key) => key,
+            Err(resp) => return *resp,
+        };
+        let now = self.clock.now_nanos();
+        let mut inner = self.lock_inner();
+        let inner = &mut *inner;
+        if !inner.deployments.contains_key(&key) {
+            return Response::error(format!("unknown deployment {key}"));
+        }
+        let mode_count = usize::from(request.outputs.is_some())
+            + usize::from(request.chunk.is_some())
+            + usize::from(request.estimate.is_some());
+        if mode_count != 1 {
+            return Response::error("observe requires exactly one of outputs, chunk or estimate");
+        }
+
+        // Breaker check first: an open breaker sheds every observe form.
+        let gate = inner.tenants.entry(key.tenant.clone()).or_default();
+        if gate.state == GateState::Open {
+            let elapsed = now.saturating_sub(gate.opened_at_nanos);
+            if elapsed < self.config.breaker.cooldown_nanos {
+                let retry = self.config.breaker.cooldown_nanos - elapsed;
+                gate.sheds += 1;
+                let reason = format!(
+                    "tenant '{}' circuit open: observe shed, retry in {retry} virtual ns",
+                    key.tenant
+                );
+                let gate_snapshot = gate.clone();
+                let dep = inner.deployments.get_mut(&key).expect("checked above");
+                let mut resp = Response::shed(retry, reason.clone());
+                if request.chunk.is_some() {
+                    // Degrade, never drop: the window the chunk belonged to
+                    // must not finish as if it saw every chunk.
+                    dep.monitor.abandon_window(reason);
+                } else {
+                    resp.report = Some(dep.monitor.observe_degraded(reason));
+                }
+                self.note_shed(&key.tenant);
+                let pending = Self::tenant_pending(inner, &key.tenant);
+                self.publish_gate(&key.tenant, &gate_snapshot, pending);
+                resp.pending_chunks = Some(pending);
+                return resp;
+            }
+            gate.state = GateState::HalfOpen;
+            gate.half_open_successes = 0;
+        }
+
+        let response = if let Some(rows) = &request.outputs {
+            self.observe_outputs(inner, &key, rows)
+        } else if let Some(rows) = &request.chunk {
+            self.observe_chunk(inner, &key, rows, now)
+        } else {
+            let estimate = request.estimate.expect("mode checked above");
+            let dep = inner.deployments.get_mut(&key).expect("checked above");
+            let report = dep.monitor.observe_estimate(estimate);
+            let mut r = Response::ok();
+            r.batches_seen = Some(dep.monitor.batches_seen());
+            r.report = Some(report);
+            Ok(r)
+        };
+        match response {
+            Ok(mut resp) => {
+                // An accepted observe is a success signal for the breaker.
+                let gate = inner.tenants.entry(key.tenant.clone()).or_default();
+                match gate.state {
+                    GateState::Closed => gate.consecutive_overflows = 0,
+                    GateState::HalfOpen => {
+                        gate.half_open_successes += 1;
+                        if gate.half_open_successes >= self.config.breaker.half_open_successes {
+                            gate.state = GateState::Closed;
+                            gate.consecutive_overflows = 0;
+                        }
+                    }
+                    GateState::Open => {}
+                }
+                let gate_snapshot = gate.clone();
+                let pending = Self::tenant_pending(inner, &key.tenant);
+                self.publish_gate(&key.tenant, &gate_snapshot, pending);
+                resp.pending_chunks = Some(pending);
+                resp
+            }
+            Err(resp) => *resp,
+        }
+    }
+
+    fn observe_outputs(
+        &self,
+        inner: &mut Inner,
+        key: &MonitorKey,
+        rows: &[Vec<f64>],
+    ) -> Result<Response, Box<Response>> {
+        let dep = inner.deployments.get_mut(key).expect("checked above");
+        let proba = DenseMatrix::from_rows(rows)
+            .map_err(|e| Box::new(Response::error(format!("bad outputs: {e}"))))?;
+        let estimate = dep
+            .monitor
+            .predictor()
+            .predict_from_outputs(&proba)
+            .map_err(|e| Box::new(Response::error(e.to_string())))?;
+        let report = dep.monitor.observe_estimate(estimate);
+        let mut r = Response::ok();
+        r.batches_seen = Some(dep.monitor.batches_seen());
+        r.report = Some(report);
+        Ok(r)
+    }
+
+    fn observe_chunk(
+        &self,
+        inner: &mut Inner,
+        key: &MonitorKey,
+        rows: &[Vec<f64>],
+        now: u64,
+    ) -> Result<Response, Box<Response>> {
+        let pending = Self::tenant_pending(inner, &key.tenant);
+        if pending >= self.config.queue_capacity {
+            let gate = inner.tenants.entry(key.tenant.clone()).or_default();
+            gate.sheds += 1;
+            match gate.state {
+                GateState::Closed => {
+                    gate.consecutive_overflows += 1;
+                    if gate.consecutive_overflows >= self.config.breaker.failure_threshold {
+                        gate.state = GateState::Open;
+                        gate.opened_at_nanos = now;
+                    }
+                }
+                GateState::HalfOpen => {
+                    // A failed probe re-opens immediately.
+                    gate.state = GateState::Open;
+                    gate.opened_at_nanos = now;
+                }
+                GateState::Open => {}
+            }
+            let retry = self.retry_after(&key.tenant, gate.consecutive_overflows, gate.sheds);
+            let gate_snapshot = gate.clone();
+            let reason = format!(
+                "tenant '{}' over its in-flight chunk budget ({pending}/{}): chunk shed",
+                key.tenant, self.config.queue_capacity
+            );
+            let dep = inner.deployments.get_mut(key).expect("checked above");
+            // Degrade, never drop: the shed chunk's window finishes
+            // degraded instead of pretending it saw every chunk.
+            dep.monitor.abandon_window(reason.clone());
+            self.note_shed(&key.tenant);
+            let pending = Self::tenant_pending(inner, &key.tenant);
+            self.publish_gate(&key.tenant, &gate_snapshot, pending);
+            let mut resp = Response::shed(retry, reason);
+            resp.pending_chunks = Some(pending);
+            return Err(Box::new(resp));
+        }
+        let dep = inner.deployments.get_mut(key).expect("checked above");
+        let proba = DenseMatrix::from_rows(rows)
+            .map_err(|e| Box::new(Response::error(format!("bad chunk: {e}"))))?;
+        if proba.rows() > 0 && proba.cols() != dep.monitor.predictor().n_classes() {
+            return Err(Box::new(Response::error(format!(
+                "chunk has {} columns but {key} serves {} classes",
+                proba.cols(),
+                dep.monitor.predictor().n_classes()
+            ))));
+        }
+        dep.monitor
+            .observe_output_chunk(&proba)
+            .map_err(|e| Box::new(Response::error(e.to_string())))?;
+        let mut r = Response::ok();
+        r.batches_seen = Some(dep.monitor.batches_seen());
+        Ok(r)
+    }
+
+    fn finish(&self, request: Request) -> Response {
+        let key = match Self::require_key(&request) {
+            Ok(key) => key,
+            Err(resp) => return *resp,
+        };
+        let mut inner = self.lock_inner();
+        let inner = &mut *inner;
+        let Some(dep) = inner.deployments.get_mut(&key) else {
+            return Response::error(format!("unknown deployment {key}"));
+        };
+        let result = dep.monitor.finish_window();
+        let batches_seen = dep.monitor.batches_seen();
+        let gate_snapshot = inner.tenants.entry(key.tenant.clone()).or_default().clone();
+        let pending = Self::tenant_pending(inner, &key.tenant);
+        self.publish_gate(&key.tenant, &gate_snapshot, pending);
+        match result {
+            Ok(report) => {
+                let mut r = Response::ok();
+                r.report = Some(report);
+                r.batches_seen = Some(batches_seen);
+                r.pending_chunks = Some(pending);
+                r
+            }
+            Err(e) => Response::error(e.to_string()),
+        }
+    }
+
+    fn history(&self, request: Request) -> Response {
+        let key = match Self::require_key(&request) {
+            Ok(key) => key,
+            Err(resp) => return *resp,
+        };
+        let inner = self.lock_inner();
+        let Some(dep) = inner.deployments.get(&key) else {
+            return Response::error(format!("unknown deployment {key}"));
+        };
+        let reports = dep.monitor.history();
+        let offset = request.offset.unwrap_or(0);
+        let limit = request.limit.unwrap_or(reports.len());
+        let mut r = Response::ok();
+        r.history = Some(reports.iter().skip(offset).take(limit).cloned().collect());
+        r.batches_seen = Some(dep.monitor.batches_seen());
+        r
+    }
+
+    fn metrics(&self) -> Response {
+        let mut r = Response::ok();
+        r.metrics = Some(self.registry.snapshot().deterministic());
+        r
+    }
+
+    fn list(&self) -> Response {
+        let inner = self.lock_inner();
+        let mut r = Response::ok();
+        r.deployments = Some(inner.deployments.keys().cloned().collect());
+        r
+    }
+
+    /// Snapshot of the registry contents, for embedding and tests.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.lock_inner();
+        RegistrySnapshot {
+            version: ARTIFACT_VERSION,
+            deployments: inner
+                .deployments
+                .iter()
+                .map(|(key, dep)| DeploymentEntry {
+                    key: key.clone(),
+                    artifact: ServingArtifact::from_monitor(&dep.monitor),
+                })
+                .collect(),
+        }
+    }
+
+    fn save(&self, request: Request) -> Response {
+        let Some(path) = request.path else {
+            return Response::error("save requires a path");
+        };
+        let snapshot = self.snapshot();
+        match save_json(&snapshot, &path) {
+            Ok(()) => {
+                let mut r = Response::ok();
+                r.message = Some(format!(
+                    "saved {} deployments to {path}",
+                    snapshot.deployments.len()
+                ));
+                r
+            }
+            Err(e) => Response::error(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+    use lvp_core::{MonitorPolicy, PerformancePredictor, PredictorConfig};
+    use lvp_corruptions::standard_tabular_suite;
+    use lvp_dataframe::toy_frame;
+    use lvp_models::train_logistic_regression;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn artifact() -> ServingArtifact {
+        let df = toy_frame(220);
+        let mut rng = StdRng::seed_from_u64(17);
+        let (train, rest) = df.split_frac(0.4, &mut rng);
+        let (test, _serving) = rest.split_frac(0.5, &mut rng);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let monitor = BatchMonitor::new(predictor, MonitorPolicy::default()).unwrap();
+        ServingArtifact::from_monitor(&monitor)
+    }
+
+    fn key(tenant: &str) -> MonitorKey {
+        MonitorKey {
+            tenant: tenant.to_string(),
+            model: "fraud".to_string(),
+            version: "v1".to_string(),
+        }
+    }
+
+    fn register(daemon: &Daemon, key: &MonitorKey, artifact: ServingArtifact) {
+        let mut req = Request::targeted("register", key);
+        req.artifact = Some(artifact);
+        let resp = daemon.handle_request(req);
+        assert!(resp.is_ok(), "register failed: {:?}", resp.message);
+    }
+
+    fn chunk_rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let p = 0.2 + 0.6 * (i as f64 / n.max(1) as f64);
+                vec![p, 1.0 - p]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn register_observe_finish_history_round_trip() {
+        let daemon = Daemon::new(DaemonConfig::default());
+        let k = key("acme");
+        register(&daemon, &k, artifact());
+
+        let mut req = Request::targeted("observe", &k);
+        req.estimate = Some(0.81);
+        let resp = daemon.handle_request(req);
+        assert!(resp.is_ok());
+        assert_eq!(resp.batches_seen, Some(1));
+        assert!(resp.report.unwrap().estimate.is_finite());
+
+        for _ in 0..2 {
+            let mut req = Request::targeted("observe", &k);
+            req.chunk = Some(chunk_rows(16));
+            let resp = daemon.handle_request(req);
+            assert!(resp.is_ok(), "chunk rejected: {:?}", resp.message);
+        }
+        let resp = daemon.handle_request(Request::targeted("finish", &k));
+        assert!(resp.is_ok(), "finish failed: {:?}", resp.message);
+        let report = resp.report.unwrap();
+        assert!(report.estimate.is_finite() && !report.degraded);
+        assert_eq!(resp.pending_chunks, Some(0));
+
+        let mut req = Request::targeted("history", &k);
+        req.limit = Some(1);
+        req.offset = Some(1);
+        let resp = daemon.handle_request(req);
+        let history = resp.history.unwrap();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].batch_index, 1);
+
+        let resp = daemon.handle_request(Request::new("list"));
+        assert_eq!(resp.deployments.unwrap(), vec![k]);
+        assert!(daemon
+            .handle_request(Request::new("metrics"))
+            .metrics
+            .is_some());
+    }
+
+    #[test]
+    fn overflow_sheds_trip_the_breaker_and_cooldown_recovers() {
+        let config = DaemonConfig {
+            queue_capacity: 1,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_nanos: 2_000_000, // two request ticks
+                half_open_successes: 2,
+            },
+            ..DaemonConfig::default()
+        };
+        let daemon = Daemon::new(config);
+        let k = key("noisy");
+        register(&daemon, &k, artifact());
+
+        let chunk = |daemon: &Daemon| {
+            let mut req = Request::targeted("observe", &k);
+            req.chunk = Some(chunk_rows(8));
+            daemon.handle_request(req)
+        };
+
+        assert!(chunk(&daemon).is_ok()); // pending: 1 == capacity
+        let shed = chunk(&daemon);
+        assert!(shed.is_shed());
+        assert!(shed.retry_after_nanos.unwrap() > 0);
+        assert_eq!(daemon.tenant_circuit("noisy"), CircuitState::Closed);
+
+        let shed = chunk(&daemon); // second consecutive overflow trips it
+        assert!(shed.is_shed());
+        assert_eq!(daemon.tenant_circuit("noisy"), CircuitState::Open);
+
+        // Open breaker sheds even estimate observes, recording the loss as
+        // a degraded batch (never dropping it).
+        let mut req = Request::targeted("observe", &k);
+        req.estimate = Some(0.8);
+        let resp = daemon.handle_request(req);
+        assert!(resp.is_shed());
+        let degraded = resp.report.unwrap();
+        assert!(degraded.estimate.is_nan());
+        assert!(degraded.degrade_reason.unwrap().contains("circuit open"));
+
+        // The poisoned window still finishes (degraded), freeing the budget.
+        let resp = daemon.handle_request(Request::targeted("finish", &k));
+        assert!(resp.is_ok());
+        assert!(resp
+            .report
+            .unwrap()
+            .degrade_reason
+            .unwrap()
+            .contains("budget"));
+        assert_eq!(resp.pending_chunks, Some(0));
+
+        // Cooldown has elapsed on the virtual clock; two successful probes
+        // close the breaker.
+        for expected in [CircuitState::HalfOpen, CircuitState::Closed] {
+            let mut req = Request::targeted("observe", &k);
+            req.estimate = Some(0.8);
+            assert!(daemon.handle_request(req).is_ok());
+            assert_eq!(daemon.tenant_circuit("noisy"), expected);
+        }
+        assert!(chunk(&daemon).is_ok());
+    }
+
+    #[test]
+    fn malformed_and_invalid_requests_answer_with_errors() {
+        let daemon = Daemon::new(DaemonConfig::default());
+        let resp: Response = serde_json::from_str(&daemon.handle_line("{ not json")).unwrap();
+        assert_eq!(resp.status, "error");
+        assert!(daemon.handle_request(Request::new("frobnicate")).status == "error");
+
+        let k = key("ghost");
+        let mut req = Request::targeted("observe", &k);
+        req.estimate = Some(0.5);
+        let resp = daemon.handle_request(req);
+        assert!(resp.message.unwrap().contains("unknown deployment"));
+
+        register(&daemon, &k, artifact());
+        // No mode at all, then two modes at once: both rejected.
+        let resp = daemon.handle_request(Request::targeted("observe", &k));
+        assert!(resp.message.unwrap().contains("exactly one"));
+        let mut req = Request::targeted("observe", &k);
+        req.estimate = Some(0.5);
+        req.chunk = Some(chunk_rows(4));
+        let resp = daemon.handle_request(req);
+        assert!(resp.message.unwrap().contains("exactly one"));
+
+        // Mis-shaped chunk: column count must match the class count.
+        let mut req = Request::targeted("observe", &k);
+        req.chunk = Some(vec![vec![0.2, 0.3, 0.5]]);
+        let resp = daemon.handle_request(req);
+        assert!(resp.message.unwrap().contains("classes"));
+    }
+
+    #[test]
+    fn registry_snapshot_restores_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("lvpd-daemon-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let first = dir.join("registry-a.json");
+        let second = dir.join("registry-b.json");
+
+        let daemon = Daemon::new(DaemonConfig::default());
+        register(&daemon, &key("acme"), artifact());
+        register(&daemon, &key("bravo"), artifact());
+        let mut req = Request::targeted("observe", &key("acme"));
+        req.estimate = Some(0.77);
+        daemon.handle_request(req);
+        // Leave an open in-flight window: it must survive the restart.
+        let mut req = Request::targeted("observe", &key("bravo"));
+        req.chunk = Some(chunk_rows(12));
+        assert!(daemon.handle_request(req).is_ok());
+
+        let mut req = Request::new("save");
+        req.path = Some(first.to_string_lossy().into_owned());
+        assert!(daemon.handle_request(req).is_ok());
+
+        let restored = Daemon::with_state_file(DaemonConfig::default(), &first).unwrap();
+        let mut req = Request::new("save");
+        req.path = Some(second.to_string_lossy().into_owned());
+        assert!(restored.handle_request(req).is_ok());
+        assert_eq!(
+            std::fs::read(&first).unwrap(),
+            std::fs::read(&second).unwrap(),
+            "registry snapshot must round-trip bit-identically"
+        );
+
+        // The restored in-flight window still finishes into a real report.
+        let resp = restored.handle_request(Request::targeted("finish", &key("bravo")));
+        assert!(resp.is_ok(), "finish after restore: {:?}", resp.message);
+        assert!(resp.report.unwrap().estimate.is_finite());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,143 @@
+//! A std-only threaded TCP front end for the [`Daemon`], plus a small
+//! blocking client.
+//!
+//! Framing is one JSON object per `\n`-terminated line in each direction
+//! (see [`crate::protocol`]). The listener runs one thread per connection;
+//! the daemon serializes state mutations internally, so handler threads
+//! need no coordination beyond calling [`Daemon::handle_line`].
+
+use crate::daemon::Daemon;
+use crate::protocol::{Request, Response};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// A running lvpd listener. Dropping it does not stop the daemon; call
+/// [`Server::join`] for an orderly shutdown.
+pub struct Server {
+    daemon: Arc<Daemon>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `daemon`.
+    pub fn spawn(daemon: Arc<Daemon>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let accept_daemon = Arc::clone(&daemon);
+        let acceptor = thread::spawn(move || {
+            let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+            for stream in listener.incoming() {
+                if accept_daemon.is_shutdown() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let daemon = Arc::clone(&accept_daemon);
+                let handle = thread::spawn(move || serve_connection(&daemon, stream, local_addr));
+                workers.lock().expect("worker list lock").push(handle);
+            }
+            for handle in workers.into_inner().expect("worker list lock") {
+                let _ = handle.join();
+            }
+        });
+        Ok(Self {
+            daemon,
+            local_addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until the daemon shuts down (a client sends the `shutdown`
+    /// verb, or [`Server::shutdown`] is called from another thread), then
+    /// joins every connection thread. Does not itself initiate shutdown.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Initiates shutdown, wakes the acceptor, and joins every connection
+    /// thread.
+    pub fn shutdown(self) {
+        self.daemon.request_shutdown();
+        // The acceptor only observes the flag after an accept returns;
+        // poke it with a throwaway connection so it wakes immediately.
+        let _ = TcpStream::connect(self.local_addr);
+        self.join();
+    }
+}
+
+/// Serves one connection: one response line per request line, until the
+/// peer closes or the daemon shuts down. `local_addr` lets the handler
+/// poke the acceptor awake after a `shutdown` verb.
+fn serve_connection(daemon: &Daemon, stream: TcpStream, local_addr: SocketAddr) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = daemon.handle_line(&line);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if daemon.is_shutdown() {
+            // Wake the acceptor (blocked in accept) so it observes the
+            // flag and the whole server winds down.
+            let _ = TcpStream::connect(local_addr);
+            break;
+        }
+    }
+}
+
+/// A minimal blocking lvpd client: one [`call`](Client::call) is one
+/// request line out, one response line back.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let read = self.reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        serde_json::from_str(&response)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}

@@ -3,7 +3,7 @@
 use crate::snapshot::{HistogramSnapshot, TelemetrySnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// Upper bounds (inclusive, in nanoseconds) of the fixed duration-histogram
@@ -177,22 +177,42 @@ impl Registry {
         Self::default()
     }
 
+    /// Read access to the metric map, recovering a poisoned lock.
+    ///
+    /// Every value in the map is a bag of atomics that is valid at all
+    /// times — a panic while the lock was held cannot leave the map
+    /// half-updated in any way that matters to readers — so a metrics
+    /// thread that panicked must not take the whole daemon's telemetry
+    /// down with it.
+    fn read_metrics(&self) -> RwLockReadGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write access to the metric map, recovering a poisoned lock (see
+    /// [`Self::read_metrics`]).
+    fn write_metrics(&self) -> RwLockWriteGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn resolve<H: Clone>(
         &self,
         name: &str,
         match_existing: impl Fn(&Metric) -> Option<H>,
         create: impl FnOnce() -> (Metric, H),
     ) -> H {
-        if let Some(metric) = self.metrics.read().expect("registry lock").get(name) {
-            return match_existing(metric).unwrap_or_else(|| {
-                panic!(
-                    "metric '{name}' is already registered as a {}",
-                    metric.kind()
-                )
-            });
+        {
+            let metrics = self.read_metrics();
+            if let Some(metric) = metrics.get(name) {
+                if let Some(handle) = match_existing(metric) {
+                    return handle;
+                }
+                // Kind mismatch: fall through to the write path so the
+                // panic below is the single authoritative check.
+            }
         }
-        let mut metrics = self.metrics.write().expect("registry lock");
-        // Racing registrations: re-check under the write lock.
+        let mut metrics = self.write_metrics();
+        // Racing registrations (and read-path mismatches): re-check under
+        // the write lock.
         if let Some(metric) = metrics.get(name) {
             return match_existing(metric).unwrap_or_else(|| {
                 panic!(
@@ -296,7 +316,7 @@ impl Registry {
     /// a snapshot taken while writers are active is advisory; snapshots of
     /// a quiescent registry are exact.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let metrics = self.metrics.read().expect("registry lock");
+        let metrics = self.read_metrics();
         let mut snap = TelemetrySnapshot::default();
         for (name, metric) in metrics.iter() {
             match metric {
@@ -323,7 +343,7 @@ impl Registry {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let metrics = self.metrics.read().expect("registry lock");
+        let metrics = self.read_metrics();
         f.debug_struct("Registry")
             .field("metrics", &metrics.keys().collect::<Vec<_>>())
             .finish()
@@ -390,6 +410,26 @@ mod tests {
         let r = Registry::new();
         r.counter("x");
         r.gauge("x");
+    }
+
+    #[test]
+    fn poisoned_registry_lock_recovers() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        // A kind mismatch panics under the *write* lock, poisoning it —
+        // exactly what a panicking metrics thread does to the registry.
+        let mismatch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.gauge("x")));
+        assert!(mismatch.is_err(), "kind mismatch must still panic");
+        // Pre-fix, every one of these calls died on `.expect("registry
+        // lock")`. The map itself is still valid (all values are atomics),
+        // so resolution, registration, snapshots and Debug must all keep
+        // working.
+        r.counter("x").inc();
+        r.counter("y").add(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["x"], 2);
+        assert_eq!(snap.counters["y"], 3);
+        assert!(!format!("{r:?}").is_empty());
     }
 
     #[test]

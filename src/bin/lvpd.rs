@@ -1,0 +1,115 @@
+//! `lvpd` — the multi-tenant monitoring daemon.
+//!
+//! Serves a registry of deployed [`BatchMonitor`](lvp_core::BatchMonitor)s
+//! keyed by `(tenant, model, version)` over line-delimited JSON (see
+//! `lvp_server::protocol`):
+//!
+//! ```text
+//! lvpd --addr 127.0.0.1:7878 --state registry.json
+//! ```
+//!
+//! Clients speak one JSON object per line in each direction, e.g.:
+//!
+//! ```text
+//! > {"verb":"observe","tenant":"acme","model":"fraud","version":"v1","estimate":0.83}
+//! < {"status":"ok","report":{...},"batches_seen":1,"pending_chunks":0}
+//! ```
+//!
+//! When `--state` is given and the file exists, the registry is restored
+//! from it at startup; the `save` verb writes it back (bit-identically,
+//! open streaming windows included). The daemon exits cleanly when any
+//! client sends `{"verb":"shutdown"}`.
+
+use lvp_server::{Daemon, DaemonConfig, Server};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "lvpd — multi-tenant monitoring daemon
+
+USAGE:
+    lvpd [--addr HOST:PORT] [--state FILE] [--queue-capacity N]
+         [--history-limit N] [--tick NANOS]
+
+OPTIONS:
+    --addr HOST:PORT     listen address (default 127.0.0.1:7878; port 0
+                         picks an ephemeral port, printed on startup)
+    --state FILE         registry snapshot to restore at startup when it
+                         exists (written back by the `save` verb)
+    --queue-capacity N   per-tenant in-flight chunk budget (default 64)
+    --history-limit N    per-monitor report retention (default 256)
+    --tick NANOS         virtual nanoseconds per request, driving breaker
+                         cooldowns (default 1000000)
+";
+
+fn parse_args(argv: &[String]) -> Result<(String, Option<String>, DaemonConfig), String> {
+    let value_of = |flag: &str| {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1))
+            .map(String::as_str)
+    };
+    let mut config = DaemonConfig::default();
+    if let Some(v) = value_of("--queue-capacity") {
+        config.queue_capacity = v
+            .parse()
+            .map_err(|_| format!("--queue-capacity: '{v}' is not a count"))?;
+    }
+    if let Some(v) = value_of("--history-limit") {
+        config.history_limit = Some(
+            v.parse()
+                .map_err(|_| format!("--history-limit: '{v}' is not a count"))?,
+        );
+    }
+    if let Some(v) = value_of("--tick") {
+        config.clock_tick_nanos = v
+            .parse()
+            .map_err(|_| format!("--tick: '{v}' is not a nanosecond count"))?;
+    }
+    let addr = value_of("--addr").unwrap_or("127.0.0.1:7878").to_string();
+    let state = value_of("--state").map(str::to_string);
+    Ok((addr, state, config))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (addr, state, config) = match parse_args(&argv) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("lvpd: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let daemon = match &state {
+        Some(path) if std::path::Path::new(path).exists() => {
+            match Daemon::with_state_file(config, path) {
+                Ok(daemon) => {
+                    eprintln!("lvpd: restored registry from {path}");
+                    daemon
+                }
+                Err(message) => {
+                    eprintln!("lvpd: cannot restore {path}: {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => Daemon::new(config),
+    };
+
+    let server = match Server::spawn(Arc::new(daemon), addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("lvpd: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Machine-readable so scripts starting us with port 0 can find us.
+    println!("lvpd listening on {}", server.local_addr());
+    server.join();
+    eprintln!("lvpd: shut down cleanly");
+    ExitCode::SUCCESS
+}

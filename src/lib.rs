@@ -55,6 +55,7 @@ pub use lvp_datasets as datasets;
 pub use lvp_featurize as featurize;
 pub use lvp_linalg as linalg;
 pub use lvp_models as models;
+pub use lvp_server as server;
 pub use lvp_stats as stats;
 pub use lvp_telemetry as telemetry;
 

@@ -1,0 +1,217 @@
+//! End-to-end tests for the lvpd daemon: two tenants over a real loopback
+//! socket, interleaved verbs, queue-overflow shedding, deterministic
+//! telemetry, and bit-identical registry persistence across a restart.
+
+use lvp_core::{
+    BatchMonitor, MonitorPolicy, PerformancePredictor, PredictorConfig, ServingArtifact,
+};
+use lvp_corruptions::standard_tabular_suite;
+use lvp_dataframe::toy_frame;
+use lvp_models::{train_logistic_regression, BlackBoxModel, BreakerConfig};
+use lvp_server::{Client, Daemon, DaemonConfig, MonitorKey, Request, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn serving_artifact() -> ServingArtifact {
+    let df = toy_frame(220);
+    let mut rng = StdRng::seed_from_u64(23);
+    let (train, rest) = df.split_frac(0.4, &mut rng);
+    let (test, _serving) = rest.split_frac(0.5, &mut rng);
+    let model: Arc<dyn BlackBoxModel> =
+        Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
+    let gens = standard_tabular_suite(test.schema());
+    let predictor = PerformancePredictor::fit(
+        Arc::clone(&model),
+        &test,
+        &gens,
+        &PredictorConfig::fast(),
+        &mut rng,
+    )
+    .unwrap();
+    let monitor = BatchMonitor::new(predictor, MonitorPolicy::default()).unwrap();
+    ServingArtifact::from_monitor(&monitor)
+}
+
+fn config() -> DaemonConfig {
+    DaemonConfig {
+        queue_capacity: 2,
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            cooldown_nanos: 5_000_000,
+            half_open_successes: 1,
+        },
+        ..DaemonConfig::default()
+    }
+}
+
+fn chunk_rows(n: usize, shift: f64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let p = (0.15 + shift + 0.6 * (i as f64 / n as f64)).clamp(0.01, 0.99);
+            vec![p, 1.0 - p]
+        })
+        .collect()
+}
+
+fn key(tenant: &str) -> MonitorKey {
+    MonitorKey {
+        tenant: tenant.to_string(),
+        model: "churn".to_string(),
+        version: "v2".to_string(),
+    }
+}
+
+/// Drives one full daemon lifetime over loopback: registers two tenants,
+/// interleaves their traffic (including bravo overrunning its chunk
+/// budget), saves the registry to `state_path`, scrapes metrics, and shuts
+/// the daemon down. Returns the deterministic metrics JSON.
+fn run_session(artifact: &ServingArtifact, state_path: &std::path::Path) -> String {
+    let daemon = Arc::new(Daemon::new(config()));
+    let server = Server::spawn(Arc::clone(&daemon), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Two tenants on two independent connections.
+    let mut acme = Client::connect(addr).unwrap();
+    let mut bravo = Client::connect(addr).unwrap();
+
+    for (client, tenant) in [(&mut acme, "acme"), (&mut bravo, "bravo")] {
+        let mut req = Request::targeted("register", &key(tenant));
+        req.artifact = Some(artifact.clone());
+        let resp = client.call(&req).unwrap();
+        assert!(resp.is_ok(), "register {tenant}: {:?}", resp.message);
+    }
+
+    // Interleaved traffic. acme submits full output batches; bravo streams
+    // chunks and overruns its in-flight budget (capacity 2).
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.outputs = Some(chunk_rows(24, 0.0));
+    let resp = acme.call(&req).unwrap();
+    assert!(resp.is_ok());
+    assert!(resp.report.as_ref().unwrap().estimate.is_finite());
+
+    for round in 0..2 {
+        let mut req = Request::targeted("observe", &key("bravo"));
+        req.chunk = Some(chunk_rows(10, 0.05 * round as f64));
+        let resp = bravo.call(&req).unwrap();
+        assert!(resp.is_ok(), "bravo chunk {round}: {:?}", resp.message);
+        assert_eq!(resp.pending_chunks, Some(round + 1));
+    }
+
+    // Third chunk exceeds the budget: shed with a retry-after hint, and
+    // bravo's window is poisoned rather than silently short.
+    let mut req = Request::targeted("observe", &key("bravo"));
+    req.chunk = Some(chunk_rows(10, 0.2));
+    let shed = bravo.call(&req).unwrap();
+    assert!(shed.is_shed(), "expected shed, got {:?}", shed.status);
+    assert!(shed.retry_after_nanos.unwrap() > 0);
+    assert!(shed.message.unwrap().contains("budget"));
+
+    // Shedding is per tenant: acme's traffic is unaffected.
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.estimate = Some(0.74);
+    assert!(acme.call(&req).unwrap().is_ok());
+
+    // bravo's poisoned window finishes degraded — the shed is recorded in
+    // monitor state, not dropped — and frees the budget.
+    let resp = bravo
+        .call(&Request::targeted("finish", &key("bravo")))
+        .unwrap();
+    assert!(resp.is_ok());
+    let report = resp.report.unwrap();
+    assert!(report.degraded && report.estimate.is_nan());
+    assert_eq!(resp.pending_chunks, Some(0));
+
+    // With the budget freed the very next chunk is accepted again, and a
+    // clean window scores normally.
+    let mut req = Request::targeted("observe", &key("bravo"));
+    req.chunk = Some(chunk_rows(16, 0.0));
+    assert!(bravo.call(&req).unwrap().is_ok());
+    let resp = bravo
+        .call(&Request::targeted("finish", &key("bravo")))
+        .unwrap();
+    assert!(resp.report.unwrap().estimate.is_finite());
+
+    // Bounded history slicing.
+    let mut req = Request::targeted("history", &key("bravo"));
+    req.limit = Some(1);
+    req.offset = Some(1);
+    let resp = bravo.call(&req).unwrap();
+    let history = resp.history.unwrap();
+    assert_eq!(history.len(), 1);
+    assert_eq!(history[0].batch_index, 1);
+
+    // Leave an open in-flight window on acme: persistence must carry it.
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.chunk = Some(chunk_rows(12, 0.0));
+    assert!(acme.call(&req).unwrap().is_ok());
+
+    let mut req = Request::new("save");
+    req.path = Some(state_path.to_string_lossy().into_owned());
+    assert!(acme.call(&req).unwrap().is_ok());
+
+    let metrics = bravo
+        .call(&Request::new("metrics"))
+        .unwrap()
+        .metrics
+        .unwrap();
+    let metrics_json = serde_json::to_string(&metrics).unwrap();
+
+    // Clean shutdown through the wire.
+    let resp = acme.call(&Request::new("shutdown")).unwrap();
+    assert!(resp.is_ok());
+    drop(acme);
+    drop(bravo);
+    server.join();
+    metrics_json
+}
+
+#[test]
+fn two_tenants_end_to_end_with_shedding_persistence_and_determinism() {
+    let dir = std::env::temp_dir().join(format!("lvpd-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = serving_artifact();
+
+    // Two identical daemon lifetimes: the request sequence fully determines
+    // telemetry (virtual clock, no wall time), so the deterministic
+    // snapshots must be byte-identical, as must the saved registries.
+    let first_state = dir.join("state-run1.json");
+    let second_state = dir.join("state-run2.json");
+    let metrics_a = run_session(&artifact, &first_state);
+    let metrics_b = run_session(&artifact, &second_state);
+    assert_eq!(metrics_a, metrics_b, "telemetry must be deterministic");
+    assert_eq!(
+        std::fs::read(&first_state).unwrap(),
+        std::fs::read(&second_state).unwrap(),
+        "saved registries of identical sessions must be byte-identical"
+    );
+    assert!(metrics_a.contains("tenant.bravo.server.shed_requests"));
+
+    // Restart from the saved state: re-saving without any traffic must
+    // reproduce the file bit-identically (open windows included) ...
+    let restored = Daemon::with_state_file(config(), &first_state).unwrap();
+    let resave = dir.join("state-resaved.json");
+    let mut req = Request::new("save");
+    req.path = Some(resave.to_string_lossy().into_owned());
+    assert!(restored.handle_request(req).is_ok());
+    assert_eq!(
+        std::fs::read(&first_state).unwrap(),
+        std::fs::read(&resave).unwrap(),
+        "restore → save must round-trip bit-identically"
+    );
+
+    // ... and acme's in-flight window survives the restart: one more chunk
+    // and a finish complete it as if the daemon never restarted.
+    let restored = Arc::new(restored);
+    let server = Server::spawn(Arc::clone(&restored), "127.0.0.1:0").unwrap();
+    let mut acme = Client::connect(server.local_addr()).unwrap();
+    let resp = acme
+        .call(&Request::targeted("finish", &key("acme")))
+        .unwrap();
+    assert!(resp.is_ok(), "finish after restart: {:?}", resp.message);
+    let report = resp.report.unwrap();
+    assert!(report.estimate.is_finite() && !report.degraded);
+    drop(acme);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
