@@ -5,7 +5,9 @@
 //! 2. meta-model — random forest (paper) vs gradient-boosted regressor vs
 //!    a trivial mean predictor,
 //! 3. validator features — percentiles+KS (paper) vs percentiles only,
-//! 4. training-copy budget — how MAE decays with runs-per-generator.
+//! 4. training-copy budget — how MAE decays with runs-per-generator,
+//! 5. conformal calibration — empirical coverage and mean width of the 90%
+//!    interval vs the calibration hold-out stride.
 //!
 //! `cargo run --release -p lvp-bench --bin ablations [-- --scale small]`
 
@@ -294,6 +296,62 @@ fn main() {
                 ResultRow::new("ablation-budget", "income", "xgb", format!("runs={runs}"))
                     .with("runs", runs as f64),
             ),
+        );
+    }
+
+    // --- Ablation 5: conformal calibration budget ------------------------
+    // Clean and mixture-corrupted serving batches (1:2, like ablation 3);
+    // the interval targets 90% coverage of the true score at every stride.
+    println!("\n## ablation 5: conformal calibration (90% target coverage)");
+    let mut rng = env.rng("ablations/interval");
+    for (name, stride) in [
+        ("quantiles only", 0usize),
+        ("stride 4 (hold out 1/4)", 4),
+        ("stride 3 (hold out 1/3)", 3),
+        ("stride 2 (equal split)", 2),
+    ] {
+        let cfg = PredictorConfig {
+            runs_per_generator: env.scale.runs_per_generator(),
+            clean_copies: 5,
+            calibration_stride: stride,
+            forest_grid: vec![lvp_models::forest::ForestConfig::default()],
+            ..PredictorConfig::default()
+        };
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&data.model),
+            &data.test,
+            &standard_tabular_suite(data.test.schema()),
+            &cfg,
+            &mut rng,
+        )
+        .expect("predictor fit");
+        let n_cal = predictor.calibration_residuals().map_or(0, <[f64]>::len);
+        let mixture = Mixture::from_boxes(standard_tabular_suite(data.serving.schema()));
+        let batches = env.scale.serving_batches();
+        let mut covered = 0usize;
+        let mut widths = Vec::new();
+        for i in 0..batches {
+            let batch = data
+                .serving
+                .sample_n(env.scale.serving_batch_rows(), &mut rng);
+            let batch = if i % 3 == 0 {
+                batch
+            } else {
+                mixture.corrupt(&batch, &mut rng)
+            };
+            let interval = predictor.predict_interval(&batch).expect("non-empty");
+            covered += usize::from(interval.contains(model_accuracy(data.model.as_ref(), &batch)));
+            widths.push(interval.width());
+        }
+        let coverage = covered as f64 / batches as f64;
+        let width = widths.iter().sum::<f64>() / widths.len() as f64;
+        println!("{name:<26} n_cal {n_cal:>3}  coverage {coverage:.3}  mean width {width:.3}");
+        rows.push(
+            ResultRow::new("ablation-interval", "income", "xgb", name)
+                .with("stride", stride as f64)
+                .with("n_calibration", n_cal as f64)
+                .with("coverage", coverage)
+                .with("mean_width", width),
         );
     }
 

@@ -217,7 +217,7 @@ impl BatchSketch {
 
 /// One serving batch's output distribution, backed by either source.
 ///
-/// The featurization spine ([`featurize_source`]) is written against this
+/// The featurization spine (`featurize_source`) is written against this
 /// enum, so the predictor, validator, and monitor run identically off a
 /// materialized matrix (exact oracle) or streaming sketch state.
 pub enum FeatureSource<'a> {

@@ -21,6 +21,7 @@
 mod baselines;
 pub mod engine;
 mod features;
+mod interval;
 mod monitor;
 mod persistence;
 mod predictor;
@@ -34,8 +35,9 @@ pub use engine::{
     GeneratedBatch, GenerationOutcome, SkippedBatch,
 };
 pub use features::{feature_dimensionality, prediction_statistics, BatchSketch, FeatureSource};
+pub use interval::{conformal_halfwidth, ScoreInterval, DEFAULT_INTERVAL_ALPHA};
 pub use monitor::{
-    BatchMonitor, BatchReport, BatchTelemetry, ClassDrift, MonitorPolicy, ShardWindow,
+    AlarmMode, BatchMonitor, BatchReport, BatchTelemetry, ClassDrift, MonitorPolicy, ShardWindow,
 };
 pub use persistence::{
     from_json, load_json, save_json, to_json, verdicts_identical, MetricTag, MonitorArtifact,

@@ -19,6 +19,7 @@
 //! produced.
 
 use crate::features::BatchSketch;
+use crate::interval::ScoreInterval;
 use crate::{CoreError, PerformancePredictor};
 use lvp_dataframe::DataFrame;
 use lvp_linalg::DenseMatrix;
@@ -27,16 +28,36 @@ use lvp_telemetry::{Counter, Gauge, Histogram, Registry};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+/// Which signal drives the monitor's violation and alarm decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlarmMode {
+    /// Legacy point-estimate policy: a batch violates when the (smoothed)
+    /// estimate drops below `(1 - threshold) · test_score`. Requires the
+    /// operator to hand-tune `threshold` wide enough to absorb estimator
+    /// noise.
+    Threshold,
+    /// Calibrated interval policy: a batch violates when the retained
+    /// `test_score` falls outside the batch's serving [`ScoreInterval`].
+    /// No tuned cutoff — the interval's conformal calibration absorbs
+    /// estimator noise by construction.
+    Interval,
+}
+
 /// Alarm policy for a [`BatchMonitor`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MonitorPolicy {
     /// Acceptable relative score drop against the test score (e.g. 0.05).
+    /// Only consulted under [`AlarmMode::Threshold`].
     pub threshold: f64,
     /// Consecutive violating batches required before an alarm fires.
     pub consecutive_violations: usize,
-    /// Smoothing factor of the EWMA over estimates, in `(0, 1]`;
-    /// 1.0 disables smoothing.
+    /// Smoothing factor of the EWMA over estimates (interval midpoints
+    /// under [`AlarmMode::Interval`]), in `(0, 1]`; 1.0 disables smoothing.
     pub ewma_alpha: f64,
+    /// Alarm mode; `None` means [`AlarmMode::Threshold`] (see
+    /// [`Self::alarm_mode`]). Kept optional so policies serialized before
+    /// the interval refactor load unchanged into the legacy behavior.
+    pub mode: Option<AlarmMode>,
 }
 
 impl Default for MonitorPolicy {
@@ -45,6 +66,26 @@ impl Default for MonitorPolicy {
             threshold: 0.05,
             consecutive_violations: 2,
             ewma_alpha: 0.5,
+            mode: None,
+        }
+    }
+}
+
+impl MonitorPolicy {
+    /// The effective alarm mode: [`AlarmMode::Threshold`] when [`Self::mode`]
+    /// is unset, which is both the `Default` and what pre-interval
+    /// artifacts deserialize to.
+    pub fn alarm_mode(&self) -> AlarmMode {
+        self.mode.unwrap_or(AlarmMode::Threshold)
+    }
+
+    /// This policy switched to the calibrated interval alarm: violations
+    /// become "the retained test score escaped the serving interval", and
+    /// [`Self::threshold`] is no longer consulted.
+    pub fn with_interval_alarm(self) -> Self {
+        Self {
+            mode: Some(AlarmMode::Interval),
+            ..self
         }
     }
 }
@@ -97,6 +138,14 @@ pub struct BatchReport {
     pub smoothed_violation: bool,
     /// Whether the debounced alarm is firing.
     pub alarm: bool,
+    /// The calibrated serving interval, when the batch was scored through
+    /// an interval-producing path (always under [`AlarmMode::Interval`]
+    /// except for bare [`BatchMonitor::observe_estimate`] updates; also
+    /// carried diagnostically when [`BatchMonitor::observe_interval`] is
+    /// used under the threshold policy). Degraded interval-mode batches
+    /// carry an all-NaN [`ScoreInterval`], which serializes through the
+    /// same NaN↔null convention as [`Self::estimate`].
+    pub interval: Option<ScoreInterval>,
     /// Whether this batch was *degraded*: the estimate is withheld (NaN)
     /// because scoring failed terminally (remote serving failure) or
     /// produced no information (non-finite estimate). Degraded batches
@@ -169,6 +218,13 @@ struct MonitorMetrics {
     batches: Counter,
     /// `monitor.degraded_batches` — batches quarantined without an estimate.
     degraded: Counter,
+    /// `monitor.interval_width` — width of the latest finite serving
+    /// interval: the system's self-reported uncertainty, which widens
+    /// under drift before the alarm fires.
+    interval_width: Gauge,
+    /// `monitor.coverage_violations` — interval-mode batches whose serving
+    /// interval failed to cover the retained test score.
+    coverage_violations: Counter,
     /// `monitor.chunks_observed` — row chunks folded into streaming windows.
     chunks: Counter,
     /// `monitor.chunk_rows` — total rows folded via the streaming path.
@@ -213,8 +269,10 @@ impl BatchMonitor {
     /// Registers the monitor's gauges and counters with `registry`
     /// (`monitor.raw_score`, `monitor.smoothed_score`,
     /// `monitor.violation_streak`, `monitor.alarm_batches`,
-    /// `monitor.batches_observed`). All of them track seeded estimates, so
-    /// they appear in deterministic snapshot views.
+    /// `monitor.batches_observed`, plus the interval-policy pair
+    /// `monitor.interval_width` / `monitor.coverage_violations`). All of
+    /// them track seeded estimates, so they appear in deterministic
+    /// snapshot views.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.attach_telemetry_prefixed(registry, "");
     }
@@ -232,6 +290,8 @@ impl BatchMonitor {
             alarms: registry.counter(&format!("{prefix}monitor.alarm_batches")),
             batches: registry.counter(&format!("{prefix}monitor.batches_observed")),
             degraded: registry.counter(&format!("{prefix}monitor.degraded_batches")),
+            interval_width: registry.gauge(&format!("{prefix}monitor.interval_width")),
+            coverage_violations: registry.counter(&format!("{prefix}monitor.coverage_violations")),
             chunks: registry.counter(&format!("{prefix}monitor.chunks_observed")),
             chunk_rows: registry.counter(&format!("{prefix}monitor.chunk_rows")),
             sketch_merges: registry.counter(&format!("{prefix}monitor.sketch_merges")),
@@ -280,8 +340,18 @@ impl BatchMonitor {
     /// schema mismatch) stay hard errors: retrying or skipping cannot make
     /// an incompatible frame scoreable.
     pub fn observe(&mut self, batch: &DataFrame) -> Result<BatchReport, CoreError> {
-        let (estimate, proba) = match self.predictor.predict_with_outputs(batch) {
-            Ok(pair) => pair,
+        let scored = match self.policy.alarm_mode() {
+            AlarmMode::Threshold => self
+                .predictor
+                .predict_with_outputs(batch)
+                .map(|(estimate, proba)| (estimate, None, proba)),
+            AlarmMode::Interval => self
+                .predictor
+                .predict_interval_with_outputs(batch)
+                .map(|(interval, proba)| (interval.point, Some(interval), proba)),
+        };
+        let (estimate, interval, proba) = match scored {
+            Ok(triple) => triple,
             Err(err) => {
                 return match err.model_error() {
                     Some(cause) => Ok(self.record_degraded(format!(
@@ -292,7 +362,29 @@ impl BatchMonitor {
                 };
             }
         };
-        let per_class_ks = match &self.reference_outputs {
+        let per_class_ks = self.drift_against_reference(&proba);
+        Ok(self.record(estimate, interval, per_class_ks))
+    }
+
+    /// Scores a batch of already-computed model outputs (e.g. when the
+    /// model serves in a different process and only its probability matrix
+    /// reaches the monitor) and updates the alarm state, routing through
+    /// the point or interval path per the policy's [`AlarmMode`]. Runs the
+    /// per-class drift tests when reference outputs are retained.
+    pub fn observe_outputs(&mut self, proba: &DenseMatrix) -> Result<BatchReport, CoreError> {
+        let (estimate, interval) = match self.policy.alarm_mode() {
+            AlarmMode::Threshold => (self.predictor.predict_from_outputs(proba)?, None),
+            AlarmMode::Interval => {
+                let interval = self.predictor.predict_interval_from_outputs(proba)?;
+                (interval.point, Some(interval))
+            }
+        };
+        let per_class_ks = self.drift_against_reference(proba);
+        Ok(self.record(estimate, interval, per_class_ks))
+    }
+
+    fn drift_against_reference(&self, proba: &DenseMatrix) -> Vec<ClassDrift> {
+        match &self.reference_outputs {
             Some(reference) => (0..proba.cols().min(reference.cols()))
                 .map(|class| {
                     let outcome = ks_two_sample(&proba.column(class), &reference.column(class));
@@ -304,8 +396,7 @@ impl BatchMonitor {
                 })
                 .collect(),
             None => Vec::new(),
-        };
-        Ok(self.record(estimate, per_class_ks))
+        }
     }
 
     /// Records a batch that was lost before it could be scored — shed by
@@ -327,8 +418,35 @@ impl BatchMonitor {
     /// information and is quarantined: it is reported verbatim but not folded
     /// into the EWMA — one NaN would otherwise poison every subsequent
     /// smoothed value — and it neither extends nor resets the streak.
+    ///
+    /// A bare estimate carries no interval, so under
+    /// [`AlarmMode::Interval`] the violation check falls back to the
+    /// threshold cutoff for these batches; callers with interval-producing
+    /// remote predictors should use [`Self::observe_interval`] instead.
     pub fn observe_estimate(&mut self, estimate: f64) -> BatchReport {
-        self.record(estimate, Vec::new())
+        self.record(estimate, None, Vec::new())
+    }
+
+    /// Updates the monitor from an externally computed [`ScoreInterval`]
+    /// (e.g. when the predictor runs in a different process — the interval
+    /// counterpart of [`Self::observe_estimate`]).
+    ///
+    /// Being an external entry point, the interval is validated first:
+    /// `lo ≤ point ≤ hi` with all bounds finite — or all NaN, which is
+    /// recorded as a degraded batch — and `alpha` in `(0, 1)`; anything
+    /// else is a typed [`CoreError`]. Valid intervals update the alarm
+    /// state like any internally scored batch.
+    pub fn observe_interval(&mut self, interval: ScoreInterval) -> Result<BatchReport, CoreError> {
+        interval.validate()?;
+        if interval.is_degraded() {
+            return Ok(self.record_inner(
+                f64::NAN,
+                Some(interval),
+                Vec::new(),
+                Some("degraded interval quarantined".to_string()),
+            ));
+        }
+        Ok(self.record(interval.point, Some(interval), Vec::new()))
     }
 
     /// Folds one chunk of serving rows into the open streaming window
@@ -510,7 +628,13 @@ impl BatchMonitor {
                 "cannot score a sketch with zero observed rows",
             ));
         }
-        let estimate = self.predictor.predict_from_sketch(sketch)?;
+        let (estimate, interval) = match self.policy.alarm_mode() {
+            AlarmMode::Threshold => (self.predictor.predict_from_sketch(sketch)?, None),
+            AlarmMode::Interval => {
+                let interval = self.predictor.predict_interval_from_sketch(sketch)?;
+                (interval.point, Some(interval))
+            }
+        };
         let per_class_ks = match &self.reference_ecdf {
             Some(reference) => sketch
                 .ecdfs()
@@ -530,7 +654,7 @@ impl BatchMonitor {
                 .collect::<Result<Vec<_>, CoreError>>()?,
             None => Vec::new(),
         };
-        Ok(self.record(estimate, per_class_ks))
+        Ok(self.record(estimate, interval, per_class_ks))
     }
 
     /// The currently open streaming window, if any.
@@ -548,19 +672,29 @@ impl BatchMonitor {
         self.reference_ecdf.as_deref()
     }
 
-    fn record(&mut self, estimate: f64, per_class_ks: Vec<ClassDrift>) -> BatchReport {
-        self.record_inner(estimate, per_class_ks, None)
+    fn record(
+        &mut self,
+        estimate: f64,
+        interval: Option<ScoreInterval>,
+        per_class_ks: Vec<ClassDrift>,
+    ) -> BatchReport {
+        self.record_inner(estimate, interval, per_class_ks, None)
     }
 
     /// Records a batch whose scoring failed terminally: the estimate is
     /// withheld (NaN) and the report is marked degraded with `reason`.
+    /// Under the interval policy the report carries an all-NaN interval —
+    /// bounds withheld like the estimate.
     fn record_degraded(&mut self, reason: String) -> BatchReport {
-        self.record_inner(f64::NAN, Vec::new(), Some(reason))
+        let interval = matches!(self.policy.alarm_mode(), AlarmMode::Interval)
+            .then(|| ScoreInterval::degraded(self.predictor.interval_alpha()));
+        self.record_inner(f64::NAN, interval, Vec::new(), Some(reason))
     }
 
     fn record_inner(
         &mut self,
         estimate: f64,
+        interval: Option<ScoreInterval>,
         per_class_ks: Vec<ClassDrift>,
         degrade_reason: Option<String>,
     ) -> BatchReport {
@@ -571,10 +705,18 @@ impl BatchMonitor {
         let finite = estimate.is_finite() && degrade_reason.is_none();
         let degrade_reason = degrade_reason
             .or_else(|| (!finite).then(|| "non-finite estimate quarantined".to_string()));
+        // Under the interval policy the EWMA tracks the interval midpoint
+        // (the center of the system's stated uncertainty); the raw point
+        // estimate drives it otherwise.
+        let interval_mode = matches!(self.policy.alarm_mode(), AlarmMode::Interval);
+        let signal = match &interval {
+            Some(iv) if finite && interval_mode => iv.midpoint(),
+            _ => estimate,
+        };
         let smoothed = if finite {
             let next = match self.smoothed {
-                Some(prev) => alpha * estimate + (1.0 - alpha) * prev,
-                None => estimate,
+                Some(prev) => alpha * signal + (1.0 - alpha) * prev,
+                None => signal,
             };
             self.smoothed = Some(next);
             next
@@ -584,9 +726,23 @@ impl BatchMonitor {
             self.smoothed.unwrap_or_else(|| self.predictor.test_score())
         };
 
-        let cutoff = (1.0 - self.policy.threshold) * self.predictor.test_score();
-        let raw_violation = finite && estimate < cutoff;
-        let smoothed_violation = finite && smoothed < cutoff;
+        let test_score = self.predictor.test_score();
+        let (raw_violation, smoothed_violation) = match &interval {
+            // Interval policy: a violation is the retained test score
+            // escaping the serving interval — raw against the batch's own
+            // interval, smoothed against that interval re-centered on the
+            // EWMA midpoint. No tuned threshold involved.
+            Some(iv) if finite && interval_mode => (
+                !iv.contains(test_score),
+                !iv.recentered(smoothed).contains(test_score),
+            ),
+            // Threshold policy (and interval-mode bare estimates, which
+            // carry no interval): the legacy relative-drop cutoff.
+            _ => {
+                let cutoff = (1.0 - self.policy.threshold) * test_score;
+                (finite && estimate < cutoff, finite && smoothed < cutoff)
+            }
+        };
         if finite {
             if smoothed_violation {
                 self.violation_streak += 1;
@@ -601,6 +757,7 @@ impl BatchMonitor {
             raw_violation,
             smoothed_violation,
             alarm: self.violation_streak >= self.policy.consecutive_violations,
+            interval,
             degraded: !finite,
             degrade_reason,
             telemetry: BatchTelemetry {
@@ -613,6 +770,9 @@ impl BatchMonitor {
                 m.raw.set(estimate);
                 m.smoothed.set(smoothed);
                 m.streak.set(self.violation_streak as f64);
+                if let Some(iv) = &report.interval {
+                    m.interval_width.set(iv.width());
+                }
             } else {
                 // Degraded batches leave the score gauges at their last
                 // healthy values (a NaN gauge would also poison serialized
@@ -622,6 +782,9 @@ impl BatchMonitor {
             m.batches.inc();
             if report.alarm {
                 m.alarms.inc();
+            }
+            if interval_mode && raw_violation {
+                m.coverage_violations.inc();
             }
         }
         self.batches_seen += 1;
@@ -714,12 +877,14 @@ mod tests {
     use rand::SeedableRng;
     use std::sync::Arc;
 
-    /// Alarm threshold used by the monitor tests. The predictor's
-    /// calibration contract (see `clean_serving_data_scores_near_test_score`
-    /// in predictor.rs) only bounds clean estimates within 0.15 of the test
-    /// score, so the tests must tolerate at least that much slack; heavy
-    /// corruption drops estimates to ~0.5, far below this cutoff.
-    const TEST_THRESHOLD: f64 = 0.2;
+    /// Relative-drop cutoff used by the *legacy threshold-policy* tests.
+    /// The predictor's calibration contract (see
+    /// `clean_serving_data_scores_near_test_score` in predictor.rs) only
+    /// bounds clean estimates within 0.15 of the test score, so these
+    /// tests must hand-tune at least that much slack into the cutoff —
+    /// exactly the tuning the interval policy (the `interval_policy_*`
+    /// tests below) makes unnecessary.
+    const LEGACY_THRESHOLD: f64 = 0.2;
 
     fn monitor(policy: MonitorPolicy) -> (BatchMonitor, lvp_dataframe::DataFrame) {
         let df = toy_frame(300);
@@ -738,7 +903,7 @@ mod tests {
     #[test]
     fn clean_stream_never_alarms() {
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             ..MonitorPolicy::default()
         });
         let mut rng = StdRng::seed_from_u64(32);
@@ -753,9 +918,10 @@ mod tests {
     #[test]
     fn sustained_corruption_alarms_after_debounce() {
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             consecutive_violations: 2,
             ewma_alpha: 1.0,
+            ..MonitorPolicy::default()
         });
         let mut corrupted = serving.clone();
         for row in 0..corrupted.n_rows() {
@@ -773,9 +939,10 @@ mod tests {
     #[test]
     fn recovery_clears_the_streak() {
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             consecutive_violations: 2,
             ewma_alpha: 1.0,
+            ..MonitorPolicy::default()
         });
         let mut corrupted = serving.clone();
         for row in 0..corrupted.n_rows() {
@@ -794,9 +961,10 @@ mod tests {
         // consecutive_violations = 1 would page on a perfectly healthy first
         // batch. Seeding the EWMA with the raw estimate removes that bias.
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             consecutive_violations: 1,
             ewma_alpha: 0.1, // small α maximizes the hypothetical init bias
+            ..MonitorPolicy::default()
         });
         let mut rng = StdRng::seed_from_u64(35);
         let r = m.observe(&serving.sample_n(100, &mut rng)).unwrap();
@@ -811,9 +979,10 @@ mod tests {
     #[test]
     fn nan_estimate_does_not_poison_the_ewma() {
         let (mut m, _) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             consecutive_violations: 2,
             ewma_alpha: 0.5,
+            ..MonitorPolicy::default()
         });
         m.observe_estimate(0.9);
         let r_nan = m.observe_estimate(f64::NAN);
@@ -829,9 +998,10 @@ mod tests {
     #[test]
     fn nan_estimate_neither_extends_nor_resets_the_streak() {
         let (mut m, _) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             consecutive_violations: 2,
             ewma_alpha: 1.0,
+            ..MonitorPolicy::default()
         });
         m.observe_estimate(0.0); // violation, streak = 1
         assert_eq!(m.violation_streak(), 1);
@@ -844,9 +1014,10 @@ mod tests {
     #[test]
     fn nan_before_any_finite_estimate_is_harmless() {
         let (mut m, _) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             consecutive_violations: 1,
             ewma_alpha: 0.5,
+            ..MonitorPolicy::default()
         });
         let r = m.observe_estimate(f64::NAN);
         assert!(!r.alarm && !r.smoothed_violation, "{r:?}");
@@ -874,9 +1045,10 @@ mod tests {
     #[test]
     fn raw_and_smoothed_violations_can_diverge() {
         let (mut m, _) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             consecutive_violations: 2,
             ewma_alpha: 0.2,
+            ..MonitorPolicy::default()
         });
         // Warm the EWMA well above the cutoff, then inject one terrible
         // batch: the raw estimate violates, the smoothed signal holds
@@ -896,9 +1068,10 @@ mod tests {
     #[test]
     fn attached_registry_tracks_scores_streak_and_alarms() {
         let (mut m, _) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             consecutive_violations: 2,
             ewma_alpha: 1.0,
+            ..MonitorPolicy::default()
         });
         let registry = Registry::new();
         m.attach_telemetry(&registry);
@@ -920,7 +1093,7 @@ mod tests {
     #[test]
     fn reference_outputs_enable_per_class_drift_tests() {
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             ..MonitorPolicy::default()
         });
         let mut rng = StdRng::seed_from_u64(36);
@@ -963,9 +1136,10 @@ mod tests {
         // one-element KS samples (λ deep in the small-λ regime). Everything
         // must stay finite and alarm-free on clean data.
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             consecutive_violations: 1,
             ewma_alpha: 1.0,
+            ..MonitorPolicy::default()
         });
         m.retain_reference_outputs(&serving).unwrap();
         let mut rng = StdRng::seed_from_u64(37);
@@ -1032,9 +1206,10 @@ mod tests {
         let mut m = BatchMonitor::new(
             predictor,
             MonitorPolicy {
-                threshold: TEST_THRESHOLD,
+                threshold: LEGACY_THRESHOLD,
                 consecutive_violations: 2,
                 ewma_alpha: 0.5,
+                ..MonitorPolicy::default()
             },
         )
         .unwrap();
@@ -1078,7 +1253,7 @@ mod tests {
     #[test]
     fn degraded_batches_are_counted_and_leave_gauges_healthy() {
         let (mut m, _) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             ..MonitorPolicy::default()
         });
         let registry = Registry::new();
@@ -1114,7 +1289,7 @@ mod tests {
     #[test]
     fn streamed_window_matches_materialized_batch_estimate() {
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             ..MonitorPolicy::default()
         });
         // Stream the batch through in chunks...
@@ -1150,7 +1325,7 @@ mod tests {
     #[test]
     fn zero_row_output_chunks_are_a_no_op() {
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             ..MonitorPolicy::default()
         });
         let proba = m.predictor().model_outputs(&serving).unwrap();
@@ -1202,7 +1377,7 @@ mod tests {
     #[test]
     fn degraded_shard_window_poisons_the_merged_report() {
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             ..MonitorPolicy::default()
         });
         let proba = m.predictor().model_outputs(&serving).unwrap();
@@ -1251,7 +1426,7 @@ mod tests {
     #[test]
     fn history_limit_bounds_retention_with_absolute_indices() {
         let (mut m, _) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             ..MonitorPolicy::default()
         });
         m.set_history_limit(Some(3));
@@ -1273,7 +1448,7 @@ mod tests {
     #[test]
     fn batch_report_serde_round_trips_including_nan_estimate() {
         let (mut m, _) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             ..MonitorPolicy::default()
         });
         m.observe_estimate(0.9);
@@ -1296,7 +1471,7 @@ mod tests {
     #[test]
     fn merged_shards_report_bit_identically_to_a_single_stream() {
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             ..MonitorPolicy::default()
         });
         m.retain_reference_outputs(&serving).unwrap();
@@ -1341,7 +1516,7 @@ mod tests {
         let mut m = BatchMonitor::new(
             predictor,
             MonitorPolicy {
-                threshold: TEST_THRESHOLD,
+                threshold: LEGACY_THRESHOLD,
                 ..MonitorPolicy::default()
             },
         )
@@ -1383,7 +1558,7 @@ mod tests {
     #[test]
     fn streaming_telemetry_tracks_chunks_rows_and_footprint() {
         let (mut m, serving) = monitor(MonitorPolicy {
-            threshold: TEST_THRESHOLD,
+            threshold: LEGACY_THRESHOLD,
             ..MonitorPolicy::default()
         });
         let registry = Registry::new();
@@ -1444,5 +1619,235 @@ mod tests {
                     .unwrap();
             assert!(BatchMonitor::new(predictor, policy).is_err(), "{policy:?}");
         }
+    }
+
+    #[test]
+    fn interval_policy_covers_clean_batches_without_a_tuned_threshold() {
+        // The honest version of the old LEGACY_THRESHOLD contract: at seed
+        // 31 the calibrated interval must itself cover the retained test
+        // score on clean serving data — no hand-tuned slack anywhere.
+        let (mut m, serving) = monitor(MonitorPolicy::default().with_interval_alarm());
+        assert_eq!(m.policy().alarm_mode(), AlarmMode::Interval);
+        let test_score = m.predictor().test_score();
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..5 {
+            let r = m.observe(&serving.sample_n(100, &mut rng)).unwrap();
+            let iv = r
+                .interval
+                .expect("interval-policy reports carry the interval");
+            iv.validate().unwrap();
+            assert_eq!(r.estimate.to_bits(), iv.point.to_bits());
+            assert!(
+                iv.contains(test_score),
+                "clean interval [{}, {}] must cover test score {test_score}",
+                iv.lo,
+                iv.hi
+            );
+            assert!(
+                !r.raw_violation && !r.smoothed_violation && !r.alarm,
+                "{r:?}"
+            );
+        }
+        assert!(!m.alarming());
+    }
+
+    #[test]
+    fn interval_policy_flags_sustained_drift_after_debounce() {
+        // The PR 1 drift scenario, without any hand-tuned threshold:
+        // wiping the label-revealing column must push the serving interval
+        // entirely below the retained test score.
+        let (mut m, serving) = monitor(
+            MonitorPolicy {
+                consecutive_violations: 2,
+                ewma_alpha: 1.0,
+                ..MonitorPolicy::default()
+            }
+            .with_interval_alarm(),
+        );
+        let mut corrupted = serving.clone();
+        for row in 0..corrupted.n_rows() {
+            corrupted.column_mut(1).set_null(row);
+        }
+        let r1 = m.observe(&corrupted).unwrap();
+        let iv = r1.interval.unwrap();
+        assert!(
+            !iv.contains(m.predictor().test_score()),
+            "corrupted interval [{}, {}] still covers test score {}",
+            iv.lo,
+            iv.hi,
+            m.predictor().test_score()
+        );
+        assert!(r1.raw_violation && r1.smoothed_violation);
+        assert!(!r1.alarm, "first violation must not alarm yet");
+        let r2 = m.observe(&corrupted).unwrap();
+        assert!(r2.alarm, "second consecutive violation alarms");
+        assert!(m.alarming());
+        // Recovery on clean data clears the streak, as under the old policy.
+        let clean = m.observe(&serving).unwrap();
+        assert!(!clean.smoothed_violation && !clean.alarm, "{clean:?}");
+    }
+
+    #[test]
+    fn interval_policy_ewma_smooths_the_midpoint() {
+        let (mut m, serving) = monitor(
+            MonitorPolicy {
+                ewma_alpha: 0.5,
+                ..MonitorPolicy::default()
+            }
+            .with_interval_alarm(),
+        );
+        let mut rng = StdRng::seed_from_u64(38);
+        let r1 = m.observe(&serving.sample_n(80, &mut rng)).unwrap();
+        let m1 = r1.interval.unwrap().midpoint();
+        assert_eq!(
+            r1.smoothed.to_bits(),
+            m1.to_bits(),
+            "batch 0 seeds the EWMA with the interval midpoint"
+        );
+        let r2 = m.observe(&serving.sample_n(80, &mut rng)).unwrap();
+        let m2 = r2.interval.unwrap().midpoint();
+        assert!(
+            (r2.smoothed - (0.5 * m2 + 0.5 * m1)).abs() < 1e-15,
+            "{r2:?}"
+        );
+    }
+
+    #[test]
+    fn interval_policy_telemetry_tracks_width_and_coverage() {
+        let (mut m, serving) = monitor(
+            MonitorPolicy {
+                consecutive_violations: 2,
+                ewma_alpha: 1.0,
+                ..MonitorPolicy::default()
+            }
+            .with_interval_alarm(),
+        );
+        let registry = Registry::new();
+        m.attach_telemetry(&registry);
+        let mut rng = StdRng::seed_from_u64(39);
+        let clean = m.observe(&serving.sample_n(100, &mut rng)).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["monitor.coverage_violations"], 0);
+        assert_eq!(
+            snap.gauges["monitor.interval_width"],
+            clean.interval.unwrap().width()
+        );
+        let mut corrupted = serving.clone();
+        for row in 0..corrupted.n_rows() {
+            corrupted.column_mut(1).set_null(row);
+        }
+        m.observe(&corrupted).unwrap();
+        m.observe(&corrupted).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["monitor.coverage_violations"], 2);
+        assert_eq!(snap.counters["monitor.alarm_batches"], 1);
+        // Interval metrics derive from seeded estimates → not volatile.
+        assert!(snap.volatile.is_empty());
+    }
+
+    #[test]
+    fn observe_interval_validates_external_intervals() {
+        let (mut m, _) = monitor(MonitorPolicy::default().with_interval_alarm());
+        let test_score = m.predictor().test_score();
+        // A healthy external interval around the test score is recorded.
+        let good = ScoreInterval {
+            point: test_score,
+            lo: test_score - 0.05,
+            hi: test_score + 0.05,
+            alpha: 0.1,
+        };
+        let r = m.observe_interval(good).unwrap();
+        assert!(!r.raw_violation && !r.degraded, "{r:?}");
+        assert_eq!(r.interval, Some(good));
+        // Inconsistent intervals are typed errors and consume no batch index.
+        let bad = ScoreInterval {
+            point: 0.9,
+            lo: 0.5,
+            hi: 0.8,
+            alpha: 0.1,
+        };
+        let err = m.observe_interval(bad).unwrap_err();
+        assert!(err.message.contains("lo ≤ point ≤ hi"), "{err}");
+        let mixed = ScoreInterval {
+            point: f64::NAN,
+            lo: 0.5,
+            hi: 0.8,
+            alpha: 0.1,
+        };
+        let err = m.observe_interval(mixed).unwrap_err();
+        assert!(err.message.contains("all finite or all NaN"), "{err}");
+        let bad_alpha = ScoreInterval {
+            point: 0.7,
+            lo: 0.6,
+            hi: 0.8,
+            alpha: 1.5,
+        };
+        assert!(m.observe_interval(bad_alpha).is_err());
+        assert_eq!(
+            m.batches_seen(),
+            1,
+            "rejected intervals consume no batch index"
+        );
+        // An all-NaN interval is a degraded batch, like a NaN estimate.
+        let r = m.observe_interval(ScoreInterval::degraded(0.1)).unwrap();
+        assert!(r.degraded && r.estimate.is_nan(), "{r:?}");
+        assert_eq!(
+            r.degrade_reason.as_deref(),
+            Some("degraded interval quarantined")
+        );
+        assert!(r.interval.unwrap().is_degraded());
+        assert_eq!(m.batches_seen(), 2);
+    }
+
+    #[test]
+    fn interval_policy_streams_and_shard_merges_carry_the_interval() {
+        let (mut m, serving) = monitor(MonitorPolicy::default().with_interval_alarm());
+        let rows: Vec<usize> = (0..serving.n_rows()).collect();
+        for chunk in rows.chunks(17) {
+            m.observe_chunk(&serving.select_rows(chunk)).unwrap();
+        }
+        let streamed = m.finish_window().unwrap();
+        let iv = streamed.interval.unwrap();
+        iv.validate().unwrap();
+        assert_eq!(streamed.estimate.to_bits(), iv.point.to_bits());
+        // The direct sketch path produces the identical interval.
+        let proba = m.predictor().model_outputs(&serving).unwrap();
+        let direct = m
+            .predictor()
+            .predict_interval_from_sketch(&BatchSketch::from_outputs(&proba))
+            .unwrap();
+        assert_eq!(iv, direct);
+        // Shard merges route through the same interval path.
+        let merged = m
+            .merge_shard_sketches(&[BatchSketch::from_outputs(&proba)])
+            .unwrap();
+        assert_eq!(merged.interval, Some(direct));
+    }
+
+    #[test]
+    fn threshold_policy_reports_carry_no_interval() {
+        let (mut m, serving) = monitor(MonitorPolicy {
+            threshold: LEGACY_THRESHOLD,
+            ..MonitorPolicy::default()
+        });
+        assert_eq!(m.policy().alarm_mode(), AlarmMode::Threshold);
+        let mut rng = StdRng::seed_from_u64(42);
+        let r = m.observe(&serving.sample_n(80, &mut rng)).unwrap();
+        assert_eq!(r.interval, None, "legacy policy is unchanged: {r:?}");
+    }
+
+    #[test]
+    fn degraded_interval_batches_report_nan_bounds() {
+        let (mut m, _) = monitor(MonitorPolicy::default().with_interval_alarm());
+        let r = m.observe_degraded("shed by admission control");
+        assert!(r.degraded);
+        let iv = r.interval.unwrap();
+        assert!(iv.is_degraded(), "{iv:?}");
+        assert_eq!(iv.alpha, m.predictor().interval_alpha());
+        // And the report serde round-trips through the NaN↔null convention.
+        let json = serde_json::to_string(&r).unwrap();
+        let back: BatchReport = serde_json::from_str(&json).unwrap();
+        assert!(back.interval.unwrap().is_degraded());
+        assert_eq!(back.interval.unwrap().alpha, iv.alpha);
     }
 }

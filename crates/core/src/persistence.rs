@@ -40,10 +40,13 @@ use std::sync::Arc;
 /// Version history: 1 — original format, no input contract; 2 — adds the
 /// schema-fingerprint/class-count input contract; 3 — adds streaming
 /// sketch state (the validator's test-output ECDFs, the monitor's open
-/// window and reference ECDFs). Every added field is an `Option`, so older
-/// artifacts deserialize with `None` and the loaders reconstruct (or skip)
-/// the missing state.
-pub const ARTIFACT_VERSION: u32 = 3;
+/// window and reference ECDFs); 4 — adds the calibrated-interval state
+/// (the predictor's conformal calibration residuals and interval alpha,
+/// the monitor policy's alarm mode). Every added field is an `Option`, so
+/// older artifacts deserialize with `None` and the loaders reconstruct (or
+/// skip) the missing state — pre-v4 artifacts load into the point-estimate
+/// threshold policy with quantile-only intervals.
+pub const ARTIFACT_VERSION: u32 = 4;
 
 /// Serializes an artifact (or anything serde-serializable) to JSON.
 pub fn to_json<T: Serialize>(artifact: &T) -> Result<String, CoreError> {
@@ -146,6 +149,14 @@ pub struct PredictorArtifact {
     /// Fingerprint of the fit-time test schema (`None` in version-1
     /// artifacts and for predictors fitted from raw examples).
     pub schema_fingerprint: Option<u64>,
+    /// Miscoverage rate of the predictor's intervals (`None` in pre-v4
+    /// artifacts, which load with the default alpha).
+    pub interval_alpha: Option<f64>,
+    /// Sorted held-out absolute residuals backing the conformal interval
+    /// half-width (`None` in pre-v4 artifacts and when calibration was
+    /// disabled or starved — intervals then fall back to bare ensemble
+    /// quantiles).
+    pub calibration_residuals: Option<Vec<f64>>,
 }
 
 impl PerformancePredictor {
@@ -159,6 +170,8 @@ impl PerformancePredictor {
             n_feature_dims: self.feature_dims(),
             n_classes: Some(self.n_classes()),
             schema_fingerprint: self.schema_fingerprint(),
+            interval_alpha: Some(self.interval_alpha()),
+            calibration_residuals: self.calibration_residuals().map(<[f64]>::to_vec),
         }
     }
 
@@ -178,6 +191,13 @@ impl PerformancePredictor {
                 artifact.n_feature_dims, expected
             )));
         }
+        // Re-sort defensively (idempotent for artifacts we wrote): the
+        // conformal order statistic indexes into a sorted slice, and a
+        // hand-edited artifact must not silently mis-calibrate.
+        let calibration = artifact.calibration_residuals.map(|mut residuals| {
+            residuals.sort_by(f64::total_cmp);
+            residuals
+        });
         Ok(Self::from_parts(
             model,
             artifact.regressor,
@@ -185,6 +205,10 @@ impl PerformancePredictor {
             artifact.test_score,
             artifact.n_feature_dims,
             artifact.schema_fingerprint,
+            artifact
+                .interval_alpha
+                .unwrap_or(crate::DEFAULT_INTERVAL_ALPHA),
+            calibration,
         ))
     }
 }
@@ -485,6 +509,7 @@ mod tests {
             threshold: 0.2,
             consecutive_violations: 3,
             ewma_alpha: 0.5,
+            ..MonitorPolicy::default()
         };
         let mut monitor = BatchMonitor::new(predictor, policy).unwrap();
         // Two violations — one short of the alarm.
@@ -629,7 +654,7 @@ mod tests {
         .unwrap();
 
         let full = validator.to_artifact();
-        assert_eq!(full.version, 3);
+        assert_eq!(full.version, ARTIFACT_VERSION);
         assert!(full.test_ecdf.is_some());
         let v2 = ValidatorArtifactV2 {
             version: 2,
@@ -697,6 +722,173 @@ mod tests {
         assert_eq!(restored.violation_streak(), 1);
         assert_eq!(restored.smoothed(), Some(0.9));
         assert!(restored.window().is_none());
+    }
+
+    #[test]
+    fn version_3_predictor_artifacts_load_into_quantile_only_intervals() {
+        // A v3 artifact predates the interval era: neither `interval_alpha`
+        // nor `calibration_residuals` exist in its JSON. Serialize through
+        // a v3-shaped mirror struct to prove missing-field tolerance.
+        #[derive(Serialize)]
+        struct PredictorArtifactV3 {
+            version: u32,
+            regressor: RandomForestRegressor,
+            metric: MetricTag,
+            test_score: f64,
+            n_feature_dims: usize,
+            n_classes: Option<usize>,
+            schema_fingerprint: Option<u64>,
+        }
+
+        let (model, test, serving) = fitted();
+        let mut rng = StdRng::seed_from_u64(46);
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let full = predictor.to_artifact();
+        assert_eq!(full.interval_alpha, Some(crate::DEFAULT_INTERVAL_ALPHA));
+        assert!(full.calibration_residuals.is_some());
+        let v3 = PredictorArtifactV3 {
+            version: 3,
+            regressor: full.regressor.clone(),
+            metric: full.metric,
+            test_score: full.test_score,
+            n_feature_dims: full.n_feature_dims,
+            n_classes: full.n_classes,
+            schema_fingerprint: full.schema_fingerprint,
+        };
+        let json = to_json(&v3).unwrap();
+        assert!(!json.contains("interval_alpha"), "field genuinely absent");
+        assert!(!json.contains("calibration_residuals"));
+        let artifact: PredictorArtifact = from_json(&json).unwrap();
+        assert_eq!(artifact.interval_alpha, None);
+        assert_eq!(artifact.calibration_residuals, None);
+        let restored = PerformancePredictor::from_artifact(artifact, model).unwrap();
+        // Point predictions are untouched by the missing interval state...
+        assert_eq!(
+            restored.predict(&serving).unwrap().to_bits(),
+            predictor.predict(&serving).unwrap().to_bits()
+        );
+        // ...and intervals fall back to bare ensemble quantiles at the
+        // default alpha: valid, just narrower than the calibrated ones.
+        assert_eq!(restored.interval_alpha(), crate::DEFAULT_INTERVAL_ALPHA);
+        assert!(restored.calibration_residuals().is_none());
+        let narrow = restored.predict_interval(&serving).unwrap();
+        narrow.validate().unwrap();
+        let calibrated = predictor.predict_interval(&serving).unwrap();
+        assert!(
+            narrow.width() < calibrated.width(),
+            "{narrow:?} vs {calibrated:?}"
+        );
+    }
+
+    #[test]
+    fn version_3_monitor_policies_load_into_the_threshold_mode() {
+        // Pre-v4 policy JSON has no `mode` field; it must keep the legacy
+        // threshold behavior bit for bit.
+        #[derive(Serialize)]
+        struct MonitorPolicyV3 {
+            threshold: f64,
+            consecutive_violations: usize,
+            ewma_alpha: f64,
+        }
+        #[derive(Serialize)]
+        struct MonitorArtifactV3 {
+            version: u32,
+            policy: MonitorPolicyV3,
+            smoothed: Option<f64>,
+            violation_streak: usize,
+            batches_seen: usize,
+        }
+
+        let (model, test, _) = fitted();
+        let mut rng = StdRng::seed_from_u64(47);
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let v3 = MonitorArtifactV3 {
+            version: 3,
+            policy: MonitorPolicyV3 {
+                threshold: 0.1,
+                consecutive_violations: 2,
+                ewma_alpha: 1.0,
+            },
+            smoothed: Some(0.9),
+            violation_streak: 1,
+            batches_seen: 4,
+        };
+        let json = to_json(&v3).unwrap();
+        assert!(!json.contains("mode"), "field genuinely absent");
+        let artifact: MonitorArtifact = from_json(&json).unwrap();
+        assert_eq!(artifact.policy.mode, None);
+        let mut restored = BatchMonitor::from_artifact(artifact, predictor).unwrap();
+        assert_eq!(restored.policy().alarm_mode(), crate::AlarmMode::Threshold);
+        // Threshold-mode semantics: a relative-drop violation, no interval
+        // on the report.
+        let r = restored.observe_estimate(0.0);
+        assert!(r.raw_violation && r.interval.is_none(), "{r:?}");
+    }
+
+    #[test]
+    fn version_4_artifacts_round_trip_interval_state_bit_identically() {
+        let (model, test, serving) = fitted();
+        let mut rng = StdRng::seed_from_u64(48);
+        let gens = standard_tabular_suite(test.schema());
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &PredictorConfig::fast(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut monitor =
+            BatchMonitor::new(predictor, MonitorPolicy::default().with_interval_alarm()).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(49);
+        monitor.observe(&serving.sample_n(60, &mut rng2)).unwrap();
+        // Leave a streaming window open across the round trip.
+        monitor
+            .observe_chunk(&serving.sample_n(40, &mut rng2))
+            .unwrap();
+
+        let json = to_json(&ServingArtifact::from_monitor(&monitor)).unwrap();
+        let bundle: ServingArtifact = from_json(&json).unwrap();
+        assert_eq!(bundle.predictor.version, ARTIFACT_VERSION);
+        assert_eq!(bundle.monitor.policy.mode, Some(crate::AlarmMode::Interval));
+        let mut restored = bundle.into_monitor(Arc::clone(&model)).unwrap();
+        // Calibration residuals carried over bit for bit.
+        assert_eq!(
+            restored.predictor().calibration_residuals(),
+            monitor.predictor().calibration_residuals()
+        );
+        // Re-serializing the restored deployment is byte-identical,
+        // open window included.
+        assert_eq!(
+            to_json(&ServingArtifact::from_monitor(&restored)).unwrap(),
+            json
+        );
+        // Both monitors finish the carried-over window with the exact same
+        // interval report.
+        let extra = serving.sample_n(40, &mut rng2);
+        restored.observe_chunk(&extra).unwrap();
+        monitor.observe_chunk(&extra).unwrap();
+        let r_restored = restored.finish_window().unwrap();
+        let r_live = monitor.finish_window().unwrap();
+        assert_eq!(r_restored, r_live);
+        let iv = r_restored.interval.unwrap();
+        iv.validate().unwrap();
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::engine::{generate_training_examples_resilient, generate_training_examples_seeded};
 use crate::features::prediction_statistics;
+use crate::interval::{conformal_halfwidth, ScoreInterval, DEFAULT_INTERVAL_ALPHA};
 use crate::{CoreError, Metric};
 use lvp_corruptions::ErrorGen;
 use lvp_dataframe::DataFrame;
@@ -39,6 +40,19 @@ pub struct PredictorConfig {
     /// model skip-and-record terminally failed batches (see
     /// [`generate_batches_resilient`](crate::generate_batches_resilient)).
     pub min_batch_survival: f64,
+    /// Miscoverage rate of the predictor's score intervals: a
+    /// `1 - interval_alpha` interval (default 0.1 → a 90% interval).
+    pub interval_alpha: f64,
+    /// Split-conformal calibration stride over the Algorithm 1 training
+    /// examples: every `calibration_stride`-th example (in deterministic
+    /// task order) is held out to calibrate interval half-widths from the
+    /// held-out absolute residuals of an auxiliary forest fitted on the
+    /// rest. The *main* meta-regressor still trains on every example, so
+    /// point estimates are unchanged. The default of 2 is the standard
+    /// equal split of split-conformal calibration. A stride below 2 (or
+    /// too few held-out examples) disables conformal widening — intervals
+    /// then fall back to bare ensemble quantiles.
+    pub calibration_stride: usize,
 }
 
 impl Default for PredictorConfig {
@@ -51,6 +65,8 @@ impl Default for PredictorConfig {
             cv_folds: 5,
             parallel: true,
             min_batch_survival: 1.0,
+            interval_alpha: DEFAULT_INTERVAL_ALPHA,
+            calibration_stride: 2,
         }
     }
 }
@@ -99,7 +115,18 @@ pub struct PerformancePredictor {
     /// through a frame (`None` for `fit_from_examples`, which never sees
     /// one). Serving frames are checked against it before featurization.
     schema_fingerprint: Option<u64>,
+    /// Miscoverage rate of the predictor's score intervals.
+    interval_alpha: f64,
+    /// Sorted held-out absolute residuals of the split-conformal
+    /// calibration slice; `None` when calibration was disabled or the
+    /// slice was too small (intervals then carry no conformal widening).
+    calibration: Option<Vec<f64>>,
 }
+
+/// Minimum held-out examples for conformal calibration: below this the
+/// order-statistic half-width is dominated by sampling noise, so the
+/// predictor falls back to bare ensemble quantiles instead.
+const MIN_CALIBRATION: usize = 8;
 
 /// Checks a serving frame's schema against the fit-time fingerprint.
 pub(crate) fn check_schema_fingerprint(
@@ -212,12 +239,25 @@ impl PerformancePredictor {
         if examples.is_empty() {
             return Err(CoreError::new("no training examples generated"));
         }
+        if !(config.interval_alpha.is_finite()
+            && 0.0 < config.interval_alpha
+            && config.interval_alpha < 1.0)
+        {
+            return Err(CoreError::new(format!(
+                "interval_alpha must lie in (0, 1), got {}",
+                config.interval_alpha
+            )));
+        }
         let model_classes = model.n_classes();
         let n_feature_dims = examples[0].features.len();
         let rows: Vec<Vec<f64>> = examples.iter().map(|e| e.features.clone()).collect();
         let x = DenseMatrix::from_rows(&rows)
             .map_err(|e| CoreError::new(format!("feature matrix: {e}")))?;
         let targets: Vec<f64> = examples.iter().map(|e| e.score).collect();
+        // The main meta-regressor trains on *every* example, exactly as
+        // before intervals existed — point estimates stay bit-identical.
+        // Its forest seed is drawn first, the calibration seed after, so
+        // adding calibration never perturbs the main forest's RNG stream.
         let mut forest_rng = StdRng::seed_from_u64(rng.gen());
         let (regressor, _) = RandomForestRegressor::fit_cv(
             &x,
@@ -226,6 +266,7 @@ impl PerformancePredictor {
             config.cv_folds,
             &mut forest_rng,
         )?;
+        let calibration = Self::calibrate_residuals(&x, &targets, config, rng)?;
         Ok(Self {
             model,
             n_classes: model_classes,
@@ -234,7 +275,49 @@ impl PerformancePredictor {
             test_score,
             n_feature_dims,
             schema_fingerprint: None,
+            interval_alpha: config.interval_alpha,
+            calibration,
         })
+    }
+
+    /// Split-conformal calibration (Elder et al.): hold out every
+    /// `calibration_stride`-th training example, fit an auxiliary forest
+    /// on the rest, and record the sorted absolute residuals on the
+    /// held-out slice. The examples arrive in deterministic task order
+    /// (generator-major, clean stream last — see [`crate::engine`]), so
+    /// the index-stride split is bit-identical at any thread count.
+    fn calibrate_residuals(
+        x: &DenseMatrix,
+        targets: &[f64],
+        config: &PredictorConfig,
+        rng: &mut StdRng,
+    ) -> Result<Option<Vec<f64>>, CoreError> {
+        let stride = config.calibration_stride;
+        if stride < 2 {
+            return Ok(None);
+        }
+        let held_out: Vec<usize> = (0..x.rows()).filter(|i| i % stride == stride - 1).collect();
+        let fit_idx: Vec<usize> = (0..x.rows()).filter(|i| i % stride != stride - 1).collect();
+        if held_out.len() < MIN_CALIBRATION || fit_idx.is_empty() {
+            return Ok(None);
+        }
+        let aux_config = config
+            .forest_grid
+            .first()
+            .copied()
+            .ok_or_else(|| CoreError::new("empty forest grid"))?;
+        let mut aux_rng = StdRng::seed_from_u64(rng.gen());
+        let x_fit = x.select_rows(&fit_idx);
+        let y_fit: Vec<f64> = fit_idx.iter().map(|&i| targets[i]).collect();
+        let aux = RandomForestRegressor::fit(&x_fit, &y_fit, &aux_config, &mut aux_rng)?;
+        let predictions = aux.predict(&x.select_rows(&held_out));
+        let mut residuals: Vec<f64> = predictions
+            .iter()
+            .zip(held_out.iter().map(|&i| targets[i]))
+            .map(|(&p, y)| (p.clamp(0.0, 1.0) - y).abs())
+            .collect();
+        residuals.sort_by(f64::total_cmp);
+        Ok(Some(residuals))
     }
 
     /// Algorithm 2: estimates the model's score on an unseen, unlabeled
@@ -277,6 +360,24 @@ impl PerformancePredictor {
     /// misalign every percentile block the meta-regressor consumes, so it
     /// is rejected (in release builds too, not just under debug assertions).
     pub fn predict_from_outputs(&self, proba: &DenseMatrix) -> Result<f64, CoreError> {
+        let features = self.features_from_outputs(proba)?;
+        let x = DenseMatrix::from_rows(&[features]).expect("single feature row");
+        Ok(self.regressor.predict(&x)[0].clamp(0.0, 1.0))
+    }
+
+    /// Estimates the score from streamed sketch state — the fixed-memory
+    /// counterpart of [`Self::predict_from_outputs`] for batches built
+    /// incrementally via [`crate::BatchSketch::observe_chunk`] (or merged
+    /// from shards). Each percentile feature is within the sketches'
+    /// proven value-error bound of the exact path.
+    pub fn predict_from_sketch(&self, sketch: &crate::BatchSketch) -> Result<f64, CoreError> {
+        let features = self.features_from_sketch(sketch)?;
+        let x = DenseMatrix::from_rows(&[features]).expect("single feature row");
+        Ok(self.regressor.predict(&x)[0].clamp(0.0, 1.0))
+    }
+
+    /// Checked featurization of a raw output matrix.
+    fn features_from_outputs(&self, proba: &DenseMatrix) -> Result<Vec<f64>, CoreError> {
         if proba.cols() != self.n_classes {
             return Err(CoreError::new(format!(
                 "output matrix has {} class columns but the predictor was \
@@ -294,16 +395,11 @@ impl PerformancePredictor {
                 self.n_feature_dims
             )));
         }
-        let x = DenseMatrix::from_rows(&[features]).expect("single feature row");
-        Ok(self.regressor.predict(&x)[0].clamp(0.0, 1.0))
+        Ok(features)
     }
 
-    /// Estimates the score from streamed sketch state — the fixed-memory
-    /// counterpart of [`Self::predict_from_outputs`] for batches built
-    /// incrementally via [`crate::BatchSketch::observe_chunk`] (or merged
-    /// from shards). Each percentile feature is within the sketches'
-    /// proven value-error bound of the exact path.
-    pub fn predict_from_sketch(&self, sketch: &crate::BatchSketch) -> Result<f64, CoreError> {
+    /// Checked featurization of streamed sketch state.
+    fn features_from_sketch(&self, sketch: &crate::BatchSketch) -> Result<Vec<f64>, CoreError> {
         if sketch.n_classes() != self.n_classes {
             return Err(CoreError::new(format!(
                 "batch sketch tracks {} class columns but the predictor was \
@@ -321,8 +417,78 @@ impl PerformancePredictor {
                 self.n_feature_dims
             )));
         }
-        let x = DenseMatrix::from_rows(&[features]).expect("single feature row");
-        Ok(self.regressor.predict(&x)[0].clamp(0.0, 1.0))
+        Ok(features)
+    }
+
+    /// Algorithm 2 with uncertainty: estimates the model's score on an
+    /// unseen serving batch as a calibrated [`ScoreInterval`] — ensemble
+    /// quantiles of the forest's per-tree predictions, widened by the
+    /// split-conformal half-width calibrated at fit time. The interval's
+    /// `point` is bit-identical to what [`Self::predict`] returns.
+    pub fn predict_interval(&self, serving: &DataFrame) -> Result<ScoreInterval, CoreError> {
+        self.predict_interval_with_outputs(serving)
+            .map(|(interval, _)| interval)
+    }
+
+    /// [`Self::predict_interval`], also returning the model's raw output
+    /// matrix (the interval counterpart of [`Self::predict_with_outputs`]).
+    pub fn predict_interval_with_outputs(
+        &self,
+        serving: &DataFrame,
+    ) -> Result<(ScoreInterval, DenseMatrix), CoreError> {
+        let proba = self.model_outputs(serving)?;
+        let interval = self.predict_interval_from_outputs(&proba)?;
+        Ok((interval, proba))
+    }
+
+    /// Interval estimate directly from a batch of model outputs (the
+    /// interval counterpart of [`Self::predict_from_outputs`]).
+    pub fn predict_interval_from_outputs(
+        &self,
+        proba: &DenseMatrix,
+    ) -> Result<ScoreInterval, CoreError> {
+        let features = self.features_from_outputs(proba)?;
+        Ok(self.interval_from_feature_row(&features))
+    }
+
+    /// Interval estimate from streamed sketch state (the interval
+    /// counterpart of [`Self::predict_from_sketch`]).
+    pub fn predict_interval_from_sketch(
+        &self,
+        sketch: &crate::BatchSketch,
+    ) -> Result<ScoreInterval, CoreError> {
+        let features = self.features_from_sketch(sketch)?;
+        Ok(self.interval_from_feature_row(&features))
+    }
+
+    /// Interval construction from one featurized batch: the point is the
+    /// per-tree mean (summed in tree order — bit-identical to the point
+    /// APIs), the raw bounds are the `alpha/2` and `1 - alpha/2` ensemble
+    /// quantiles, and the conformal half-width widens them symmetrically.
+    /// Both the quantile edges and the residual order statistic budget
+    /// `alpha/2` miscoverage *per side* (a Bonferroni split of the
+    /// two-sided `alpha`), so the widened interval stays valid even though
+    /// the half-width is applied to each edge separately. Bounds are
+    /// clamped into `[0, 1]` and then snapped outward so the invariant
+    /// `lo ≤ point ≤ hi` always holds.
+    fn interval_from_feature_row(&self, features: &[f64]) -> ScoreInterval {
+        let per_tree = self.regressor.predict_per_tree_row(features);
+        let point = (per_tree.iter().sum::<f64>() / per_tree.len() as f64).clamp(0.0, 1.0);
+        let mut sorted = per_tree;
+        sorted.sort_by(f64::total_cmp);
+        let alpha = self.interval_alpha;
+        let q_lo = lvp_stats::percentile_sorted(&sorted, 100.0 * (alpha / 2.0));
+        let q_hi = lvp_stats::percentile_sorted(&sorted, 100.0 * (1.0 - alpha / 2.0));
+        let halfwidth = self
+            .calibration
+            .as_deref()
+            .map_or(0.0, |residuals| conformal_halfwidth(residuals, 0.5 * alpha));
+        ScoreInterval {
+            point,
+            lo: (q_lo - halfwidth).clamp(0.0, 1.0).min(point),
+            hi: (q_hi + halfwidth).clamp(0.0, 1.0).max(point),
+            alpha,
+        }
     }
 
     /// The model's score on the held-out test data (the reference point for
@@ -337,10 +503,29 @@ impl PerformancePredictor {
     }
 
     /// Convenience: raises an alarm when the estimated serving score drops
-    /// more than `threshold` (relative) below the test score.
+    /// below `(1.0 - threshold) * test_score` — `threshold` is a
+    /// *relative* drop fraction of the test score, not an absolute score
+    /// difference (a doc/code mismatch in earlier releases).
+    #[deprecated(
+        note = "a hand-tuned relative threshold must be widened to absorb the \
+                predictor's own calibration noise; use predict_interval (or \
+                the monitor's interval alarm policy) and check whether \
+                test_score sits inside the serving interval instead"
+    )]
     pub fn alarm(&self, serving: &DataFrame, threshold: f64) -> Result<bool, CoreError> {
         let estimate = self.predict(serving)?;
         Ok(estimate < (1.0 - threshold) * self.test_score)
+    }
+
+    /// Miscoverage rate of the predictor's score intervals.
+    pub fn interval_alpha(&self) -> f64 {
+        self.interval_alpha
+    }
+
+    /// The sorted held-out conformal calibration residuals, when
+    /// calibration ran at fit time.
+    pub fn calibration_residuals(&self) -> Option<&[f64]> {
+        self.calibration.as_deref()
     }
 
     /// Expected featurization dimensionality.
@@ -364,6 +549,7 @@ impl PerformancePredictor {
     }
 
     /// Reassembles a predictor from its parts (persistence support).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         model: Arc<dyn BlackBoxModel>,
         regressor: RandomForestRegressor,
@@ -371,6 +557,8 @@ impl PerformancePredictor {
         test_score: f64,
         n_feature_dims: usize,
         schema_fingerprint: Option<u64>,
+        interval_alpha: f64,
+        calibration: Option<Vec<f64>>,
     ) -> Self {
         Self {
             n_classes: model.n_classes(),
@@ -380,6 +568,8 @@ impl PerformancePredictor {
             test_score,
             n_feature_dims,
             schema_fingerprint,
+            interval_alpha,
+            calibration,
         }
     }
 }
@@ -433,7 +623,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn alarm_fires_only_under_corruption() {
+        // Regression test on the deprecated legacy semantics: `threshold`
+        // is a *relative* drop fraction of the test score.
         let (predictor, serving) = fitted_predictor();
         assert!(!predictor.alarm(&serving, 0.10).unwrap());
         let mut corrupted = serving.clone();
@@ -441,6 +634,123 @@ mod tests {
             corrupted.column_mut(1).set_null(row);
         }
         assert!(predictor.alarm(&corrupted, 0.10).unwrap());
+        // The legacy cutoff is relative: estimate < (1 - t) · test_score.
+        let estimate = predictor.predict(&corrupted).unwrap();
+        let relative_cutoff = (1.0 - 0.10) * predictor.test_score();
+        assert_eq!(
+            predictor.alarm(&corrupted, 0.10).unwrap(),
+            estimate < relative_cutoff
+        );
+    }
+
+    #[test]
+    fn interval_brackets_the_point_estimate_and_covers_clean_batches() {
+        let (predictor, serving) = fitted_predictor();
+        let interval = predictor.predict_interval(&serving).unwrap();
+        interval.validate().unwrap();
+        assert_eq!(interval.alpha, 0.1);
+        assert!(interval.lo <= interval.point && interval.point <= interval.hi);
+        assert!((0.0..=1.0).contains(&interval.lo) && (0.0..=1.0).contains(&interval.hi));
+        // The point is bit-identical to the point API.
+        let point = predictor.predict(&serving).unwrap();
+        assert_eq!(interval.point.to_bits(), point.to_bits());
+        // Conformal calibration ran (fast config: 25·4 + 5 = 105 examples,
+        // stride 4 → 26 held out) and widens the interval.
+        let residuals = predictor.calibration_residuals().unwrap();
+        assert!(residuals.len() >= 20, "{}", residuals.len());
+        assert!(residuals.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(interval.width() > 0.0);
+        // The calibrated 90% interval covers the test score on clean data —
+        // the honest version of the old hand-tuned threshold contract.
+        assert!(
+            interval.contains(predictor.test_score()),
+            "test score {} outside [{}, {}]",
+            predictor.test_score(),
+            interval.lo,
+            interval.hi
+        );
+    }
+
+    #[test]
+    fn corruption_pushes_the_interval_below_the_test_score() {
+        let (predictor, serving) = fitted_predictor();
+        let mut corrupted = serving.clone();
+        for row in 0..corrupted.n_rows() {
+            corrupted.column_mut(1).set_null(row);
+        }
+        let clean = predictor.predict_interval(&serving).unwrap();
+        let corrupt = predictor.predict_interval(&corrupted).unwrap();
+        assert!(corrupt.point < clean.point - 0.1);
+        assert!(
+            !corrupt.contains(predictor.test_score()),
+            "corrupted interval [{}, {}] still covers test score {}",
+            corrupt.lo,
+            corrupt.hi,
+            predictor.test_score()
+        );
+    }
+
+    #[test]
+    fn interval_paths_agree_on_outputs_and_sketches() {
+        let (predictor, serving) = fitted_predictor();
+        let (interval, proba) = predictor.predict_interval_with_outputs(&serving).unwrap();
+        let from_outputs = predictor.predict_interval_from_outputs(&proba).unwrap();
+        assert_eq!(interval, from_outputs);
+        // The sketch path answers within the sketch error bound, with the
+        // same invariants.
+        let sketch = crate::BatchSketch::from_outputs(&proba);
+        let from_sketch = predictor.predict_interval_from_sketch(&sketch).unwrap();
+        from_sketch.validate().unwrap();
+        assert!((from_sketch.point - interval.point).abs() < 0.05);
+        // Wrong-width outputs are rejected like on the point path.
+        let wide = DenseMatrix::from_vec(4, 3, vec![1.0 / 3.0; 12]).unwrap();
+        assert!(predictor.predict_interval_from_outputs(&wide).is_err());
+    }
+
+    #[test]
+    fn disabling_calibration_falls_back_to_ensemble_quantiles() {
+        let df = toy_frame(300);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, rest) = df.split_frac(0.4, &mut rng);
+        let (test, serving) = rest.split_frac(0.5, &mut rng);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
+        let gens = standard_tabular_suite(test.schema());
+        let config = PredictorConfig {
+            calibration_stride: 0,
+            ..PredictorConfig::fast()
+        };
+        let predictor = PerformancePredictor::fit(model, &test, &gens, &config, &mut rng).unwrap();
+        assert!(predictor.calibration_residuals().is_none());
+        let interval = predictor.predict_interval(&serving).unwrap();
+        interval.validate().unwrap();
+        assert!(interval.lo <= interval.point && interval.point <= interval.hi);
+    }
+
+    #[test]
+    fn invalid_interval_alpha_is_rejected_at_fit_time() {
+        let df = toy_frame(80);
+        let mut rng = StdRng::seed_from_u64(5);
+        let model: Arc<dyn BlackBoxModel> =
+            Arc::from(train_logistic_regression(&df, &mut rng).unwrap());
+        let gens = standard_tabular_suite(df.schema());
+        for alpha in [0.0, 1.0, f64::NAN] {
+            let config = PredictorConfig {
+                interval_alpha: alpha,
+                ..PredictorConfig::fast()
+            };
+            let err = match PerformancePredictor::fit(
+                Arc::clone(&model),
+                &df,
+                &gens,
+                &config,
+                &mut rng,
+            ) {
+                Err(err) => err,
+                Ok(_) => panic!("alpha {alpha} accepted"),
+            };
+            assert!(err.message.contains("interval_alpha"), "{err}");
+        }
     }
 
     #[test]

@@ -111,7 +111,7 @@ pub struct FaultPlan {
     pub poisoned: f64,
     /// Virtual latency added to every request (when a clock is attached).
     pub base_latency_nanos: u64,
-    /// Extra virtual latency of a [`FaultKind::Slow`] response.
+    /// Extra virtual latency of a `FaultKind::Slow` response.
     pub slow_latency_nanos: u64,
     /// Attempts on one key beyond which requests always succeed (poisoned
     /// keys excepted). Guarantees liveness for retrying clients.

@@ -135,6 +135,20 @@ impl RandomForestRegressor {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Per-tree predictions for one dense feature row, in tree order.
+    ///
+    /// The ensemble's point prediction is the mean of this vector, summed
+    /// in the same tree order as [`Regressor::predict`], so
+    /// `mean(predict_per_tree_row(row))` is bit-identical to
+    /// `predict(row)`. The spread of the vector is the ensemble's own
+    /// uncertainty — the raw material for quantile prediction intervals.
+    pub fn predict_per_tree_row(&self, row: &[f64]) -> Vec<f64> {
+        self.trees
+            .iter()
+            .map(|t| t.predict_dense_row(row))
+            .collect()
+    }
 }
 
 impl Regressor for RandomForestRegressor {
@@ -223,6 +237,20 @@ mod tests {
             RandomForestRegressor::fit_cv(&x, &[1.0, 2.0], &default_forest_grid(), 5, &mut rng)
                 .unwrap();
         assert!(model.n_trees() > 0);
+    }
+
+    #[test]
+    fn per_tree_predictions_mean_matches_ensemble_prediction_bitwise() {
+        let (x, y) = friedman_like(120, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let model = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), &mut rng).unwrap();
+        let ensemble = model.predict(&x);
+        for (r, expected) in ensemble.iter().enumerate() {
+            let per_tree = model.predict_per_tree_row(x.row(r));
+            assert_eq!(per_tree.len(), model.n_trees());
+            let mean = per_tree.iter().sum::<f64>() / per_tree.len() as f64;
+            assert_eq!(mean.to_bits(), expected.to_bits());
+        }
     }
 
     #[test]

@@ -453,9 +453,12 @@ impl Daemon {
         }
         let mode_count = usize::from(request.outputs.is_some())
             + usize::from(request.chunk.is_some())
-            + usize::from(request.estimate.is_some());
+            + usize::from(request.estimate.is_some())
+            + usize::from(request.interval.is_some());
         if mode_count != 1 {
-            return Response::error("observe requires exactly one of outputs, chunk or estimate");
+            return Response::error(
+                "observe requires exactly one of outputs, chunk, estimate or interval",
+            );
         }
 
         // Breaker check first: an open breaker sheds every observe form.
@@ -493,6 +496,20 @@ impl Daemon {
             self.observe_outputs(inner, &key, rows)
         } else if let Some(rows) = &request.chunk {
             self.observe_chunk(inner, &key, rows, now)
+        } else if let Some(interval) = request.interval {
+            // External intervals are validated by the monitor before they
+            // touch any alarm state; a malformed interval is a hard error
+            // that consumes no batch index.
+            let dep = inner.deployments.get_mut(&key).expect("checked above");
+            match dep.monitor.observe_interval(interval) {
+                Ok(report) => {
+                    let mut r = Response::ok();
+                    r.batches_seen = Some(dep.monitor.batches_seen());
+                    r.report = Some(report);
+                    Ok(r)
+                }
+                Err(e) => Err(Box::new(Response::error(e.to_string()))),
+            }
         } else {
             let estimate = request.estimate.expect("mode checked above");
             let dep = inner.deployments.get_mut(&key).expect("checked above");
@@ -536,12 +553,10 @@ impl Daemon {
         let dep = inner.deployments.get_mut(key).expect("checked above");
         let proba = DenseMatrix::from_rows(rows)
             .map_err(|e| Box::new(Response::error(format!("bad outputs: {e}"))))?;
-        let estimate = dep
+        let report = dep
             .monitor
-            .predictor()
-            .predict_from_outputs(&proba)
+            .observe_outputs(&proba)
             .map_err(|e| Box::new(Response::error(e.to_string())))?;
-        let report = dep.monitor.observe_estimate(estimate);
         let mut r = Response::ok();
         r.batches_seen = Some(dep.monitor.batches_seen());
         r.report = Some(report);

@@ -6,7 +6,7 @@
 //! one monitor per deployment. This crate packages that shape as a daemon:
 //!
 //! - a **registry** of monitors keyed by `(tenant, model, version)`
-//!   ([`MonitorKey`]), installed from the v3
+//!   ([`MonitorKey`]), installed from the v4
 //!   [`ServingArtifact`](lvp_core::ServingArtifact) bundles the training
 //!   pipeline persists, and saved back to the same format — open streaming
 //!   windows and all — so a daemon restart loses nothing;

@@ -8,7 +8,7 @@
 //! vendored serde: absent fields deserialize as `None`, so old clients
 //! keep working when new optional fields appear.
 
-use lvp_core::{BatchReport, ServingArtifact};
+use lvp_core::{BatchReport, ScoreInterval, ServingArtifact};
 use lvp_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 
@@ -46,7 +46,7 @@ impl std::fmt::Display for MonitorKey {
 /// | verb       | required fields                          | optional |
 /// |------------|------------------------------------------|----------|
 /// | `register` | `tenant`,`model`,`version`,`artifact`    |          |
-/// | `observe`  | key + exactly one of `outputs`/`chunk`/`estimate` | |
+/// | `observe`  | key + exactly one of `outputs`/`chunk`/`estimate`/`interval` | |
 /// | `finish`   | `tenant`,`model`,`version`               |          |
 /// | `history`  | `tenant`,`model`,`version`               | `limit`,`offset` |
 /// | `metrics`  |                                          |          |
@@ -56,8 +56,10 @@ impl std::fmt::Display for MonitorKey {
 ///
 /// `outputs` submits a full serving batch of model output rows (scored
 /// immediately), `chunk` folds output rows into the deployment's open
-/// streaming window (closed by `finish`), and `estimate` reports an
-/// externally computed score.
+/// streaming window (closed by `finish`), `estimate` reports an
+/// externally computed score, and `interval` reports an externally
+/// computed [`ScoreInterval`] (validated on entry: bounds must be all
+/// finite with `lo ≤ point ≤ hi`, or all NaN for a degraded batch).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Request {
     /// Operation selector (see the table above).
@@ -76,6 +78,9 @@ pub struct Request {
     pub chunk: Option<Vec<Vec<f64>>>,
     /// `observe`: an externally computed score estimate.
     pub estimate: Option<f64>,
+    /// `observe`: an externally computed score interval (validated by the
+    /// daemon before it is recorded).
+    pub interval: Option<ScoreInterval>,
     /// `history`: maximum reports to return (default: everything retained).
     pub limit: Option<usize>,
     /// `history`: reports to skip from the start of the retained history.
@@ -96,6 +101,7 @@ impl Request {
             outputs: None,
             chunk: None,
             estimate: None,
+            interval: None,
             limit: None,
             offset: None,
             path: None,
@@ -187,7 +193,7 @@ impl Response {
 
 /// On-disk snapshot of the whole registry: one [`ServingArtifact`] bundle
 /// per deployment, in key order. Written by the `save` verb and loaded at
-/// daemon startup; the bundled v3 artifacts round-trip monitor state —
+/// daemon startup; the bundled v4 artifacts round-trip monitor state —
 /// open streaming windows included — bit-identically.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RegistrySnapshot {
@@ -247,7 +253,7 @@ mod tests {
             model: m.into(),
             version: v.into(),
         };
-        let mut keys = vec![
+        let mut keys = [
             mk("b", "a", "v1"),
             mk("a", "z", "v1"),
             mk("a", "a", "v2"),

@@ -113,6 +113,7 @@ fn run_pipeline() -> RunSummary {
             threshold: 0.2,
             consecutive_violations: 2,
             ewma_alpha: 0.5,
+            ..MonitorPolicy::default()
         },
     )
     .unwrap();

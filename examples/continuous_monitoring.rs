@@ -54,6 +54,7 @@ fn main() {
             threshold: 0.08,
             consecutive_violations: 2,
             ewma_alpha: 0.6,
+            ..MonitorPolicy::default()
         },
     )
     .unwrap();

@@ -55,6 +55,7 @@ fn main() {
             threshold: 0.15,
             consecutive_violations: 2,
             ewma_alpha: 0.6,
+            ..MonitorPolicy::default()
         },
     )
     .unwrap();

@@ -71,8 +71,17 @@ fn main() {
         );
     }
 
+    // 6. No tuned alarm threshold needed: the predictor brackets its own
+    //    estimate with a calibrated 90% interval, and the natural alarm
+    //    question is whether the retained test score escaped it.
+    let interval = predictor.predict_interval(&serving).unwrap();
     println!(
-        "\nalarm at 5% drop on clean data: {}",
-        predictor.alarm(&serving, 0.05).unwrap()
+        "\n90% interval on clean data: [{:.3}, {:.3}] (point {:.3})",
+        interval.lo, interval.hi, interval.point
+    );
+    println!(
+        "test score {:.3} inside the serving interval: {}",
+        predictor.test_score(),
+        interval.contains(predictor.test_score())
     );
 }

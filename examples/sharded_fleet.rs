@@ -51,6 +51,7 @@ fn run_pipeline() -> (Vec<String>, String) {
             threshold: 0.2,
             consecutive_violations: 2,
             ewma_alpha: 0.5,
+            ..MonitorPolicy::default()
         },
     )
     .unwrap();

@@ -46,6 +46,7 @@ fn main() {
             threshold: 0.1,
             consecutive_violations: 2,
             ewma_alpha: 0.6,
+            ..MonitorPolicy::default()
         },
     )
     .unwrap();

@@ -173,3 +173,54 @@ fn cached_featurization_keeps_generation_deterministic() {
     assert_eq!(reference, run_with(1));
     assert_eq!(reference, run_with(4));
 }
+
+/// The calibrated interval pipeline — the deterministic calibration split,
+/// the auxiliary forest, the per-tree quantiles, the conformal half-width —
+/// must be bit-identical across reruns and thread counts, exactly like the
+/// point path it wraps.
+#[test]
+fn interval_predictions_are_bit_identical_across_thread_counts() {
+    let df = lvp::datasets::income(400, &mut StdRng::seed_from_u64(4));
+    let (source, serving) = df.split_frac(0.5, &mut StdRng::seed_from_u64(5));
+    let (train, test) = source.split_frac(0.7, &mut StdRng::seed_from_u64(6));
+
+    let run_with = |threads: usize| -> (u64, u64, u64, Vec<u64>) {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let mut rng = StdRng::seed_from_u64(11);
+                let model: Arc<dyn BlackBoxModel> =
+                    Arc::from(train_model_quick(ModelKind::Lr, &train, &mut rng).unwrap());
+                let gens = standard_tabular_suite(test.schema());
+                let predictor = PerformancePredictor::fit(
+                    model,
+                    &test,
+                    &gens,
+                    &PredictorConfig::fast(),
+                    &mut rng,
+                )
+                .unwrap();
+                let interval = predictor.predict_interval(&serving).unwrap();
+                let residuals = predictor
+                    .calibration_residuals()
+                    .expect("default config calibrates")
+                    .iter()
+                    .map(|r| r.to_bits())
+                    .collect();
+                (
+                    interval.lo.to_bits(),
+                    interval.point.to_bits(),
+                    interval.hi.to_bits(),
+                    residuals,
+                )
+            })
+    };
+
+    let one = run_with(1);
+    let four = run_with(4);
+    assert_eq!(one, four);
+    // And a rerun at the same thread count reproduces the same bits.
+    assert_eq!(four, run_with(4));
+}

@@ -1,0 +1,207 @@
+//! Statistical contract of the calibrated intervals: empirical coverage of
+//! the default 90% interval against *true* serving scores, monotone width
+//! shrinkage in the calibration budget, and the pre-v4 → v4 artifact
+//! upgrade path.
+
+use lvp_core::{conformal_halfwidth, PerformancePredictor, PredictorArtifact, PredictorConfig};
+use lvp_corruptions::standard_tabular_suite;
+use lvp_models::{train_model_quick, BlackBoxModel, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::sync::Arc;
+
+/// One fitted serving stack on the income task: the black box model, the
+/// fitted predictor and the held-back serving frame.
+fn fitted_stack(
+    seed: u64,
+) -> (
+    Arc<dyn BlackBoxModel>,
+    PerformancePredictor,
+    lvp_dataframe::DataFrame,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let df = lvp::datasets::income(600, &mut rng);
+    let (source, serving) = df.split_frac(0.5, &mut rng);
+    let (train, test) = source.split_frac(0.7, &mut rng);
+    let model: Arc<dyn BlackBoxModel> =
+        Arc::from(train_model_quick(ModelKind::Lr, &train, &mut rng).unwrap());
+    let gens = standard_tabular_suite(test.schema());
+    let predictor = PerformancePredictor::fit(
+        Arc::clone(&model),
+        &test,
+        &gens,
+        &PredictorConfig::fast(),
+        &mut rng,
+    )
+    .unwrap();
+    (model, predictor, serving)
+}
+
+/// The conformal guarantee, checked end to end: across seeds and across
+/// clean *and* corrupted serving batches, the default 90% interval must
+/// cover the model's true (label-computed) score at close to the nominal
+/// rate. The tolerance (≥ 85%) absorbs finite-sample noise; a calibration
+/// regression (wrong rank, residuals from the wrong split, quantiles on
+/// the wrong axis) lands far below it.
+#[test]
+fn ninety_percent_intervals_cover_true_scores_at_nominal_rate() {
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    for seed in [5u64, 6, 7] {
+        let (model, predictor, serving) = fitted_stack(seed);
+        let gens = standard_tabular_suite(serving.schema());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let mut check = |batch: &lvp_dataframe::DataFrame| {
+            let interval = predictor.predict_interval(batch).unwrap();
+            assert!(interval.validate().is_ok());
+            let truth = lvp::models::model_accuracy(model.as_ref(), batch);
+            total += 1;
+            covered += usize::from(interval.contains(truth));
+        };
+        for _ in 0..5 {
+            check(&serving.sample_n(200, &mut rng));
+        }
+        for gen in &gens {
+            let batch = gen.corrupt(&serving.sample_n(200, &mut rng), &mut rng);
+            check(&batch);
+        }
+    }
+    let coverage = covered as f64 / total as f64;
+    assert!(
+        coverage >= 0.85,
+        "empirical coverage {coverage:.3} ({covered}/{total}) below 0.85"
+    );
+}
+
+/// More calibration evidence must never widen the interval: on nested
+/// quantile subsamples of a *real* fitted residual pool, the conformal
+/// half-width is non-increasing in the calibration budget (the selected
+/// rank fraction ⌈(n+1)(1−α)⌉/n decreases toward 1−α as n grows).
+#[test]
+fn conformal_halfwidth_shrinks_with_the_calibration_budget() {
+    let (_, predictor, _) = fitted_stack(5);
+    let residuals = predictor
+        .calibration_residuals()
+        .expect("default config calibrates")
+        .to_vec();
+    let len = residuals.len();
+    assert!(len >= 40, "calibration pool too small: {len}");
+    // Quantile subsamples of the same empirical distribution, so only the
+    // budget n varies — not the distribution itself.
+    let subsample = |n: usize| -> Vec<f64> {
+        (1..=n)
+            .map(|i| residuals[(i * len / (n + 1)).min(len - 1)])
+            .collect()
+    };
+    // The per-side alpha the interval path actually uses. Budgets double
+    // so the selected rank *fraction* ⌈(n+1)(1−α)⌉/(n+1) decreases toward
+    // 1−α — guarded below, since an unlucky budget where (n+1)(1−α) is
+    // integral can locally break that.
+    let alpha = 0.5 * predictor.interval_alpha();
+    let budgets: Vec<usize> = [20usize, 40, 80]
+        .into_iter()
+        .filter(|&n| n <= len)
+        .collect();
+    let fraction = |n: usize| -> f64 {
+        let rank = ((n + 1) as f64 * (1.0 - alpha)).ceil().min(n as f64);
+        rank / (n + 1) as f64
+    };
+    for pair in budgets.windows(2) {
+        assert!(fraction(pair[1]) < fraction(pair[0]), "budgets not usable");
+    }
+    let widths: Vec<f64> = budgets
+        .iter()
+        .map(|&n| conformal_halfwidth(&subsample(n), alpha))
+        .collect();
+    for pair in widths.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 1e-12,
+            "width grew with calibration budget: {widths:?}"
+        );
+    }
+    assert!(widths[0] > 0.0);
+}
+
+/// Rewrites a JSON artifact through the serde `Value` tree: drops the
+/// fields a pre-v4 artifact never had and stamps the old version number,
+/// producing the byte stream an old deployment would actually ship.
+fn downgrade(json: &str, version: u32, drop: &[&str]) -> String {
+    let mut value: Value = serde_json::from_str(json).unwrap();
+    let Value::Obj(entries) = &mut value else {
+        panic!("artifact is not a JSON object")
+    };
+    entries.retain(|(key, _)| !drop.contains(&key.as_str()));
+    let slot = entries
+        .iter_mut()
+        .find(|(key, _)| key == "version")
+        .expect("artifact carries a version");
+    slot.1 = Value::Num(f64::from(version));
+    serde_json::to_string(&value).unwrap()
+}
+
+/// Every historical predictor artifact version must still load, and
+/// re-saving an upgraded artifact must produce a well-formed v4 stream
+/// whose restored predictor behaves identically: the upgrade is a pure
+/// format migration, never a behavior change.
+#[test]
+fn pre_v4_predictor_artifacts_upgrade_and_round_trip_as_v4() {
+    let (model, predictor, serving) = fitted_stack(6);
+    let batch = {
+        let mut rng = StdRng::seed_from_u64(60);
+        serving.sample_n(200, &mut rng)
+    };
+    let v4_json = serde_json::to_string(&predictor.to_artifact()).unwrap();
+    let v4_fields = ["interval_alpha", "calibration_residuals"];
+
+    for version in 1..=3u32 {
+        // v1 additionally predates the class count and schema fingerprint;
+        // dropping them too reproduces that stream faithfully (both are
+        // Option fields that default on absence).
+        let drop: Vec<&str> = match version {
+            1 => v4_fields
+                .iter()
+                .chain(&["n_classes", "schema_fingerprint"])
+                .copied()
+                .collect(),
+            _ => v4_fields.to_vec(),
+        };
+        let old_json = downgrade(&v4_json, version, &drop);
+        let artifact: PredictorArtifact = serde_json::from_str(&old_json).unwrap();
+        assert_eq!(artifact.version, version);
+        let restored = PerformancePredictor::from_artifact(artifact, Arc::clone(&model)).unwrap();
+        // Point estimates are bit-identical; the interval degrades to
+        // quantile-only (no conformal residuals survived).
+        assert_eq!(
+            restored.predict(&batch).unwrap().to_bits(),
+            predictor.predict(&batch).unwrap().to_bits(),
+            "v{version} point estimate drifted"
+        );
+        assert!(restored.calibration_residuals().is_none());
+
+        // Upgrade: re-save → a v4 stream → reload → identical behavior.
+        let upgraded_json = serde_json::to_string(&restored.to_artifact()).unwrap();
+        let upgraded: PredictorArtifact = serde_json::from_str(&upgraded_json).unwrap();
+        assert_eq!(upgraded.version, lvp_core::ARTIFACT_VERSION);
+        let reloaded = PerformancePredictor::from_artifact(upgraded, Arc::clone(&model)).unwrap();
+        let a = restored.predict_interval(&batch).unwrap();
+        let b = reloaded.predict_interval(&batch).unwrap();
+        assert_eq!(
+            (a.lo.to_bits(), a.point.to_bits(), a.hi.to_bits()),
+            (b.lo.to_bits(), b.point.to_bits(), b.hi.to_bits()),
+            "v{version} upgrade changed the interval"
+        );
+    }
+
+    // The calibrated v4 interval is genuinely wider than the quantile-only
+    // interval an upgraded pre-v4 artifact can produce.
+    let v3_restored = PerformancePredictor::from_artifact(
+        serde_json::from_str(&downgrade(&v4_json, 3, &v4_fields)).unwrap(),
+        Arc::clone(&model),
+    )
+    .unwrap();
+    assert!(
+        v3_restored.predict_interval(&batch).unwrap().width()
+            < predictor.predict_interval(&batch).unwrap().width()
+    );
+}

@@ -55,6 +55,7 @@ fn monitor_pages_only_on_sustained_breakage() {
             threshold: 0.15,
             consecutive_violations: 2,
             ewma_alpha: 1.0,
+            ..MonitorPolicy::default()
         },
     )
     .unwrap();

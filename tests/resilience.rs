@@ -71,6 +71,7 @@ fn run_chaos_pipeline(parallel: bool) -> (Vec<BatchReport>, FaultStats) {
             threshold: 0.2,
             consecutive_violations: 2,
             ewma_alpha: 0.5,
+            ..MonitorPolicy::default()
         },
     )
     .unwrap();

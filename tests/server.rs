@@ -215,3 +215,143 @@ fn two_tenants_end_to_end_with_shedding_persistence_and_determinism() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A serving artifact whose monitor runs the calibrated interval alarm
+/// policy instead of a tuned threshold.
+fn interval_serving_artifact() -> ServingArtifact {
+    let df = toy_frame(220);
+    let mut rng = StdRng::seed_from_u64(23);
+    let (train, rest) = df.split_frac(0.4, &mut rng);
+    let (test, _serving) = rest.split_frac(0.5, &mut rng);
+    let model: Arc<dyn BlackBoxModel> =
+        Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
+    let gens = standard_tabular_suite(test.schema());
+    let predictor = PerformancePredictor::fit(
+        Arc::clone(&model),
+        &test,
+        &gens,
+        &PredictorConfig::fast(),
+        &mut rng,
+    )
+    .unwrap();
+    let monitor =
+        BatchMonitor::new(predictor, MonitorPolicy::default().with_interval_alarm()).unwrap();
+    ServingArtifact::from_monitor(&monitor)
+}
+
+/// Drives one interval-policy deployment over loopback: scored outputs and
+/// externally supplied intervals flow in, calibrated intervals and interval
+/// telemetry flow out, and malformed intervals are rejected without
+/// consuming a batch index. Returns the deterministic metrics JSON.
+fn run_interval_session(artifact: &ServingArtifact) -> String {
+    let daemon = Arc::new(Daemon::new(config()));
+    let server = Server::spawn(Arc::clone(&daemon), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut req = Request::targeted("register", &key("acme"));
+    req.artifact = Some(artifact.clone());
+    assert!(client.call(&req).unwrap().is_ok());
+
+    // A scored output batch carries the daemon-computed interval.
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.outputs = Some(chunk_rows(24, 0.0));
+    let resp = client.call(&req).unwrap();
+    assert!(resp.is_ok());
+    let report = resp.report.unwrap();
+    let interval = report.interval.expect("interval policy reports carry one");
+    assert!(interval.validate().is_ok());
+    assert!(interval.lo <= interval.point && interval.point <= interval.hi);
+    assert_eq!(report.estimate.to_bits(), interval.point.to_bits());
+
+    // An externally computed interval is accepted verbatim...
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.interval = Some(lvp_core::ScoreInterval {
+        point: 0.8,
+        lo: 0.7,
+        hi: 0.9,
+        alpha: 0.1,
+    });
+    let resp = client.call(&req).unwrap();
+    assert!(resp.is_ok());
+    assert_eq!(resp.report.unwrap().interval.unwrap().lo, 0.7);
+    assert_eq!(resp.batches_seen, Some(2));
+
+    // ...but a malformed one is a hard error that consumes no batch index.
+    for (bad, needle) in [
+        (
+            lvp_core::ScoreInterval {
+                point: 0.8,
+                lo: 0.9,
+                hi: 0.7,
+                alpha: 0.1,
+            },
+            "lo ≤ point ≤ hi",
+        ),
+        (
+            lvp_core::ScoreInterval {
+                point: f64::NAN,
+                lo: 0.7,
+                hi: 0.9,
+                alpha: 0.1,
+            },
+            "all finite or all NaN",
+        ),
+    ] {
+        let mut req = Request::targeted("observe", &key("acme"));
+        req.interval = Some(bad);
+        let resp = client.call(&req).unwrap();
+        assert_eq!(resp.status, "error");
+        assert!(
+            resp.message.as_ref().unwrap().contains(needle),
+            "{:?}",
+            resp.message
+        );
+    }
+
+    // A degraded (all-NaN) interval is quarantined, not rejected.
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.interval = Some(lvp_core::ScoreInterval::degraded(0.1));
+    let resp = client.call(&req).unwrap();
+    assert!(resp.is_ok());
+    let report = resp.report.unwrap();
+    assert!(report.degraded && report.estimate.is_nan());
+    assert_eq!(resp.batches_seen, Some(3));
+
+    // Exactly one observe payload, interval included in the arity rule.
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.estimate = Some(0.8);
+    req.interval = Some(lvp_core::ScoreInterval {
+        point: 0.8,
+        lo: 0.7,
+        hi: 0.9,
+        alpha: 0.1,
+    });
+    let resp = client.call(&req).unwrap();
+    assert_eq!(resp.status, "error");
+    assert!(resp.message.unwrap().contains("exactly one"));
+
+    // Interval telemetry is exported under the tenant prefix.
+    let metrics = client
+        .call(&Request::new("metrics"))
+        .unwrap()
+        .metrics
+        .unwrap();
+    let metrics_json = serde_json::to_string(&metrics).unwrap();
+    assert!(metrics_json.contains("tenant.acme.churn.v2.monitor.interval_width"));
+    assert!(metrics_json.contains("tenant.acme.churn.v2.monitor.coverage_violations"));
+
+    assert!(client.call(&Request::new("shutdown")).unwrap().is_ok());
+    drop(client);
+    server.join();
+    metrics_json
+}
+
+#[test]
+fn interval_policy_deployments_serve_intervals_over_the_wire() {
+    let artifact = interval_serving_artifact();
+    // Identical sessions must produce byte-identical interval telemetry:
+    // the calibrated interval pipeline adds no nondeterminism to the wire.
+    let metrics_a = run_interval_session(&artifact);
+    let metrics_b = run_interval_session(&artifact);
+    assert_eq!(metrics_a, metrics_b);
+}

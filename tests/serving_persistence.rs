@@ -211,6 +211,7 @@ fn restored_monitor_alarms_on_schedule_across_restart() {
         threshold: 0.2,
         consecutive_violations: 3,
         ewma_alpha: 1.0,
+        ..MonitorPolicy::default()
     };
     let mut monitor = BatchMonitor::new(predictor, policy).unwrap();
     monitor.observe_estimate(0.0);
