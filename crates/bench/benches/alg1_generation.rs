@@ -73,6 +73,33 @@ fn bench_alg1_generation(c: &mut Criterion) {
     c.bench_function("alg1_generation_parallel_instrumented", |b| {
         b.iter(|| run_instrumented(true))
     });
+
+    // Tree-backed black box: the same loop but every corrupted copy is
+    // scored through the GBDT's blocked tree traversal instead of the
+    // logistic regression's matmul.
+    let xgb: Arc<dyn BlackBoxModel> = Arc::from(
+        train_model_quick(ModelKind::Xgb, &train, &mut StdRng::seed_from_u64(7)).unwrap(),
+    );
+    let run_xgb = |parallel: bool| {
+        generate_training_examples_seeded(
+            xgb.as_ref(),
+            &test,
+            &gens,
+            25,
+            5,
+            Metric::Accuracy,
+            42,
+            parallel,
+        )
+        .expect("accuracy metric fits any class count")
+    };
+    assert_eq!(run_xgb(false), run_xgb(true));
+    c.bench_function("alg1_generation_sequential_xgb_4gens_x25", |b| {
+        b.iter(|| run_xgb(false))
+    });
+    c.bench_function("alg1_generation_parallel_xgb_4gens_x25", |b| {
+        b.iter(|| run_xgb(true))
+    });
 }
 
 criterion_group! {

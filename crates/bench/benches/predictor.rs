@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lvp_core::{PerformancePredictor, PredictorConfig};
 use lvp_corruptions::standard_tabular_suite;
+use lvp_models::tree::SplitMethod;
 use lvp_models::{train_model_quick, BlackBoxModel, ModelKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,6 +27,20 @@ fn bench_predictor(c: &mut Criterion) {
         b.iter(|| {
             let mut fit_rng = StdRng::seed_from_u64(2);
             PerformancePredictor::fit(Arc::clone(&model), &test, &gens, &cfg, &mut fit_rng).unwrap()
+        })
+    });
+
+    // Same fit with the exact split finder as the meta-forest oracle — the
+    // histogram-vs-exact gap on the hot predictor-fit path.
+    let mut cfg_exact = cfg.clone();
+    for forest_cfg in &mut cfg_exact.forest_grid {
+        forest_cfg.split_method = SplitMethod::Exact;
+    }
+    c.bench_function("predictor_fit_income_240_test_rows_exact_splits", |b| {
+        b.iter(|| {
+            let mut fit_rng = StdRng::seed_from_u64(2);
+            PerformancePredictor::fit(Arc::clone(&model), &test, &gens, &cfg_exact, &mut fit_rng)
+                .unwrap()
         })
     });
 

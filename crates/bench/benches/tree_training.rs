@@ -1,0 +1,83 @@
+//! Criterion bench: exact vs histogram split finding for tree-ensemble
+//! training, at a small and a large training-set size.
+//!
+//! The small size brackets the crossover: with few rows the per-node sort
+//! of the exact finder is cheap and binning overhead matters relatively
+//! more; at realistic sizes the histogram finder's one-pass accumulation
+//! plus the subtract trick dominate. Numbers live in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lvp_linalg::{CsrMatrix, DenseMatrix};
+use lvp_models::forest::{ForestConfig, RandomForestRegressor};
+use lvp_models::gbdt::{GbdtClassifier, GbdtConfig};
+use lvp_models::tree::SplitMethod;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_regression(n: usize, d: usize, seed: u64) -> (DenseMatrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| r[0] * r[1] + r[2].sin() + 0.5 * r[3])
+        .collect();
+    (DenseMatrix::from_rows(&rows).unwrap(), y)
+}
+
+fn synthetic_classification(n: usize, d: usize, seed: u64) -> (CsrMatrix, Vec<u32>) {
+    let (x, y) = synthetic_regression(n, d, seed);
+    let labels: Vec<u32> = y.iter().map(|&v| u32::from(v > 0.0)).collect();
+    (CsrMatrix::from_dense(&x), labels)
+}
+
+fn bench_tree_training(c: &mut Criterion) {
+    for (n, d) in [(200, 16), (1_500, 16)] {
+        let (x, y) = synthetic_regression(n, d, 1);
+        for method in [SplitMethod::Exact, SplitMethod::Histogram] {
+            let cfg = ForestConfig {
+                n_trees: 10,
+                split_method: method,
+                ..ForestConfig::default()
+            };
+            let tag = match method {
+                SplitMethod::Exact => "exact",
+                SplitMethod::Histogram => "hist",
+            };
+            c.bench_function(&format!("forest_fit_{n}x{d}_10_trees_{tag}"), |b| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    RandomForestRegressor::fit(&x, &y, &cfg, &mut rng).unwrap()
+                })
+            });
+        }
+    }
+
+    let (x, labels) = synthetic_classification(1_200, 24, 3);
+    for method in [SplitMethod::Exact, SplitMethod::Histogram] {
+        let cfg = GbdtConfig {
+            n_rounds: 20,
+            max_depth: 4,
+            split_method: method,
+            ..GbdtConfig::default()
+        };
+        let tag = match method {
+            SplitMethod::Exact => "exact",
+            SplitMethod::Histogram => "hist",
+        };
+        c.bench_function(&format!("gbdt_fit_1200x24_20_rounds_{tag}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(4);
+                GbdtClassifier::fit(&x, &labels, 2, &cfg, &mut rng).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tree_training
+}
+criterion_main!(benches);

@@ -12,6 +12,17 @@
 
 use crate::{shape_err, ShapeError};
 
+/// Iterates `0..n_rows` in contiguous chunks of at most `block` rows — the
+/// shared row-blocking helper behind the blocked inference kernels (tree
+/// ensembles walk all trees over one cache-sized row block before moving
+/// to the next). A `block` of zero is treated as one.
+pub fn row_blocks(n_rows: usize, block: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    let block = block.max(1);
+    (0..n_rows)
+        .step_by(block)
+        .map(move |start| start..(start + block).min(n_rows))
+}
+
 /// Sorts `pairs` by index, merges duplicates, drops zeros and appends the
 /// result to `indices`/`values`, validating every index against `bound`.
 ///

@@ -3,6 +3,14 @@
 use crate::{shape_err, ShapeError};
 use rayon::prelude::*;
 
+/// Output-width cutover between [`DenseMatrix::matmul`]'s two
+/// bit-identical kernels. Wide outputs vectorize the streaming kernel's
+/// inner loop across output columns (and its zero-skip rides ReLU
+/// sparsity in the lhs); at or below this width that loop is too narrow
+/// to vectorize, and the transpose-packed kernel's branch-free dot
+/// products over contiguous panels win instead.
+const PACKED_MATMUL_MAX_COLS: usize = 16;
+
 /// A row-major dense matrix of `f64` values.
 ///
 /// This is the exchange type for model outputs across the workspace: a batch
@@ -144,6 +152,27 @@ impl DenseMatrix {
     }
 
     /// Dense matrix multiplication `self * other`, parallelized over rows.
+    ///
+    /// Two kernels, dispatched on output width (see
+    /// [`PACKED_MATMUL_MAX_COLS`]): a *streaming* kernel that makes one
+    /// pass over `k` per row, vectorizing across output columns and
+    /// skipping zero entries of `self` (ReLU activations make `self`
+    /// sparse in practice), and — for narrow outputs, where that inner
+    /// loop cannot vectorize — a *packed* kernel that transposes `other`
+    /// once and accumulates four branch-free dot products over contiguous
+    /// panels per pass. Every output cell is the `k`-ascending sum over
+    /// the row either way, so the kernels agree bit for bit and the
+    /// dispatch is purely a performance choice.
+    ///
+    /// **Contract:** `other` must be finite. The streaming kernel's skip
+    /// of `a == 0.0` drops IEEE propagation of NaN/∞ *from `other`*
+    /// through zero entries of `self` (`0 · NaN` is NaN, but the skip
+    /// never multiplies), so a poisoned `other` may go partially
+    /// unnoticed — and the packed kernel relies on the same contract for
+    /// its skipless sums to match (`x + 0·b = x` requires finite `b`).
+    /// Non-finite entries of `self` still propagate normally into every
+    /// output column they touch. Debug builds assert the contract;
+    /// release builds skip the check on the hot path.
     pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, ShapeError> {
         if self.cols != other.rows {
             return Err(shape_err(format!(
@@ -151,22 +180,74 @@ impl DenseMatrix {
                 self.rows, self.cols, other.rows, other.cols
             )));
         }
+        debug_assert!(
+            other.data.iter().all(|v| v.is_finite()),
+            "matmul rhs must be finite: the zero-skip fast path cannot \
+             propagate NaN/inf through zero entries of the lhs"
+        );
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
         let oc = other.cols;
-        out.data
-            .par_chunks_mut(oc.max(1))
-            .zip(self.data.par_chunks(self.cols.max(1)))
-            .for_each(|(out_row, a_row)| {
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
+        // Both kernels accumulate each output cell as the k-ascending
+        // sum over the lhs row, so the dispatch is purely a performance
+        // choice (see PACKED_MATMUL_MAX_COLS): narrow outputs — MLP
+        // heads, binary-class logits — take the packed kernel, wide ones
+        // the streaming kernel.
+        if oc <= PACKED_MATMUL_MAX_COLS {
+            let packed = other.transpose();
+            out.data
+                .par_chunks_mut(oc.max(1))
+                .zip(self.data.par_chunks(self.cols.max(1)))
+                .for_each(|(out_row, a_row)| {
+                    // No zero-skip here: with a finite rhs, adding the
+                    // `±0.0` products of skipped entries cannot change any
+                    // sum (the accumulator never goes negative-zero), so
+                    // this branch-free loop is bit-identical to the
+                    // streaming kernel — and it vectorizes.
+                    let mut j = 0;
+                    while j + 4 <= oc {
+                        let b0 = packed.row(j);
+                        let b1 = packed.row(j + 1);
+                        let b2 = packed.row(j + 2);
+                        let b3 = packed.row(j + 3);
+                        let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                        for (k, &a) in a_row.iter().enumerate() {
+                            s0 += a * b0[k];
+                            s1 += a * b1[k];
+                            s2 += a * b2[k];
+                            s3 += a * b3[k];
+                        }
+                        out_row[j] = s0;
+                        out_row[j + 1] = s1;
+                        out_row[j + 2] = s2;
+                        out_row[j + 3] = s3;
+                        j += 4;
                     }
-                    let b_row = &other.data[k * oc..(k + 1) * oc];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
+                    while j < oc {
+                        let bj = packed.row(j);
+                        let mut s = 0.0;
+                        for (k, &a) in a_row.iter().enumerate() {
+                            s += a * bj[k];
+                        }
+                        out_row[j] = s;
+                        j += 1;
                     }
-                }
-            });
+                });
+        } else {
+            out.data
+                .par_chunks_mut(oc.max(1))
+                .zip(self.data.par_chunks(self.cols.max(1)))
+                .for_each(|(out_row, a_row)| {
+                    for (k, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[k * oc..(k + 1) * oc];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                });
+        }
         Ok(out)
     }
 
@@ -290,6 +371,66 @@ mod tests {
         let a = DenseMatrix::zeros(2, 3);
         let b = DenseMatrix::zeros(2, 3);
         assert!(a.matmul(&b).is_err());
+    }
+
+    /// The documented matmul contract: non-finite rhs entries are a caller
+    /// bug, rejected up front in debug builds — the zero-skip fast path
+    /// cannot propagate them through zero lhs entries.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "matmul rhs must be finite")]
+    fn matmul_rejects_non_finite_rhs_in_debug() {
+        let a = DenseMatrix::from_vec(1, 2, vec![0.0, 1.0]).unwrap();
+        let b = DenseMatrix::from_vec(2, 1, vec![f64::NAN, 2.0]).unwrap();
+        let _ = a.matmul(&b);
+    }
+
+    /// Non-finite *lhs* entries are never skipped and poison every output
+    /// column they touch, as IEEE semantics demand.
+    #[test]
+    fn matmul_propagates_non_finite_lhs() {
+        let a = DenseMatrix::from_vec(1, 2, vec![f64::NAN, 1.0]).unwrap();
+        let b = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.data().iter().all(|v| v.is_nan()));
+    }
+
+    /// The register-blocked kernel accumulates each output cell in the
+    /// same k-ascending zero-skip order as a naive loop, so results are
+    /// bit-identical for every output width (quad main loop + remainder).
+    #[test]
+    fn matmul_register_blocking_matches_naive_bitwise() {
+        // Output widths straddle PACKED_MATMUL_MAX_COLS so both the packed
+        // kernel (narrow, incl. remainder-loop widths) and the streaming
+        // kernel (wide) are checked against the zero-skip reference.
+        let k_dim = 13;
+        for oc in (1..=9).chain([15, 16, 17, 24, 33]) {
+            let mut state = 0x2545F4914F6CDD1Du64;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64) / f64::from(1u32 << 31) - 1.0
+            };
+            let a_data: Vec<f64> = (0..3 * k_dim)
+                .map(|i| if i % 3 == 0 { 0.0 } else { next() })
+                .collect();
+            let b_data: Vec<f64> = (0..k_dim * oc).map(|_| next()).collect();
+            let a = DenseMatrix::from_vec(3, k_dim, a_data).unwrap();
+            let b = DenseMatrix::from_vec(k_dim, oc, b_data).unwrap();
+            let fast = a.matmul(&b).unwrap();
+            for r in 0..3 {
+                for j in 0..oc {
+                    let mut s = 0.0;
+                    for k in 0..k_dim {
+                        let av = a.get(r, k);
+                        if av == 0.0 {
+                            continue;
+                        }
+                        s += av * b.get(k, j);
+                    }
+                    assert_eq!(fast.get(r, j).to_bits(), s.to_bits(), "cell ({r}, {j})");
+                }
+            }
+        }
     }
 
     #[test]

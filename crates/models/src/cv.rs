@@ -29,6 +29,11 @@ pub fn kfold_indices(n: usize, k: usize, rng: &mut impl Rng) -> Vec<(Vec<usize>,
 /// Exhaustive grid search: evaluates `score_fn(candidate)` (higher is
 /// better) for every candidate and returns the best one with its score.
 ///
+/// NaN scores lose explicitly: a NaN never replaces an incumbent, and any
+/// non-NaN score replaces a NaN incumbent. (With a plain `s > best`
+/// comparison a NaN incumbent — e.g. from an accuracy over an empty
+/// validation fold — would silently win against every later candidate.)
+///
 /// Panics on an empty grid — a grid search without candidates is a bug at
 /// the call site.
 pub fn grid_search_max<C: Clone>(
@@ -41,7 +46,7 @@ pub fn grid_search_max<C: Clone>(
         let s = score_fn(c);
         let better = match &best {
             None => true,
-            Some((_, bs)) => s > *bs,
+            Some((_, bs)) => s > *bs || (bs.is_nan() && !s.is_nan()),
         };
         if better {
             best = Some((c.clone(), s));
@@ -94,5 +99,35 @@ mod tests {
     #[should_panic(expected = "empty hyperparameter grid")]
     fn grid_search_rejects_empty_grid() {
         grid_search_max::<u8>(&[], |_| 0.0);
+    }
+
+    /// Satellite-2 regression test: a NaN score for the first candidate
+    /// must not shadow every later finite score.
+    #[test]
+    fn nan_incumbent_loses_to_any_finite_score() {
+        let grid = [1, 2, 3];
+        let (best, score) = grid_search_max(&grid, |&c| match c {
+            1 => f64::NAN,
+            2 => -5.0,
+            _ => -7.0,
+        });
+        assert_eq!(best, 2);
+        assert_eq!(score, -5.0);
+    }
+
+    #[test]
+    fn nan_candidate_never_replaces_finite_incumbent() {
+        let grid = [1, 2];
+        let (best, score) = grid_search_max(&grid, |&c| if c == 1 { 0.5 } else { f64::NAN });
+        assert_eq!(best, 1);
+        assert_eq!(score, 0.5);
+    }
+
+    #[test]
+    fn all_nan_scores_fall_back_to_first_candidate() {
+        let grid = [7, 8];
+        let (best, score) = grid_search_max(&grid, |_| f64::NAN);
+        assert_eq!(best, 7);
+        assert!(score.is_nan());
     }
 }

@@ -3,9 +3,10 @@
 //! and a grid search over the number of trees, minimizing MAE).
 
 use crate::cv::{grid_search_max, kfold_indices};
-use crate::tree::{DenseColumns, RegressionTree, TreeParams};
+use crate::gbdt::PREDICT_ROW_BLOCK;
+use crate::tree::{RegressionTree, SplitMethod, TrainingColumns, TreeParams};
 use crate::{ModelError, Regressor};
-use lvp_linalg::DenseMatrix;
+use lvp_linalg::{row_blocks, DenseMatrix};
 use rand::Rng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -21,6 +22,9 @@ pub struct ForestConfig {
     pub min_samples_leaf: usize,
     /// Fraction of features considered per split.
     pub colsample: f64,
+    /// Split-candidate enumeration strategy (histogram by default; exact
+    /// enumeration is kept as the oracle).
+    pub split_method: SplitMethod,
 }
 
 impl Default for ForestConfig {
@@ -30,6 +34,7 @@ impl Default for ForestConfig {
             max_depth: 12,
             min_samples_leaf: 2,
             colsample: 0.4,
+            split_method: SplitMethod::default(),
         }
     }
 }
@@ -67,7 +72,7 @@ impl RandomForestRegressor {
             return Err(ModelError::new("cannot fit on an empty dataset"));
         }
         let n = x.rows();
-        let columns = DenseColumns::from_dense(x);
+        let columns = TrainingColumns::from_dense(x, config.split_method);
         // Regression via the Newton formulation: grad = -y, hess = 1.
         let grad: Vec<f64> = targets.iter().map(|t| -t).collect();
         let hess = vec![1.0; n];
@@ -149,20 +154,38 @@ impl RandomForestRegressor {
             .map(|t| t.predict_dense_row(row))
             .collect()
     }
+
+    /// Per-tree predictions for every row of `x` as an
+    /// `n_rows × n_trees` matrix, computed with blocked traversal. Row `r`
+    /// equals [`Self::predict_per_tree_row`] on `x.row(r)` bit-for-bit.
+    pub fn predict_per_tree(&self, x: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(x.rows(), self.trees.len());
+        for block in row_blocks(x.rows(), PREDICT_ROW_BLOCK) {
+            for (t, tree) in self.trees.iter().enumerate() {
+                for r in block.clone() {
+                    out.set(r, t, tree.predict_dense_row(x.row(r)));
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Regressor for RandomForestRegressor {
+    /// Blocked traversal (all trees per row block); per row the tree
+    /// outputs still sum in tree order, so the mean is bit-identical to
+    /// row-at-a-time prediction.
     fn predict(&self, x: &DenseMatrix) -> Vec<f64> {
-        (0..x.rows())
-            .map(|r| {
-                let row = x.row(r);
-                self.trees
-                    .iter()
-                    .map(|t| t.predict_dense_row(row))
-                    .sum::<f64>()
-                    / self.trees.len() as f64
-            })
-            .collect()
+        let mut sums = vec![0.0; x.rows()];
+        for block in row_blocks(x.rows(), PREDICT_ROW_BLOCK) {
+            for tree in &self.trees {
+                for r in block.clone() {
+                    sums[r] += tree.predict_dense_row(x.row(r));
+                }
+            }
+        }
+        let k = self.trees.len() as f64;
+        sums.into_iter().map(|s| s / k).collect()
     }
 }
 
@@ -245,12 +268,39 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let model = RandomForestRegressor::fit(&x, &y, &ForestConfig::default(), &mut rng).unwrap();
         let ensemble = model.predict(&x);
+        let per_tree_matrix = model.predict_per_tree(&x);
+        assert_eq!(per_tree_matrix.cols(), model.n_trees());
         for (r, expected) in ensemble.iter().enumerate() {
             let per_tree = model.predict_per_tree_row(x.row(r));
             assert_eq!(per_tree.len(), model.n_trees());
             let mean = per_tree.iter().sum::<f64>() / per_tree.len() as f64;
             assert_eq!(mean.to_bits(), expected.to_bits());
+            // The batch matrix is the row-at-a-time vector, bit for bit.
+            for (t, v) in per_tree.iter().enumerate() {
+                assert_eq!(per_tree_matrix.get(r, t).to_bits(), v.to_bits());
+            }
         }
+    }
+
+    #[test]
+    fn exact_and_histogram_splits_reach_similar_error() {
+        let (x, y) = friedman_like(400, 13);
+        let mut mae = [0.0f64; 2];
+        for (slot, method) in [SplitMethod::Exact, SplitMethod::Histogram]
+            .into_iter()
+            .enumerate()
+        {
+            let cfg = ForestConfig {
+                split_method: method,
+                ..ForestConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(14);
+            let model = RandomForestRegressor::fit(&x, &y, &cfg, &mut rng).unwrap();
+            mae[slot] = lvp_stats::mean_absolute_error(&model.predict(&x), &y);
+        }
+        assert!(mae[0] < 0.15, "exact MAE {}", mae[0]);
+        assert!(mae[1] < 0.15, "histogram MAE {}", mae[1]);
+        assert!((mae[0] - mae[1]).abs() < 0.05, "parity gap {mae:?}");
     }
 
     #[test]

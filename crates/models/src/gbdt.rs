@@ -3,8 +3,9 @@
 //! round, XGBoost-style.
 
 use crate::cv::{grid_search_max, kfold_indices};
-use crate::tree::{DenseColumns, RegressionTree, TreeParams};
+use crate::tree::{RegressionTree, SplitMethod, TrainingColumns, TreeParams};
 use crate::{one_hot_labels, Classifier, ModelError, Regressor};
+use lvp_linalg::row_blocks;
 use lvp_linalg::{stable_softmax, CsrMatrix, DenseMatrix};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -27,6 +28,9 @@ pub struct GbdtConfig {
     pub subsample: f64,
     /// Minimum examples per leaf.
     pub min_samples_leaf: usize,
+    /// Split-candidate enumeration strategy (histogram by default; exact
+    /// enumeration is kept as the oracle).
+    pub split_method: SplitMethod,
 }
 
 impl Default for GbdtConfig {
@@ -39,6 +43,7 @@ impl Default for GbdtConfig {
             colsample: 0.8,
             subsample: 0.9,
             min_samples_leaf: 2,
+            split_method: SplitMethod::default(),
         }
     }
 }
@@ -96,7 +101,7 @@ impl GbdtClassifier {
         }
         let n = x.rows();
         let m = n_classes;
-        let columns = DenseColumns::from_csr(x);
+        let columns = TrainingColumns::from_csr(x, config.split_method);
         let y = one_hot_labels(labels, m);
         let mut logits = DenseMatrix::zeros(n, m);
         let mut trees: Vec<Vec<RegressionTree>> = Vec::with_capacity(config.n_rounds);
@@ -146,6 +151,17 @@ impl GbdtClassifier {
         k_folds: usize,
         rng: &mut impl Rng,
     ) -> Result<(Self, GbdtConfig), ModelError> {
+        if x.rows() < k_folds {
+            // Too little data to cross-validate: some validation folds
+            // would be empty, making fold accuracy NaN and poisoning the
+            // grid search. Fall back to the first configuration, like
+            // `RandomForestRegressor::fit_cv`.
+            let cfg = grid
+                .first()
+                .copied()
+                .ok_or_else(|| ModelError::new("empty gbdt grid"))?;
+            return Ok((Self::fit(x, labels, n_classes, &cfg, rng)?, cfg));
+        }
         let folds = kfold_indices(x.rows(), k_folds, rng);
         let mut seeds: Vec<u64> = (0..grid.len()).map(|_| rng.gen()).collect();
         let (best, _) = grid_search_max(grid, |cfg| {
@@ -174,15 +190,68 @@ impl GbdtClassifier {
     }
 }
 
+/// Rows per block for blocked tree traversal: small enough that a block of
+/// dense scratch rows stays cache-resident while every tree walks it.
+pub(crate) const PREDICT_ROW_BLOCK: usize = 64;
+
+/// Widest matrix for which blocked inference materializes CSR rows into a
+/// dense scratch block (beyond this the scratch no longer pays for itself).
+const DENSE_SCRATCH_MAX_COLS: usize = 4096;
+
 impl Classifier for GbdtClassifier {
+    /// Blocked traversal: rows are visited in cache-sized blocks and every
+    /// tree walks the whole block before the next block is touched, so
+    /// tree nodes stay hot across rows. For matrices of moderate width the
+    /// block's CSR rows are first materialized into a dense scratch
+    /// buffer, replacing the per-node `binary_search` of
+    /// [`RegressionTree::predict_row`] with direct indexing.
+    ///
+    /// Per (row, class) the logit accumulates in round order — exactly the
+    /// order of row-at-a-time traversal — so results are bit-identical to
+    /// the unblocked implementation.
     fn predict_proba(&self, x: &CsrMatrix) -> DenseMatrix {
         let mut logits = DenseMatrix::zeros(x.rows(), self.n_classes);
-        for r in 0..x.rows() {
-            let (idx, vals) = x.row(r);
+        let width = x.cols();
+        let max_feature = self
+            .trees
+            .iter()
+            .flatten()
+            .filter_map(RegressionTree::max_feature)
+            .max();
+        // The scratch path indexes rows directly by feature, so every
+        // split feature must fit inside the materialized width.
+        let densify = width <= DENSE_SCRATCH_MAX_COLS && max_feature.is_none_or(|f| f < width);
+        let mut scratch = vec![
+            0.0;
+            if densify {
+                PREDICT_ROW_BLOCK * width
+            } else {
+                0
+            }
+        ];
+        for block in row_blocks(x.rows(), PREDICT_ROW_BLOCK) {
+            if densify {
+                scratch[..block.len() * width].fill(0.0);
+                for r in block.clone() {
+                    let (idx, vals) = x.row(r);
+                    let dst = &mut scratch[(r - block.start) * width..];
+                    for (&c, &v) in idx.iter().zip(vals) {
+                        dst[c as usize] = v;
+                    }
+                }
+            }
             for round in &self.trees {
                 for (k, tree) in round.iter().enumerate() {
-                    let v = logits.get(r, k) + self.learning_rate * tree.predict_row(idx, vals);
-                    logits.set(r, k, v);
+                    for r in block.clone() {
+                        let delta = if densify {
+                            let at = (r - block.start) * width;
+                            tree.predict_dense_row(&scratch[at..at + width])
+                        } else {
+                            let (idx, vals) = x.row(r);
+                            tree.predict_row(idx, vals)
+                        };
+                        logits.set(r, k, logits.get(r, k) + self.learning_rate * delta);
+                    }
                 }
             }
         }
@@ -217,7 +286,7 @@ impl GbdtRegressor {
             return Err(ModelError::new("cannot fit on an empty dataset"));
         }
         let n = x.rows();
-        let columns = DenseColumns::from_dense(x);
+        let columns = TrainingColumns::from_dense(x, config.split_method);
         let base = targets.iter().sum::<f64>() / n as f64;
         let mut pred = vec![base; n];
         let mut trees = Vec::with_capacity(config.n_rounds);
@@ -243,18 +312,20 @@ impl GbdtRegressor {
 }
 
 impl Regressor for GbdtRegressor {
+    /// Blocked traversal (all trees per row block); per row the tree
+    /// outputs still sum in tree order, so results are bit-identical to
+    /// row-at-a-time prediction.
     fn predict(&self, x: &DenseMatrix) -> Vec<f64> {
-        (0..x.rows())
-            .map(|r| {
-                let row = x.row(r);
-                self.base
-                    + self.learning_rate
-                        * self
-                            .trees
-                            .iter()
-                            .map(|t| t.predict_dense_row(row))
-                            .sum::<f64>()
-            })
+        let mut sums = vec![0.0; x.rows()];
+        for block in row_blocks(x.rows(), PREDICT_ROW_BLOCK) {
+            for tree in &self.trees {
+                for r in block.clone() {
+                    sums[r] += tree.predict_dense_row(x.row(r));
+                }
+            }
+        }
+        sums.into_iter()
+            .map(|s| self.base + self.learning_rate * s)
             .collect()
     }
 }
@@ -352,6 +423,44 @@ mod tests {
                 assert_eq!(before.get(r, c).to_bits(), after.get(r, c).to_bits());
             }
         }
+    }
+
+    /// Satellite-2 regression test: with fewer rows than folds, `fit_cv`
+    /// must fall back to fitting the first grid entry instead of scoring
+    /// empty validation folds (whose NaN accuracy used to make the first
+    /// config win silently — now it would trip the NaN handling in
+    /// `grid_search_max` instead, and this path avoids it entirely).
+    #[test]
+    fn tiny_dataset_falls_back_without_cv() {
+        let (x, y) = rings(3, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let grid = default_gbdt_grid();
+        let (model, cfg) = GbdtClassifier::fit_cv(&x, &y, 2, &grid, 5, &mut rng).unwrap();
+        assert_eq!(cfg, grid[0]);
+        assert!(model.n_trees() > 0);
+    }
+
+    #[test]
+    fn exact_and_histogram_splits_reach_similar_accuracy() {
+        let (x, y) = rings(300, 15);
+        let labels: Vec<usize> = y.iter().map(|&l| l as usize).collect();
+        let mut acc = [0.0f64; 2];
+        for (slot, method) in [SplitMethod::Exact, SplitMethod::Histogram]
+            .into_iter()
+            .enumerate()
+        {
+            let cfg = GbdtConfig {
+                split_method: method,
+                ..GbdtConfig::default()
+            };
+            let mut rng = StdRng::seed_from_u64(16);
+            let model = GbdtClassifier::fit(&x, &y, 2, &cfg, &mut rng).unwrap();
+            let pred = model.predict_proba(&x).argmax_rows();
+            acc[slot] = lvp_stats::accuracy(&pred, &labels);
+        }
+        assert!(acc[0] > 0.9, "exact accuracy {}", acc[0]);
+        assert!(acc[1] > 0.9, "histogram accuracy {}", acc[1]);
+        assert!((acc[0] - acc[1]).abs() < 0.05, "parity gap {acc:?}");
     }
 
     #[test]

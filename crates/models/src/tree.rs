@@ -8,10 +8,47 @@
 //!   makes the Newton leaf value the plain mean and the gain the classical
 //!   variance reduction),
 //! * the validator's gradient-boosted classifier in `lvp-core`.
+//!
+//! Two split finders are available (see [`SplitMethod`]):
+//!
+//! * **Exact** re-sorts every feature column at every node and scans all
+//!   boundaries between adjacent distinct values — the oracle.
+//! * **Histogram** pre-bins every column once per training run into at most
+//!   [`MAX_HISTOGRAM_BINS`] quantile-spaced bins ([`BinnedColumns`]),
+//!   accumulates per-node (grad, hess, count) histograms in a single pass
+//!   over the node's rows, and scans bin boundaries. After a split, only
+//!   the smaller child's histogram is accumulated from rows; the sibling's
+//!   is derived by subtracting it from the parent's (the subtract trick).
+//!
+//! Missing values (NaN) follow one deterministic rule everywhere: they sort
+//! after every finite value during split finding, and they route **right**
+//! both when partitioning training rows and at prediction time (`v <=
+//! threshold` is false for NaN). The histogram path reserves a dedicated
+//! missing bin per feature for the same purpose.
 
 use lvp_linalg::{CsrMatrix, DenseMatrix};
 use rand::seq::SliceRandom;
 use rand::Rng;
+
+/// How split candidates are enumerated during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitMethod {
+    /// Re-sort each feature column at every node and consider every
+    /// boundary between adjacent distinct values. Slowest, but exhaustive;
+    /// kept as the oracle the histogram path is tested against.
+    Exact,
+    /// Quantile-binned histogram split finding with the subtract trick.
+    /// Thresholds are restricted to bin boundaries (at most
+    /// [`MAX_HISTOGRAM_BINS`] per feature), trading a bounded loss of split
+    /// resolution for node costs that no longer pay a per-node sort.
+    #[default]
+    Histogram,
+}
+
+/// Hard cap on histogram bins per feature: bin indices are stored as `u8`,
+/// leaving up to 255 finite bins (254 interior cuts) plus one dedicated
+/// missing-value bin.
+pub const MAX_HISTOGRAM_BINS: usize = 256;
 
 /// Column-major dense view of a feature matrix, built once per training run
 /// so split finding can scan contiguous feature values.
@@ -64,6 +101,193 @@ impl DenseColumns {
     }
 }
 
+/// One feature of a [`BinnedColumns`]: per-row bin indices plus the cut
+/// thresholds that separate the bins.
+///
+/// The bin of a finite value `v` is `cuts.partition_point(|&c| c < v)`, so
+/// bin `b < cuts.len()` holds values in `(cuts[b-1], cuts[b]]` and bin
+/// `cuts.len()` holds everything above the last cut. Because cuts are
+/// strictly increasing this gives the invariant the split finder relies on:
+///
+/// > `v <= cuts[b]`  ⇔  `bin(v) <= b`  for every finite `v`.
+///
+/// NaN rows land in the dedicated missing bin `cuts.len() + 1`, which is
+/// never on the left of any boundary — missing values always route right.
+#[derive(Debug, Clone)]
+struct BinnedFeature {
+    /// Per-row bin index (missing values map to `cuts.len() + 1`).
+    bins: Vec<u8>,
+    /// Strictly increasing finite cut thresholds.
+    cuts: Vec<f64>,
+}
+
+impl BinnedFeature {
+    /// Finite bins plus the missing bin.
+    fn n_bins(&self) -> usize {
+        self.cuts.len() + 2
+    }
+}
+
+/// Quantile-binned view of a feature matrix, built once per training run
+/// for histogram split finding (see [`SplitMethod::Histogram`]).
+#[derive(Debug, Clone)]
+pub struct BinnedColumns {
+    n_rows: usize,
+    feats: Vec<BinnedFeature>,
+    /// Start offset of each feature's bin range in a flat histogram.
+    offsets: Vec<usize>,
+    /// Total bin slots across all features (flat histogram length).
+    total_bins: usize,
+}
+
+impl BinnedColumns {
+    /// Bins every column of `columns` into at most `max_bins` bins
+    /// (clamped to `[3, MAX_HISTOGRAM_BINS]`; one bin is always reserved
+    /// for missing values).
+    ///
+    /// Cut thresholds are midpoints between adjacent distinct values: all
+    /// of them when a column has few distinct values (in which case the
+    /// candidate set matches the exact finder's), evenly spaced quantiles
+    /// of the sorted column otherwise.
+    pub fn from_columns(columns: &DenseColumns, max_bins: usize) -> Self {
+        let max_bins = max_bins.clamp(3, MAX_HISTOGRAM_BINS);
+        let max_cuts = max_bins - 2;
+        let mut feats = Vec::with_capacity(columns.n_cols());
+        let mut sorted: Vec<f64> = Vec::with_capacity(columns.n_rows());
+        for col in &columns.cols {
+            sorted.clear();
+            sorted.extend(col.iter().copied().filter(|v| !v.is_nan()));
+            sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaNs filtered out"));
+            let cuts = quantile_cuts(&sorted, max_cuts);
+            let missing = (cuts.len() + 1) as u8;
+            let bins = col
+                .iter()
+                .map(|&v| {
+                    if v.is_nan() {
+                        missing
+                    } else {
+                        cuts.partition_point(|&c| c < v) as u8
+                    }
+                })
+                .collect();
+            feats.push(BinnedFeature { bins, cuts });
+        }
+        let mut offsets = Vec::with_capacity(feats.len());
+        let mut total_bins = 0;
+        for feat in &feats {
+            offsets.push(total_bins);
+            total_bins += feat.n_bins();
+        }
+        Self {
+            n_rows: columns.n_rows(),
+            feats,
+            offsets,
+            total_bins,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.feats.len()
+    }
+}
+
+/// Picks strictly increasing cut thresholds for one sorted (NaN-free)
+/// column. When the column has at most `max_cuts` distinct-value
+/// boundaries, every boundary midpoint becomes a cut (histogram splits
+/// then coincide with exact splits); otherwise cuts sit at evenly spaced
+/// quantile positions.
+fn quantile_cuts(sorted: &[f64], max_cuts: usize) -> Vec<f64> {
+    let n = sorted.len();
+    if n < 2 || max_cuts == 0 {
+        return Vec::new();
+    }
+    let mut cuts = Vec::new();
+    let n_boundaries = (1..n).filter(|&i| sorted[i] > sorted[i - 1]).count();
+    if n_boundaries <= max_cuts {
+        for i in (1..n).filter(|&i| sorted[i] > sorted[i - 1]) {
+            push_cut(&mut cuts, sorted[i - 1], sorted[i]);
+        }
+    } else {
+        for j in 1..=max_cuts {
+            let pos = (j * n / (max_cuts + 1)).clamp(1, n - 1);
+            if sorted[pos] > sorted[pos - 1] {
+                push_cut(&mut cuts, sorted[pos - 1], sorted[pos]);
+            }
+        }
+    }
+    cuts
+}
+
+/// Appends a threshold separating `a < b` if a valid one exists and it
+/// keeps `cuts` strictly increasing.
+fn push_cut(cuts: &mut Vec<f64>, a: f64, b: f64) {
+    let threshold = {
+        let mid = 0.5 * (a + b);
+        // The midpoint of two adjacent floats can round up to `b` (or
+        // overflow for huge magnitudes); fall back to `a` itself, which
+        // always satisfies `a <= t < b`.
+        if mid.is_finite() && mid >= a && mid < b {
+            mid
+        } else if a.is_finite() {
+            a
+        } else {
+            // a == -inf: any finite threshold below `b` separates them.
+            f64::MIN
+        }
+    };
+    if threshold < b && cuts.last().is_none_or(|&last| threshold > last) {
+        cuts.push(threshold);
+    }
+}
+
+/// Split-finder input for one training run: either the raw column-major
+/// values (exact enumeration) or the pre-binned view (histogram split
+/// finding). Built once per `fit`, shared by every tree of an ensemble.
+#[derive(Debug, Clone)]
+pub enum TrainingColumns {
+    /// Raw values for [`SplitMethod::Exact`].
+    Exact(DenseColumns),
+    /// Quantile-binned indices for [`SplitMethod::Histogram`].
+    Binned(BinnedColumns),
+}
+
+impl TrainingColumns {
+    /// Builds the split-finder input for `method` from a CSR matrix.
+    pub fn from_csr(x: &CsrMatrix, method: SplitMethod) -> Self {
+        Self::from_dense_columns(DenseColumns::from_csr(x), method)
+    }
+
+    /// Builds the split-finder input for `method` from a dense matrix.
+    pub fn from_dense(x: &DenseMatrix, method: SplitMethod) -> Self {
+        Self::from_dense_columns(DenseColumns::from_dense(x), method)
+    }
+
+    /// Wraps already-materialized columns, binning them if `method` is
+    /// [`SplitMethod::Histogram`].
+    pub fn from_dense_columns(columns: DenseColumns, method: SplitMethod) -> Self {
+        match method {
+            SplitMethod::Exact => Self::Exact(columns),
+            SplitMethod::Histogram => {
+                Self::Binned(BinnedColumns::from_columns(&columns, MAX_HISTOGRAM_BINS))
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        match self {
+            Self::Exact(c) => c.n_rows(),
+            Self::Binned(b) => b.n_rows(),
+        }
+    }
+}
+
 /// Hyperparameters for a single regression tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TreeParams {
@@ -110,11 +334,95 @@ pub struct RegressionTree {
     nodes: Vec<Node>,
 }
 
+/// Per-bin split statistics: gradient sum, hessian sum, row count.
+#[derive(Debug, Clone, Copy, Default)]
+struct BinStat {
+    g: f64,
+    h: f64,
+    n: u32,
+}
+
+/// A node switches to the sparse (sort-based) accumulation tier when it
+/// has at least this many times fewer rows than the feature has bins.
+const SPARSE_NODE_FACTOR: usize = 4;
+
+/// Reusable buffers for [`RegressionTree::find_best_split_binned_direct`],
+/// allocated once per tree instead of once per node.
+#[derive(Default)]
+struct SplitScratch {
+    /// Dense per-feature histogram, `n_bins` slots.
+    dense: Vec<BinStat>,
+    /// `(bin, row)` pairs for the sparse tier.
+    pairs: Vec<(u8, usize)>,
+    /// Aggregated non-empty `(bin, stat)` runs for the sparse tier.
+    agg: Vec<(usize, BinStat)>,
+}
+
+/// Accumulates the flat (all features × all bins) histogram for `rows` in
+/// one pass per feature over the node's rows.
+fn accumulate_histogram(
+    binned: &BinnedColumns,
+    grad: &[f64],
+    hess: &[f64],
+    rows: &[usize],
+) -> Vec<BinStat> {
+    let mut hist = vec![BinStat::default(); binned.total_bins];
+    for (feat, &offset) in binned.feats.iter().zip(&binned.offsets) {
+        let slots = &mut hist[offset..offset + feat.n_bins()];
+        for &r in rows {
+            let slot = &mut slots[feat.bins[r] as usize];
+            slot.g += grad[r];
+            slot.h += hess[r];
+            slot.n += 1;
+        }
+    }
+    hist
+}
+
+/// In-place `parent -= child`: derives the sibling histogram from the
+/// parent's without touching any rows (the subtract trick).
+fn subtract_histogram(parent: &mut [BinStat], child: &[BinStat]) {
+    for (p, c) in parent.iter_mut().zip(child) {
+        p.g -= c.g;
+        p.h -= c.h;
+        p.n -= c.n;
+    }
+}
+
+/// Winning histogram split: the boundary sits after `bin`, i.e. rows with
+/// `bin_index <= bin` go left.
+#[derive(Debug, Clone)]
+struct BinnedSplit {
+    feature: usize,
+    bin: usize,
+    threshold: f64,
+    gain: f64,
+}
+
 impl RegressionTree {
     /// Fits a tree to per-example gradients and hessians over the rows in
     /// `rows`. The returned tree predicts the Newton step `-G/(H+λ)` in each
     /// leaf.
+    ///
+    /// Dispatches on the variant of `columns` — build it with the desired
+    /// [`SplitMethod`] via [`TrainingColumns::from_csr`] /
+    /// [`TrainingColumns::from_dense`].
     pub fn fit(
+        columns: &TrainingColumns,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> Self {
+        match columns {
+            TrainingColumns::Exact(c) => Self::fit_exact(c, grad, hess, rows, params, rng),
+            TrainingColumns::Binned(b) => Self::fit_binned(b, grad, hess, rows, params, rng),
+        }
+    }
+
+    /// Fits with exact split enumeration over raw column values.
+    pub fn fit_exact(
         columns: &DenseColumns,
         grad: &[f64],
         hess: &[f64],
@@ -127,6 +435,34 @@ impl RegressionTree {
         let mut tree = Self { nodes: Vec::new() };
         let mut rows = rows.to_vec();
         tree.build(columns, grad, hess, &mut rows, 0, params, rng);
+        tree
+    }
+
+    /// Fits with histogram split finding over pre-binned columns.
+    pub fn fit_binned(
+        binned: &BinnedColumns,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(grad.len(), binned.n_rows());
+        assert_eq!(hess.len(), binned.n_rows());
+        let mut tree = Self { nodes: Vec::new() };
+        let mut rows = rows.to_vec();
+        let mut scratch = SplitScratch::default();
+        tree.build_binned(
+            binned,
+            grad,
+            hess,
+            &mut rows,
+            0,
+            params,
+            rng,
+            None,
+            &mut scratch,
+        );
         tree
     }
 
@@ -160,11 +496,13 @@ impl RegressionTree {
             return make_leaf(&mut self.nodes);
         }
 
-        let Some(split) = self.find_best_split(columns, grad, hess, rows, params, rng) else {
+        let Some(split) = Self::find_best_split(columns, grad, hess, rows, params, rng) else {
             return make_leaf(&mut self.nodes);
         };
 
-        // Partition rows in place around the winning split.
+        // Partition rows in place around the winning split. NaN values
+        // fail `value <= threshold` and therefore go right, matching
+        // their position at the end of the split scan's sort order.
         let mid = partition_rows(columns, rows, split.feature, split.threshold);
         if mid == 0 || mid == rows.len() {
             // Cannot happen for thresholds validated by find_best_split,
@@ -186,8 +524,153 @@ impl RegressionTree {
         node_idx
     }
 
+    /// Recursively grows a histogram-trained tree.
+    ///
+    /// `hist` is this node's own flat (all features × all bins) histogram
+    /// when the parent derived one via the subtract trick, or `None` when
+    /// the node should accumulate its own statistics. Nodes large enough to
+    /// amortize the O(`total_bins`) allocation and subtraction use the flat
+    /// histogram; small nodes accumulate only the sampled features into
+    /// `scratch`, skipping the flat path entirely (deep trees — e.g. the
+    /// random forest's depth-12 defaults — spend most nodes down there).
+    #[allow(clippy::too_many_arguments)]
+    fn build_binned(
+        &mut self,
+        binned: &BinnedColumns,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &mut [usize],
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut impl Rng,
+        hist: Option<Vec<BinStat>>,
+        scratch: &mut SplitScratch,
+    ) -> usize {
+        let g_total: f64 = rows.iter().map(|&r| grad[r]).sum();
+        let h_total: f64 = rows.iter().map(|&r| hess[r]).sum();
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf {
+                value: Self::leaf_value(g_total, h_total, params.lambda),
+            });
+            nodes.len() - 1
+        };
+
+        if depth >= params.max_depth || rows.len() < 2 * params.min_samples_leaf {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let features = Self::sample_features(binned.n_cols(), params.colsample, rng);
+        // The flat histogram pays off once the accumulation work over the
+        // node's rows dwarfs the O(total_bins) zeroing + subtraction that
+        // the flat path adds per node. `features.len()` is constant across
+        // nodes (colsample is fixed), so this rule is monotone down the
+        // tree: a child never re-enters the flat path after its parent
+        // leaves it.
+        let flat_pays = |n_rows: usize| n_rows * features.len() >= 2 * binned.total_bins;
+
+        let hist = match hist {
+            Some(h) => Some(h),
+            None if flat_pays(rows.len()) => Some(accumulate_histogram(binned, grad, hess, rows)),
+            None => None,
+        };
+        let split = match &hist {
+            Some(h) => Self::find_best_split_binned(
+                binned,
+                h,
+                &features,
+                rows.len(),
+                g_total,
+                h_total,
+                params,
+            ),
+            None => Self::find_best_split_binned_direct(
+                binned, grad, hess, rows, &features, g_total, h_total, params, scratch,
+            ),
+        };
+        let Some(split) = split else {
+            return make_leaf(&mut self.nodes);
+        };
+
+        let feat = &binned.feats[split.feature];
+        let mid = partition_rows_binned(feat, rows, split.bin);
+        if mid == 0 || mid == rows.len() {
+            // The histogram guarantees both sides are populated; guard
+            // against pathological float behaviour anyway.
+            return make_leaf(&mut self.nodes);
+        }
+
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder, patched below
+        let (left_rows, right_rows) = rows.split_at_mut(mid);
+
+        // Subtract trick: accumulate only the smaller child's histogram
+        // from rows; the larger child's follows from the parent's. Worth
+        // the O(total_bins) subtraction only while the larger child will
+        // itself stay on the flat path.
+        let larger = left_rows.len().max(right_rows.len());
+        let (left_hist, right_hist) = match hist {
+            Some(h) if flat_pays(larger) => {
+                let (small_rows, small_is_left) = if left_rows.len() <= right_rows.len() {
+                    (&*left_rows, true)
+                } else {
+                    (&*right_rows, false)
+                };
+                let small_hist = accumulate_histogram(binned, grad, hess, small_rows);
+                let mut large_hist = h;
+                subtract_histogram(&mut large_hist, &small_hist);
+                if small_is_left {
+                    (Some(small_hist), Some(large_hist))
+                } else {
+                    (Some(large_hist), Some(small_hist))
+                }
+            }
+            _ => (None, None),
+        };
+
+        let left = self.build_binned(
+            binned,
+            grad,
+            hess,
+            left_rows,
+            depth + 1,
+            params,
+            rng,
+            left_hist,
+            scratch,
+        );
+        let right = self.build_binned(
+            binned,
+            grad,
+            hess,
+            right_rows,
+            depth + 1,
+            params,
+            rng,
+            right_hist,
+            scratch,
+        );
+        self.nodes[node_idx] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
+        node_idx
+    }
+
+    /// Samples the feature subset considered for one split.
+    fn sample_features(n_features: usize, colsample: f64, rng: &mut impl Rng) -> Vec<usize> {
+        let mut features: Vec<usize> = (0..n_features).collect();
+        if colsample < 1.0 {
+            features.shuffle(rng);
+            let keep = ((n_features as f64 * colsample).ceil() as usize).max(1);
+            features.truncate(keep);
+        }
+        features
+    }
+
     fn find_best_split(
-        &self,
         columns: &DenseColumns,
         grad: &[f64],
         hess: &[f64],
@@ -195,13 +678,7 @@ impl RegressionTree {
         params: &TreeParams,
         rng: &mut impl Rng,
     ) -> Option<SplitCandidate> {
-        let n_features = columns.n_cols();
-        let mut features: Vec<usize> = (0..n_features).collect();
-        if params.colsample < 1.0 {
-            features.shuffle(rng);
-            let keep = ((n_features as f64 * params.colsample).ceil() as usize).max(1);
-            features.truncate(keep);
-        }
+        let features = Self::sample_features(columns.n_cols(), params.colsample, rng);
 
         let g_total: f64 = rows.iter().map(|&r| grad[r]).sum();
         let h_total: f64 = rows.iter().map(|&r| hess[r]).sum();
@@ -213,11 +690,18 @@ impl RegressionTree {
         for &f in &features {
             order.clear();
             order.extend_from_slice(rows);
+            // Total order with NaN last: missing values form the final
+            // run, so the prefix-sum scan evaluates exactly the "finite
+            // left, missing right" partitions that `partition_rows` can
+            // realize (NaN fails `v <= threshold` and goes right).
             order.sort_unstable_by(|&a, &b| {
-                columns
-                    .value(a, f)
-                    .partial_cmp(&columns.value(b, f))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                let (va, vb) = (columns.value(a, f), columns.value(b, f));
+                match (va.is_nan(), vb.is_nan()) {
+                    (false, false) => va.partial_cmp(&vb).expect("non-NaN values compare"),
+                    (true, true) => std::cmp::Ordering::Equal,
+                    (true, false) => std::cmp::Ordering::Greater,
+                    (false, true) => std::cmp::Ordering::Less,
+                }
             });
             let mut g_left = 0.0;
             let mut h_left = 0.0;
@@ -226,6 +710,11 @@ impl RegressionTree {
                 g_left += grad[r];
                 h_left += hess[r];
                 let v = columns.value(r, f);
+                if v.is_nan() {
+                    // NaNs sort last: only missing values remain, and no
+                    // boundary can separate missing from missing.
+                    break;
+                }
                 let v_next = columns.value(order[i + 1], f);
                 if v == v_next {
                     continue; // cannot split between equal values
@@ -235,19 +724,28 @@ impl RegressionTree {
                 if n_left < params.min_samples_leaf || n_right < params.min_samples_leaf {
                     continue;
                 }
+                let threshold = if v_next.is_nan() {
+                    // Boundary between the largest finite value and the
+                    // missing run: `v` itself routes every finite value
+                    // left and every NaN right.
+                    v
+                } else {
+                    // The midpoint of two adjacent floats can round up to
+                    // `v_next`, in which case `value <= threshold` fails to
+                    // separate them; require a strictly separating
+                    // threshold.
+                    let t = 0.5 * (v + v_next);
+                    if !t.is_finite() || t < v || t >= v_next {
+                        continue;
+                    }
+                    t
+                };
                 let g_right = g_total - g_left;
                 let h_right = h_total - h_left;
                 let gain = 0.5
                     * (g_left * g_left / (h_left + lambda)
                         + g_right * g_right / (h_right + lambda)
                         - base_score);
-                // The midpoint of two adjacent floats can round up to
-                // `v_next`, in which case `value <= threshold` fails to
-                // separate them; require a strictly separating threshold.
-                let threshold = 0.5 * (v + v_next);
-                if !threshold.is_finite() || threshold < v || threshold >= v_next {
-                    continue;
-                }
                 if gain > params.min_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
                     best = Some(SplitCandidate {
                         feature: f,
@@ -255,6 +753,186 @@ impl RegressionTree {
                         gain,
                     });
                 }
+            }
+        }
+        best
+    }
+
+    /// Scans one feature's bin boundaries, replacing `best` with any
+    /// improving split. `bins` yields `(bin_index, stat)` pairs in
+    /// ascending bin order (empty bins may be present or omitted — both
+    /// describe the same partitions). The prefix over bins replaces the
+    /// exact finder's prefix over sorted rows; the boundary after the last
+    /// finite bin (threshold `f64::MAX`, or the last cut when the upper
+    /// bins are empty) is the "finite left, missing right" split.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_feature_bins(
+        feat: &BinnedFeature,
+        f: usize,
+        bins: impl Iterator<Item = (usize, BinStat)>,
+        n_rows: usize,
+        g_total: f64,
+        h_total: f64,
+        params: &TreeParams,
+        best: &mut Option<BinnedSplit>,
+    ) {
+        let lambda = params.lambda;
+        let base_score = g_total * g_total / (h_total + lambda);
+        let n_finite_bins = feat.cuts.len() + 1;
+        let mut g_left = 0.0;
+        let mut h_left = 0.0;
+        let mut n_left = 0usize;
+        for (bin, stat) in bins {
+            if bin >= n_finite_bins {
+                break; // the missing bin has no boundary after it
+            }
+            if stat.n == 0 {
+                continue; // empty bin: same partition as the previous boundary
+            }
+            g_left += stat.g;
+            h_left += stat.h;
+            n_left += stat.n as usize;
+            let n_right = n_rows - n_left;
+            if n_right == 0 {
+                break; // nothing left to send right (not even missing)
+            }
+            if n_left < params.min_samples_leaf || n_right < params.min_samples_leaf {
+                continue;
+            }
+            let threshold = if bin < feat.cuts.len() {
+                feat.cuts[bin]
+            } else {
+                // Everything finite goes left; only missing values sit
+                // to the right of this boundary.
+                f64::MAX
+            };
+            let g_right = g_total - g_left;
+            let h_right = h_total - h_left;
+            let gain = 0.5
+                * (g_left * g_left / (h_left + lambda) + g_right * g_right / (h_right + lambda)
+                    - base_score);
+            if gain > params.min_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
+                *best = Some(BinnedSplit {
+                    feature: f,
+                    bin,
+                    threshold,
+                    gain,
+                });
+            }
+        }
+    }
+
+    /// Finds the best split from a node's flat (all features) histogram.
+    #[allow(clippy::too_many_arguments)]
+    fn find_best_split_binned(
+        binned: &BinnedColumns,
+        hist: &[BinStat],
+        features: &[usize],
+        n_rows: usize,
+        g_total: f64,
+        h_total: f64,
+        params: &TreeParams,
+    ) -> Option<BinnedSplit> {
+        let mut best: Option<BinnedSplit> = None;
+        for &f in features {
+            let feat = &binned.feats[f];
+            let offset = binned.offsets[f];
+            let slots = &hist[offset..offset + feat.n_bins()];
+            Self::scan_feature_bins(
+                feat,
+                f,
+                slots.iter().copied().enumerate(),
+                n_rows,
+                g_total,
+                h_total,
+                params,
+                &mut best,
+            );
+        }
+        best
+    }
+
+    /// Finds the best split without a flat histogram: accumulates only the
+    /// sampled features, one at a time. Per-feature sums are bitwise
+    /// identical to the flat accumulation (rows are visited in the same
+    /// order), so the chosen split matches what a freshly accumulated flat
+    /// histogram would yield — only the O(total_bins) allocation and
+    /// subtraction are avoided, which dominate on small nodes.
+    ///
+    /// Two tiers per feature: a dense per-feature scratch histogram, or —
+    /// when the node has far fewer rows than the feature has bins — a
+    /// sparse pass that stable-sorts `(bin, row)` pairs and aggregates
+    /// runs, never touching empty bin slots at all.
+    #[allow(clippy::too_many_arguments)]
+    fn find_best_split_binned_direct(
+        binned: &BinnedColumns,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        features: &[usize],
+        g_total: f64,
+        h_total: f64,
+        params: &TreeParams,
+        scratch: &mut SplitScratch,
+    ) -> Option<BinnedSplit> {
+        let mut best: Option<BinnedSplit> = None;
+        for &f in features {
+            let feat = &binned.feats[f];
+            if rows.len() * SPARSE_NODE_FACTOR < feat.n_bins() {
+                // Stable sort keeps row order within each bin, so the
+                // per-bin sums match the dense accumulation bitwise.
+                scratch.pairs.clear();
+                scratch
+                    .pairs
+                    .extend(rows.iter().map(|&r| (feat.bins[r], r)));
+                scratch.pairs.sort_by_key(|&(bin, _)| bin);
+                scratch.agg.clear();
+                for &(bin, r) in &scratch.pairs {
+                    match scratch.agg.last_mut() {
+                        Some((b, stat)) if *b == bin as usize => {
+                            stat.g += grad[r];
+                            stat.h += hess[r];
+                            stat.n += 1;
+                        }
+                        _ => scratch.agg.push((
+                            bin as usize,
+                            BinStat {
+                                g: grad[r],
+                                h: hess[r],
+                                n: 1,
+                            },
+                        )),
+                    }
+                }
+                Self::scan_feature_bins(
+                    feat,
+                    f,
+                    scratch.agg.iter().copied(),
+                    rows.len(),
+                    g_total,
+                    h_total,
+                    params,
+                    &mut best,
+                );
+            } else {
+                scratch.dense.clear();
+                scratch.dense.resize(feat.n_bins(), BinStat::default());
+                for &r in rows {
+                    let slot = &mut scratch.dense[feat.bins[r] as usize];
+                    slot.g += grad[r];
+                    slot.h += hess[r];
+                    slot.n += 1;
+                }
+                Self::scan_feature_bins(
+                    feat,
+                    f,
+                    scratch.dense.iter().copied().enumerate(),
+                    rows.len(),
+                    g_total,
+                    h_total,
+                    params,
+                    &mut best,
+                );
             }
         }
         best
@@ -304,6 +982,19 @@ impl RegressionTree {
         }
     }
 
+    /// Largest feature index referenced by any split node, if the tree
+    /// splits at all. Blocked inference uses this to prove a dense scratch
+    /// row of a given width is wide enough for [`Self::predict_dense_row`].
+    pub fn max_feature(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Split { feature, .. } => Some(*feature),
+                Node::Leaf { .. } => None,
+            })
+            .max()
+    }
+
     /// Number of nodes (diagnostics / tests).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
@@ -318,7 +1009,8 @@ struct SplitCandidate {
 }
 
 /// Partitions `rows` so rows with `value <= threshold` come first; returns
-/// the boundary index.
+/// the boundary index. NaN values fail the comparison and go right — the
+/// deterministic missing-value rule shared with prediction.
 fn partition_rows(
     columns: &DenseColumns,
     rows: &mut [usize],
@@ -338,9 +1030,27 @@ fn partition_rows(
     i
 }
 
+/// Partitions `rows` so rows whose bin index is `<= bin` come first;
+/// returns the boundary index. The missing bin is the largest index, so
+/// missing values always go right.
+fn partition_rows_binned(feat: &BinnedFeature, rows: &mut [usize], bin: usize) -> usize {
+    let mut i = 0usize;
+    let mut j = rows.len();
+    while i < j {
+        if (feat.bins[rows[i]] as usize) <= bin {
+            i += 1;
+        } else {
+            j -= 1;
+            rows.swap(i, j);
+        }
+    }
+    i
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -354,7 +1064,21 @@ mod tests {
         let grad: Vec<f64> = y.iter().map(|v| -v).collect();
         let hess = vec![1.0; y.len()];
         let rows: Vec<usize> = (0..y.len()).collect();
-        RegressionTree::fit(columns, &grad, &hess, &rows, params, rng)
+        RegressionTree::fit_exact(columns, &grad, &hess, &rows, params, rng)
+    }
+
+    /// Same as [`fit_regression`] but through the histogram path.
+    fn fit_regression_binned(
+        columns: &DenseColumns,
+        y: &[f64],
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> RegressionTree {
+        let binned = BinnedColumns::from_columns(columns, MAX_HISTOGRAM_BINS);
+        let grad: Vec<f64> = y.iter().map(|v| -v).collect();
+        let hess = vec![1.0; y.len()];
+        let rows: Vec<usize> = (0..y.len()).collect();
+        RegressionTree::fit_binned(&binned, &grad, &hess, &rows, params, rng)
     }
 
     fn step_data() -> (DenseColumns, Vec<f64>) {
@@ -383,6 +1107,52 @@ mod tests {
     }
 
     #[test]
+    fn binned_learns_a_step_function() {
+        let (cols, y) = step_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = TreeParams {
+            lambda: 0.0,
+            ..TreeParams::default()
+        };
+        let tree = fit_regression_binned(&cols, &y, &params, &mut rng);
+        for (i, &target) in y.iter().enumerate() {
+            let pred = tree.predict_dense_row(&[i as f64 / 39.0]);
+            assert!((pred - target).abs() < 1e-9, "row {i}: {pred} vs {target}");
+        }
+    }
+
+    #[test]
+    fn binned_handles_more_distinct_values_than_bins() {
+        // 2000 distinct values force the quantile (lossy) cut path.
+        let rows: Vec<Vec<f64>> = (0..2000).map(|i| vec![i as f64 / 1999.0]).collect();
+        let x = DenseMatrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.37 { 4.0 } else { -4.0 })
+            .collect();
+        let cols = DenseColumns::from_dense(&x);
+        let binned = BinnedColumns::from_columns(&cols, MAX_HISTOGRAM_BINS);
+        assert!(binned.feats[0].cuts.len() <= MAX_HISTOGRAM_BINS - 2);
+        assert!(binned.feats[0].cuts.len() > 100, "quantile path not taken");
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = TreeParams {
+            lambda: 0.0,
+            max_depth: 6,
+            ..TreeParams::default()
+        };
+        let tree = fit_regression_binned(&cols, &y, &params, &mut rng);
+        let mae = rows
+            .iter()
+            .zip(&y)
+            .map(|(r, &t)| (tree.predict_dense_row(r) - t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
+        // Quantile cuts land within 1/255 of the true step, so only a
+        // sliver of rows can be mislabelled.
+        assert!(mae < 0.1, "MAE {mae}");
+    }
+
+    #[test]
     fn depth_zero_is_single_leaf_mean() {
         let (cols, y) = step_data();
         let mut rng = StdRng::seed_from_u64(2);
@@ -402,13 +1172,15 @@ mod tests {
         let x = DenseMatrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![1.0]]).unwrap();
         let cols = DenseColumns::from_dense(&x);
         let mut rng = StdRng::seed_from_u64(3);
-        let tree = fit_regression(
-            &cols,
-            &[1.0, 2.0, 3.0, 4.0],
-            &TreeParams::default(),
-            &mut rng,
-        );
-        assert_eq!(tree.n_nodes(), 1);
+        for fit in [fit_regression, fit_regression_binned] {
+            let tree = fit(
+                &cols,
+                &[1.0, 2.0, 3.0, 4.0],
+                &TreeParams::default(),
+                &mut rng,
+            );
+            assert_eq!(tree.n_nodes(), 1);
+        }
     }
 
     #[test]
@@ -419,8 +1191,10 @@ mod tests {
             min_samples_leaf: 40, // cannot split at all
             ..TreeParams::default()
         };
-        let tree = fit_regression(&cols, &y, &params, &mut rng);
-        assert_eq!(tree.n_nodes(), 1);
+        for fit in [fit_regression, fit_regression_binned] {
+            let tree = fit(&cols, &y, &params, &mut rng);
+            assert_eq!(tree.n_nodes(), 1);
+        }
     }
 
     #[test]
@@ -475,9 +1249,11 @@ mod tests {
             min_samples_leaf: 1,
             ..TreeParams::default()
         };
-        let tree = fit_regression(&cols, &y, &params, &mut rng);
-        assert!((tree.predict_dense_row(&[0.9, 0.9]) - 5.0).abs() < 1e-9);
-        assert!(tree.predict_dense_row(&[0.9, 0.1]).abs() < 1e-9);
+        for fit in [fit_regression, fit_regression_binned] {
+            let tree = fit(&cols, &y, &params, &mut rng);
+            assert!((tree.predict_dense_row(&[0.9, 0.9]) - 5.0).abs() < 1e-9);
+            assert!(tree.predict_dense_row(&[0.9, 0.1]).abs() < 1e-9);
+        }
     }
 
     #[test]
@@ -488,5 +1264,147 @@ mod tests {
         assert_eq!(cols.value(0, 1), 2.0);
         assert_eq!(cols.value(1, 0), 3.0);
         assert_eq!(cols.value(0, 0), 0.0);
+    }
+
+    #[test]
+    fn missing_values_route_right_in_both_split_methods() {
+        // Finite x carries no signal; the NaN rows carry all of it. The
+        // only useful split is "finite left, missing right".
+        let col = vec![1.0, 2.0, 3.0, 4.0, f64::NAN, f64::NAN, f64::NAN];
+        let y = vec![0.0, 0.0, 0.0, 0.0, 5.0, 5.0, 5.0];
+        let cols = DenseColumns {
+            n_rows: col.len(),
+            cols: vec![col],
+        };
+        let params = TreeParams {
+            lambda: 0.0,
+            min_samples_leaf: 1,
+            ..TreeParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        for fit in [fit_regression, fit_regression_binned] {
+            let tree = fit(&cols, &y, &params, &mut rng);
+            assert!((tree.predict_dense_row(&[f64::NAN]) - 5.0).abs() < 1e-9);
+            assert!(tree.predict_dense_row(&[2.5]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_feature_reports_largest_split_feature() {
+        let (cols, y) = step_data();
+        let mut rng = StdRng::seed_from_u64(9);
+        let tree = fit_regression(&cols, &y, &TreeParams::default(), &mut rng);
+        assert_eq!(tree.max_feature(), Some(0));
+        let leaf = RegressionTree {
+            nodes: vec![Node::Leaf { value: 1.0 }],
+        };
+        assert_eq!(leaf.max_feature(), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Satellite-1 pin: on data with missing values, the winning
+        /// exact split's advertised gain must match the gain recomputed
+        /// from the partition `partition_rows` actually realizes. Before
+        /// the NaN-last sort rule, NaNs landed at arbitrary positions in
+        /// the scan order and the two could disagree.
+        #[test]
+        fn exact_split_gain_matches_realized_partition(
+            values in proptest::collection::vec(
+                proptest::option::weighted(0.75, -10.0f64..10.0), 8..50),
+        ) {
+            let col: Vec<f64> = values.iter().map(|v| v.unwrap_or(f64::NAN)).collect();
+            let n = col.len();
+            // Targets correlate with both sign and missingness so that
+            // splits (including the finite-vs-missing boundary) pay off.
+            let y: Vec<f64> = col
+                .iter()
+                .map(|v| if v.is_nan() { 3.0 } else if *v > 0.0 { 1.0 } else { -1.0 })
+                .collect();
+            let cols = DenseColumns { n_rows: n, cols: vec![col] };
+            let grad: Vec<f64> = y.iter().map(|v| -v).collect();
+            let hess = vec![1.0; n];
+            let rows: Vec<usize> = (0..n).collect();
+            let params = TreeParams {
+                min_samples_leaf: 1,
+                lambda: 1.0,
+                min_gain: 1e-12,
+                ..TreeParams::default()
+            };
+            let mut rng = StdRng::seed_from_u64(0);
+            if let Some(split) =
+                RegressionTree::find_best_split(&cols, &grad, &hess, &rows, &params, &mut rng)
+            {
+                let mut part = rows.clone();
+                let mid = partition_rows(&cols, &mut part, split.feature, split.threshold);
+                prop_assert!(mid > 0 && mid < n, "split must separate rows");
+                let sum = |idx: &[usize]| -> (f64, f64) {
+                    idx.iter().fold((0.0, 0.0), |(g, h), &r| (g + grad[r], h + hess[r]))
+                };
+                let (gl, hl) = sum(&part[..mid]);
+                let (gr, hr) = sum(&part[mid..]);
+                let (gt, ht) = sum(&rows);
+                let realized = 0.5
+                    * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                        - gt * gt / (ht + params.lambda));
+                let tol = 1e-9 * split.gain.abs().max(1.0);
+                prop_assert!(
+                    (realized - split.gain).abs() <= tol,
+                    "advertised gain {} vs realized {}",
+                    split.gain,
+                    realized
+                );
+            }
+        }
+
+        /// The binning invariant behind histogram thresholds: for every
+        /// finite value and every cut index, `v <= cuts[b]` iff
+        /// `bin(v) <= b`, so a threshold at `cuts[b]` partitions values
+        /// exactly like the bin-index partition used during training.
+        #[test]
+        fn bin_mapping_agrees_with_thresholds(
+            values in proptest::collection::vec(-1000.0f64..1000.0, 2..200),
+            max_bins in 3usize..40,
+        ) {
+            let cols = DenseColumns { n_rows: values.len(), cols: vec![values.clone()] };
+            let binned = BinnedColumns::from_columns(&cols, max_bins);
+            let feat = &binned.feats[0];
+            prop_assert!(feat.cuts.windows(2).all(|w| w[0] < w[1]), "cuts strictly increase");
+            for (r, &v) in values.iter().enumerate() {
+                let bin = feat.bins[r] as usize;
+                for (b, &cut) in feat.cuts.iter().enumerate() {
+                    prop_assert_eq!(
+                        v <= cut,
+                        bin <= b,
+                        "value {} bin {} cut[{}]={}",
+                        v, bin, b, cut
+                    );
+                }
+            }
+        }
+
+        /// Histogram and exact training stay close on NaN-free data: with
+        /// fewer distinct values than bins the candidate thresholds
+        /// coincide, so predictions match to float-accumulation noise.
+        #[test]
+        fn binned_matches_exact_on_low_cardinality_data(
+            seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 60;
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![f64::from(rng.gen_range(0u8..8)), f64::from(rng.gen_range(0u8..4))])
+                .collect();
+            let y: Vec<f64> = rows.iter().map(|r| r[0] - 0.5 * r[1]).collect();
+            let cols = DenseColumns::from_dense(&DenseMatrix::from_rows(&rows).unwrap());
+            let params = TreeParams { lambda: 0.0, ..TreeParams::default() };
+            let exact = fit_regression(&cols, &y, &params, &mut StdRng::seed_from_u64(seed));
+            let binned = fit_regression_binned(&cols, &y, &params, &mut StdRng::seed_from_u64(seed));
+            for row in &rows {
+                let (a, b) = (exact.predict_dense_row(row), binned.predict_dense_row(row));
+                prop_assert!((a - b).abs() < 1e-6, "exact {} vs binned {}", a, b);
+            }
+        }
     }
 }

@@ -116,6 +116,43 @@ fn generation_is_identical_across_thread_counts() {
     assert_eq!(one, four);
 }
 
+/// The tree-backed pipeline end to end — histogram-trained GBDT black box,
+/// Algorithm 1 generation, histogram-trained meta-forest, blocked tree
+/// inference throughout — must be bit-identical across thread counts.
+#[test]
+fn xgb_predictor_pipeline_is_bit_identical_across_thread_counts() {
+    let df = lvp::datasets::income(400, &mut StdRng::seed_from_u64(31));
+    let (source, serving) = df.split_frac(0.5, &mut StdRng::seed_from_u64(32));
+    let (train, test) = source.split_frac(0.7, &mut StdRng::seed_from_u64(33));
+
+    let run_with = |threads: usize| -> u64 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let mut rng = StdRng::seed_from_u64(34);
+                let model: Arc<dyn BlackBoxModel> =
+                    Arc::from(train_model_quick(ModelKind::Xgb, &train, &mut rng).unwrap());
+                let gens = standard_tabular_suite(test.schema());
+                let predictor = PerformancePredictor::fit(
+                    model,
+                    &test,
+                    &gens,
+                    &PredictorConfig::fast(),
+                    &mut rng,
+                )
+                .unwrap();
+                predictor.predict(&serving).unwrap().to_bits()
+            })
+    };
+
+    let one = run_with(1);
+    let four = run_with(4);
+    assert_eq!(one, four);
+    assert_eq!(four, run_with(4));
+}
+
 /// Attaching telemetry must be a pure observer: the instrumented fit path
 /// (engine phase timers, model call counters, cache publishing) never
 /// touches an RNG, so the fitted predictor's estimates are bit-identical

@@ -1,0 +1,225 @@
+//! Histogram-vs-exact split parity: same data and seeds, both split
+//! methods, the fig2/fig5-style pipelines must reach equivalent decisions
+//! — and both split methods must stay bit-identical across thread counts,
+//! including through the blocked inference kernels.
+//!
+//! Run under `RAYON_NUM_THREADS=1` and `=4` in CI; the thread-count tests
+//! below additionally pin pools of both sizes against each other inside a
+//! single process.
+
+use lvp_core::{PerformancePredictor, PerformanceValidator, PredictorConfig, ValidatorConfig};
+use lvp_corruptions::{standard_tabular_suite, ErrorGen, Mixture};
+use lvp_linalg::{CsrMatrix, SparseVec};
+use lvp_models::forest::{ForestConfig, RandomForestRegressor};
+use lvp_models::gbdt::{GbdtClassifier, GbdtConfig};
+use lvp_models::tree::SplitMethod;
+use lvp_models::{
+    model_accuracy, train_model_quick, BlackBoxModel, Classifier, ModelKind, Regressor,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const METHODS: [SplitMethod; 2] = [SplitMethod::Exact, SplitMethod::Histogram];
+
+/// Fig2-style check: the validator accepts clean serving batches and its
+/// corrupt/clean decisions agree across split methods on a seeded batch
+/// stream.
+#[test]
+fn validator_decisions_agree_across_split_methods() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let df = lvp::datasets::heart(1_000, &mut rng);
+    let (source, serving) = df.split_frac(0.5, &mut rng);
+    let (train, test) = source.split_frac(0.7, &mut rng);
+    let model: Arc<dyn BlackBoxModel> =
+        Arc::from(train_model_quick(ModelKind::Xgb, &train, &mut rng).unwrap());
+    let gens = standard_tabular_suite(test.schema());
+
+    let validators: Vec<PerformanceValidator> = METHODS
+        .iter()
+        .map(|&method| {
+            let mut config = ValidatorConfig::fast(0.05);
+            config.runs_per_generator = 30;
+            config.gbdt.split_method = method;
+            PerformanceValidator::fit(
+                Arc::clone(&model),
+                &test,
+                &gens,
+                &config,
+                &mut StdRng::seed_from_u64(42),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    for v in &validators {
+        assert!(
+            v.validate(&serving).unwrap().within_threshold,
+            "clean serving data must pass"
+        );
+    }
+
+    // Alternate clean and corrupted batches. The two validators may split
+    // on a batch whose corruption lands right at the decision boundary —
+    // but then both must report similar, boundary-straddling confidence.
+    // A disagreement where the confidences are far apart would mean the
+    // split methods learned genuinely different validators.
+    let mixture = Mixture::from_boxes(standard_tabular_suite(serving.schema()));
+    let mut batch_rng = StdRng::seed_from_u64(43);
+    let total = 12;
+    let mut hard_disagreements = Vec::new();
+    let mut soft_disagreements = 0;
+    for i in 0..total {
+        let batch = serving.sample_n(250, &mut batch_rng);
+        let batch = if i % 2 == 0 {
+            batch
+        } else {
+            mixture.corrupt(&batch, &mut batch_rng)
+        };
+        let a = validators[0].validate(&batch).unwrap();
+        let b = validators[1].validate(&batch).unwrap();
+        if a.within_threshold != b.within_threshold {
+            if (a.confidence - b.confidence).abs() < 0.25 {
+                soft_disagreements += 1;
+            } else {
+                hard_disagreements.push(format!("batch {i}: exact {a:?} vs histogram {b:?}"));
+            }
+        }
+    }
+    assert!(
+        hard_disagreements.is_empty(),
+        "confident disagreements: {hard_disagreements:?}"
+    );
+    assert!(
+        soft_disagreements <= 2,
+        "{soft_disagreements}/{total} boundary batches split the validators"
+    );
+}
+
+/// Fig5-style check: the performance predictor's accuracy estimate stays
+/// close to the truth — and to its counterpart — under either split
+/// method for the meta-forest.
+#[test]
+fn predictor_estimates_agree_across_split_methods() {
+    let mut rng = StdRng::seed_from_u64(51);
+    let df = lvp::datasets::income(500, &mut rng);
+    let (source, serving) = df.split_frac(0.5, &mut rng);
+    let (train, test) = source.split_frac(0.7, &mut rng);
+    let model: Arc<dyn BlackBoxModel> =
+        Arc::from(train_model_quick(ModelKind::Lr, &train, &mut rng).unwrap());
+    let gens = standard_tabular_suite(test.schema());
+    let truth = model_accuracy(model.as_ref(), &serving);
+
+    let mut estimates = [0.0f64; 2];
+    for (slot, &method) in METHODS.iter().enumerate() {
+        let mut config = PredictorConfig::fast();
+        for cfg in &mut config.forest_grid {
+            cfg.split_method = method;
+        }
+        let predictor = PerformancePredictor::fit(
+            Arc::clone(&model),
+            &test,
+            &gens,
+            &config,
+            &mut StdRng::seed_from_u64(52),
+        )
+        .unwrap();
+        estimates[slot] = predictor.predict(&serving).unwrap();
+        assert!(
+            (estimates[slot] - truth).abs() < 0.15,
+            "{method:?} estimate {} vs truth {truth}",
+            estimates[slot]
+        );
+    }
+    assert!(
+        (estimates[0] - estimates[1]).abs() < 0.1,
+        "estimate gap {estimates:?}"
+    );
+}
+
+fn rings(n: usize, seed: u64) -> (CsrMatrix, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..n {
+        let a: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let y = u32::from(rng.gen_bool(0.5));
+        let r = if y == 0 {
+            rng.gen_range(0.0..0.5)
+        } else {
+            rng.gen_range(0.8..1.2)
+        };
+        rows.push(SparseVec::from_pairs(2, vec![(0, r * a.cos()), (1, r * a.sin())]).unwrap());
+        labels.push(y);
+    }
+    (CsrMatrix::from_sparse_rows(&rows).unwrap(), labels)
+}
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+}
+
+/// Both split methods must produce bit-identical GBDT models and blocked
+/// predictions regardless of thread count.
+#[test]
+fn gbdt_training_and_blocked_inference_are_thread_count_invariant() {
+    for method in METHODS {
+        let run = |threads: usize| -> Vec<u64> {
+            pool(threads).install(|| {
+                let (x, y) = rings(240, 61);
+                let cfg = GbdtConfig {
+                    split_method: method,
+                    ..GbdtConfig::default()
+                };
+                let model =
+                    GbdtClassifier::fit(&x, &y, 2, &cfg, &mut StdRng::seed_from_u64(62)).unwrap();
+                model
+                    .predict_proba(&x)
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+        };
+        assert_eq!(run(1), run(4), "{method:?}");
+    }
+}
+
+/// The forest's parallel tree fitting and blocked `predict` /
+/// `predict_per_tree` must be bit-identical across thread counts for both
+/// split methods.
+#[test]
+fn forest_training_and_blocked_inference_are_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(71);
+    let rows: Vec<Vec<f64>> = (0..300)
+        .map(|_| (0..8).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
+    let x = lvp_linalg::DenseMatrix::from_rows(&rows).unwrap();
+    let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1] + r[2].sin()).collect();
+    for method in METHODS {
+        let run = |threads: usize| -> (Vec<u64>, Vec<u64>) {
+            pool(threads).install(|| {
+                let cfg = ForestConfig {
+                    n_trees: 20,
+                    split_method: method,
+                    ..ForestConfig::default()
+                };
+                let model =
+                    RandomForestRegressor::fit(&x, &y, &cfg, &mut StdRng::seed_from_u64(72))
+                        .unwrap();
+                let point = model.predict(&x).iter().map(|v| v.to_bits()).collect();
+                let per_tree = model
+                    .predict_per_tree(&x)
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                (point, per_tree)
+            })
+        };
+        assert_eq!(run(1), run(4), "{method:?}");
+    }
+}

@@ -132,6 +132,33 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    //! Option strategies (`prop::option::weighted`).
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Yields `Some(element)` with probability `prob`, `None` otherwise.
+    pub fn weighted<S: Strategy>(prob: f64, element: S) -> WeightedStrategy<S> {
+        WeightedStrategy { prob, element }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct WeightedStrategy<S> {
+        prob: f64,
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for WeightedStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            rng.gen_bool(self.prob).then(|| self.element.sample(rng))
+        }
+    }
+}
+
 /// Drives one `proptest!`-generated test: `cases` deterministic random
 /// cases seeded from the test name.
 pub struct TestRunner {
@@ -181,7 +208,7 @@ pub mod prelude {
 
     pub mod prop {
         //! The `prop::` namespace (`prop::collection::vec`).
-        pub use crate::collection;
+        pub use crate::{collection, option};
     }
 }
 
