@@ -40,8 +40,9 @@ pub use monitor::{
     AlarmMode, BatchMonitor, BatchReport, BatchTelemetry, ClassDrift, MonitorPolicy, ShardWindow,
 };
 pub use persistence::{
-    from_json, load_json, save_json, to_json, verdicts_identical, MetricTag, MonitorArtifact,
-    PredictorArtifact, ServingArtifact, ValidatorArtifact, ARTIFACT_VERSION,
+    atomic_write_durable, checksum64, from_json, is_enveloped, load_json, save_json, to_json,
+    unwrap_envelope, verdicts_identical, wrap_envelope, MetricTag, MonitorArtifact,
+    PredictorArtifact, ServingArtifact, ValidatorArtifact, ARTIFACT_VERSION, ENVELOPE_MAGIC,
 };
 pub use predictor::{
     generate_training_examples, PerformancePredictor, PredictorConfig, TrainingExample,
@@ -110,17 +111,44 @@ impl Metric {
     }
 }
 
+/// Machine-readable classification of a [`CoreError`], so callers can
+/// drive policy without parsing messages. Today the non-`Other` kinds all
+/// come from the persistence layer: a monitoring daemon recovering its
+/// state needs to distinguish "the artifact file is damaged" (truncation,
+/// bit rot — restore from a replica, alarm loudly) from a plain I/O
+/// failure or a semantic version mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreErrorKind {
+    /// Anything without a more specific classification.
+    Other,
+    /// A filesystem operation failed.
+    Io,
+    /// A persisted artifact ends before its declared payload length —
+    /// the signature of a crash mid-write.
+    Truncated,
+    /// A persisted artifact's payload does not match its recorded
+    /// checksum — bit rot, or an overwrite by something else.
+    ChecksumMismatch,
+    /// A persisted artifact's envelope header is malformed.
+    CorruptHeader,
+}
+
 /// Errors produced while fitting or applying predictors and validators.
 ///
 /// Wrapped failures (notably [`lvp_models::ModelError`]s from a remote
 /// serving path) are kept as a proper `source` chain rather than being
 /// stringified, so callers can walk [`std::error::Error::source`] — or use
 /// [`CoreError::model_error`] — to recover the typed cause and decide, for
-/// instance, whether a failed batch is retryable/degradable.
+/// instance, whether a failed batch is retryable/degradable. Persistence
+/// failures additionally carry a [`CoreErrorKind`] so integrity damage
+/// (truncation, checksum mismatch) is distinguishable from ordinary I/O.
 #[derive(Debug)]
 pub struct CoreError {
     /// Human-readable description.
     pub message: String,
+    /// Machine-readable classification.
+    kind: CoreErrorKind,
     /// The underlying cause, when this error wraps a lower-level failure.
     source: Option<Box<dyn std::error::Error + Send + Sync>>,
 }
@@ -129,6 +157,15 @@ impl CoreError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
+            kind: CoreErrorKind::Other,
+            source: None,
+        }
+    }
+
+    pub(crate) fn with_kind(kind: CoreErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            kind,
             source: None,
         }
     }
@@ -139,8 +176,16 @@ impl CoreError {
     ) -> Self {
         Self {
             message: message.into(),
+            kind: CoreErrorKind::Other,
             source: Some(Box::new(source)),
         }
+    }
+
+    /// Machine-readable classification of this error (persistence
+    /// integrity failures are the typed ones; everything else is
+    /// [`CoreErrorKind::Other`]).
+    pub fn kind(&self) -> CoreErrorKind {
+        self.kind
     }
 
     /// The wrapped [`lvp_models::ModelError`], if this error originated in

@@ -24,7 +24,7 @@
 //! [`Schema::fingerprint`]: lvp_dataframe::Schema::fingerprint
 
 use crate::features::BatchSketch;
-use crate::{BatchMonitor, CoreError, Metric, MonitorPolicy, PerformancePredictor};
+use crate::{BatchMonitor, CoreError, CoreErrorKind, Metric, MonitorPolicy, PerformancePredictor};
 use crate::{PerformanceValidator, ValidationOutcome};
 use lvp_linalg::DenseMatrix;
 use lvp_models::forest::RandomForestRegressor;
@@ -58,19 +58,210 @@ pub fn from_json<T: Deserialize>(json: &str) -> Result<T, CoreError> {
     serde_json::from_str(json).map_err(|e| CoreError::new(format!("deserialize artifact: {e}")))
 }
 
-/// Serializes an artifact to a JSON file.
-pub fn save_json<T: Serialize>(artifact: &T, path: impl AsRef<Path>) -> Result<(), CoreError> {
-    let path = path.as_ref();
-    std::fs::write(path, to_json(artifact)?)
-        .map_err(|e| CoreError::new(format!("write artifact {}: {e}", path.display())))
+/// Magic token opening every enveloped artifact file. Files that do not
+/// start with it are treated as legacy bare-JSON artifacts.
+pub const ENVELOPE_MAGIC: &str = "LVPENV";
+
+/// Envelope *format* version (independent of [`ARTIFACT_VERSION`], which
+/// versions the JSON payload inside).
+const ENVELOPE_VERSION: u32 = 1;
+
+/// FNV-1a (64-bit) over a byte slice — the integrity checksum of the
+/// artifact envelope and the lvpd journal records. Not cryptographic; it
+/// catches the failure modes a serving host actually has (truncation,
+/// torn writes, bit rot), at a cost of one pass over the payload.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
-/// Deserializes an artifact from a JSON file.
+/// Wraps a serialized payload in the checksummed, length-framed artifact
+/// envelope: one ASCII header line
+/// `LVPENV <envelope-version> <payload-len> <fnv1a64-hex>\n` followed by
+/// the raw payload bytes. The header is text so enveloped JSON artifacts
+/// stay greppable and diffable; the frame is exact so [`unwrap_envelope`]
+/// can detect truncation and corruption byte-for-byte.
+pub fn wrap_envelope(payload: &[u8]) -> Vec<u8> {
+    let header = format!(
+        "{ENVELOPE_MAGIC} {ENVELOPE_VERSION} {} {:016x}\n",
+        payload.len(),
+        checksum64(payload)
+    );
+    let mut out = Vec::with_capacity(header.len() + payload.len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Whether `bytes` starts with the artifact-envelope magic.
+pub fn is_enveloped(bytes: &[u8]) -> bool {
+    bytes.starts_with(ENVELOPE_MAGIC.as_bytes())
+}
+
+/// Verifies an artifact envelope and returns the payload slice. Every
+/// defect is a typed [`CoreError`]: a malformed or unsupported header is
+/// [`CoreErrorKind::CorruptHeader`], a payload shorter than the declared
+/// length is [`CoreErrorKind::Truncated`] (the signature of a crash
+/// mid-write), and a checksum failure — including trailing garbage — is
+/// [`CoreErrorKind::ChecksumMismatch`].
+pub fn unwrap_envelope(bytes: &[u8]) -> Result<&[u8], CoreError> {
+    let corrupt = |m: String| CoreError::with_kind(CoreErrorKind::CorruptHeader, m);
+    if !is_enveloped(bytes) {
+        return Err(corrupt("artifact is not enveloped".to_string()));
+    }
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("envelope header has no terminating newline".to_string()))?;
+    let header = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| corrupt("envelope header is not ASCII".to_string()))?;
+    let mut fields = header.split(' ');
+    let _magic = fields.next();
+    let version: u32 = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt(format!("envelope header '{header}' has no version")))?;
+    if version != ENVELOPE_VERSION {
+        return Err(corrupt(format!(
+            "unsupported envelope version {version} (supported: {ENVELOPE_VERSION})"
+        )));
+    }
+    let declared_len: usize = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt(format!("envelope header '{header}' has no payload length")))?;
+    let declared_sum = fields
+        .next()
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| corrupt(format!("envelope header '{header}' has no checksum")))?;
+    if fields.next().is_some() {
+        return Err(corrupt(format!(
+            "envelope header '{header}' has trailing fields"
+        )));
+    }
+    let payload = &bytes[newline + 1..];
+    if payload.len() < declared_len {
+        return Err(CoreError::with_kind(
+            CoreErrorKind::Truncated,
+            format!(
+                "artifact truncated: header declares {declared_len} payload bytes, \
+                 file holds {}",
+                payload.len()
+            ),
+        ));
+    }
+    // Trailing bytes beyond the declared length are corruption too (an
+    // interrupted overwrite, a concatenated file): the declared-length
+    // prefix may well checksum clean, but the file as a whole is not the
+    // artifact that was written.
+    if payload.len() > declared_len {
+        return Err(CoreError::with_kind(
+            CoreErrorKind::ChecksumMismatch,
+            format!(
+                "artifact has {} trailing bytes beyond the declared {declared_len}-byte payload",
+                payload.len() - declared_len
+            ),
+        ));
+    }
+    let actual_sum = checksum64(payload);
+    if actual_sum != declared_sum {
+        return Err(CoreError::with_kind(
+            CoreErrorKind::ChecksumMismatch,
+            format!(
+                "artifact checksum mismatch: header records {declared_sum:016x}, \
+                 payload hashes to {actual_sum:016x}"
+            ),
+        ));
+    }
+    Ok(payload)
+}
+
+/// Writes `bytes` to `path` atomically and durably: the bytes land in a
+/// sibling `.tmp` file first, that file is fsynced, renamed over `path`,
+/// and the parent directory is fsynced so the rename itself survives a
+/// power cut. A crash at any point leaves either the old file or the new
+/// one — never a half-written mix, and never neither.
+pub fn atomic_write_durable(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), CoreError> {
+    let path = path.as_ref();
+    let io_err = |stage: &str, e: std::io::Error| {
+        CoreError::with_kind(
+            CoreErrorKind::Io,
+            format!("{stage} {}: {e}", path.display()),
+        )
+    };
+    let mut file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            CoreError::with_kind(
+                CoreErrorKind::Io,
+                format!("write artifact {}: path has no file name", path.display()),
+            )
+        })?
+        .to_os_string();
+    file_name.push(".tmp");
+    let tmp = path.with_file_name(file_name);
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create", e))?;
+        use std::io::Write as _;
+        file.write_all(bytes).map_err(|e| io_err("write", e))?;
+        file.sync_all().map_err(|e| io_err("sync", e))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| io_err("rename into", e))?;
+    // Make the rename durable: fsync the directory entry. Directories
+    // cannot be opened for sync on every platform; where they cannot,
+    // atomicity still holds and durability is the filesystem's default.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            dir.sync_all().map_err(|e| io_err("sync parent of", e))?;
+        }
+    }
+    Ok(())
+}
+
+/// Serializes an artifact to a checksummed envelope file, atomically and
+/// durably (see [`atomic_write_durable`] — a crash mid-save can no longer
+/// destroy the previous snapshot, and a completed save survives power
+/// loss).
+pub fn save_json<T: Serialize>(artifact: &T, path: impl AsRef<Path>) -> Result<(), CoreError> {
+    atomic_write_durable(path, &wrap_envelope(to_json(artifact)?.as_bytes()))
+}
+
+/// Deserializes an artifact from a file written by [`save_json`] — or
+/// from a legacy bare-JSON artifact file (anything not starting with
+/// [`ENVELOPE_MAGIC`]), which predates the envelope and carries no
+/// integrity frame. Envelope defects surface as typed [`CoreError`]s
+/// ([`CoreError::kind`]) instead of downstream serde garbage.
 pub fn load_json<T: Deserialize>(path: impl AsRef<Path>) -> Result<T, CoreError> {
     let path = path.as_ref();
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| CoreError::new(format!("read artifact {}: {e}", path.display())))?;
-    from_json(&json)
+    let bytes = std::fs::read(path).map_err(|e| {
+        CoreError::with_kind(
+            CoreErrorKind::Io,
+            format!("read artifact {}: {e}", path.display()),
+        )
+    })?;
+    let payload = if is_enveloped(&bytes) {
+        unwrap_envelope(&bytes)
+            .map_err(|e| {
+                CoreError::with_kind(
+                    e.kind(),
+                    format!("artifact {}: {}", path.display(), e.message),
+                )
+            })?
+            .to_vec()
+    } else {
+        bytes
+    };
+    let json = std::str::from_utf8(&payload).map_err(|e| {
+        CoreError::with_kind(
+            CoreErrorKind::CorruptHeader,
+            format!("artifact {} payload is not UTF-8: {e}", path.display()),
+        )
+    })?;
+    from_json(json)
 }
 
 fn check_version(kind: &str, version: u32) -> Result<(), CoreError> {
@@ -997,6 +1188,121 @@ mod tests {
     fn load_json_reports_missing_file() {
         let err = load_json::<PredictorArtifact>("/nonexistent/lvp-artifact.json").unwrap_err();
         assert!(err.message.contains("read artifact"));
+        assert_eq!(err.kind(), CoreErrorKind::Io);
+    }
+
+    #[test]
+    fn envelope_round_trip_and_checksum() {
+        let payload = b"{\"hello\": [1, 2, 3]}";
+        let framed = wrap_envelope(payload);
+        assert!(is_enveloped(&framed));
+        assert!(!is_enveloped(payload));
+        assert_eq!(unwrap_envelope(&framed).unwrap(), payload);
+        // The checksum is a stable function of the bytes.
+        assert_eq!(checksum64(payload), checksum64(payload));
+        assert_ne!(checksum64(payload), checksum64(b"{\"hello\": [1, 2, 4]}"));
+        // FNV-1a reference value: hash of the empty input is the offset
+        // basis, hash of "a" is a published constant.
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checksum64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn unwrap_envelope_types_every_defect() {
+        let framed = wrap_envelope(b"payload bytes here");
+
+        // Truncation anywhere inside the payload → Truncated.
+        for cut in [framed.len() - 1, framed.len() - 10] {
+            let err = unwrap_envelope(&framed[..cut]).unwrap_err();
+            assert_eq!(err.kind(), CoreErrorKind::Truncated, "{err}");
+        }
+        // Truncation inside the header itself → CorruptHeader (no
+        // newline ever arrives).
+        let err = unwrap_envelope(&framed[..4]).unwrap_err();
+        assert_eq!(err.kind(), CoreErrorKind::CorruptHeader, "{err}");
+
+        // A single flipped bit in the payload → ChecksumMismatch.
+        let mut flipped = framed.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        let err = unwrap_envelope(&flipped).unwrap_err();
+        assert_eq!(err.kind(), CoreErrorKind::ChecksumMismatch, "{err}");
+
+        // Trailing garbage beyond the declared frame → ChecksumMismatch.
+        let mut long = framed.clone();
+        long.extend_from_slice(b"junk");
+        let err = unwrap_envelope(&long).unwrap_err();
+        assert_eq!(err.kind(), CoreErrorKind::ChecksumMismatch, "{err}");
+
+        // A mangled header → CorruptHeader.
+        let mut bad_header = framed;
+        bad_header[7] = b'x'; // clobber the version field
+        let err = unwrap_envelope(&bad_header).unwrap_err();
+        assert_eq!(err.kind(), CoreErrorKind::CorruptHeader, "{err}");
+
+        // Not enveloped at all → CorruptHeader from unwrap (load_json
+        // would instead take the legacy bare-JSON path).
+        let err = unwrap_envelope(b"{\"version\": 4}").unwrap_err();
+        assert_eq!(err.kind(), CoreErrorKind::CorruptHeader, "{err}");
+    }
+
+    #[test]
+    fn save_json_writes_envelope_and_load_json_detects_damage() {
+        let artifact = MetricTag::from(Metric::Auc);
+        let dir = std::env::temp_dir().join("lvp_envelope_damage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        save_json(&artifact, &path).unwrap();
+
+        // On disk: envelope header + JSON payload; no .tmp left behind.
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(is_enveloped(&bytes));
+        assert!(!dir.join("artifact.json.tmp").exists());
+        let reloaded: MetricTag = load_json(&path).unwrap();
+        assert_eq!(Metric::from(reloaded), Metric::Auc);
+
+        // Truncate the file (crash mid-write of a non-atomic writer) →
+        // typed Truncated error, not serde garbage.
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let err = load_json::<MetricTag>(&path).unwrap_err();
+        assert_eq!(err.kind(), CoreErrorKind::Truncated, "{err}");
+        assert!(err.message.contains("artifact"), "{err}");
+
+        // Flip a payload bit (bit rot) → typed ChecksumMismatch.
+        let mut rotted = bytes.clone();
+        let last = rotted.len() - 1;
+        rotted[last] ^= 0x04;
+        std::fs::write(&path, &rotted).unwrap();
+        let err = load_json::<MetricTag>(&path).unwrap_err();
+        assert_eq!(err.kind(), CoreErrorKind::ChecksumMismatch, "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_json_accepts_legacy_bare_json() {
+        // Artifacts written before the envelope existed are bare JSON;
+        // they must keep loading through the checksummed loader.
+        let path = std::env::temp_dir().join("lvp_legacy_bare_artifact.json");
+        std::fs::write(&path, to_json(&MetricTag::from(Metric::Accuracy)).unwrap()).unwrap();
+        let tag: MetricTag = load_json(&path).unwrap();
+        assert_eq!(Metric::from(tag), Metric::Accuracy);
+        // Re-saving upgrades the file to envelope form in place.
+        save_json(&tag, &path).unwrap();
+        assert!(is_enveloped(&std::fs::read(&path).unwrap()));
+        let tag: MetricTag = load_json(&path).unwrap();
+        assert_eq!(Metric::from(tag), Metric::Accuracy);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_durable_replaces_not_destroys() {
+        let path = std::env::temp_dir().join("lvp_atomic_write_test.bin");
+        atomic_write_durable(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write_durable(&path, b"second generation").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second generation");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

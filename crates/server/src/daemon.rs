@@ -24,15 +24,16 @@
 //! [`VirtualClock`] advanced a fixed tick per request, so breaker behavior
 //! is a pure function of the request sequence.
 
+use crate::journal::{scan_journal, FsyncPolicy, Journal, JournalFaultPlan, JournalOp};
 use crate::protocol::{DeploymentEntry, MonitorKey, RegistrySnapshot, Request, Response};
 use lvp_core::{
     feature_dimensionality, load_json, save_json, BatchMonitor, ServingArtifact, ARTIFACT_VERSION,
 };
 use lvp_linalg::DenseMatrix;
 use lvp_models::{mix64, BlackBoxModel, BreakerConfig, CircuitState, ModelError, VirtualClock};
-use lvp_telemetry::{Counter, Registry};
+use lvp_telemetry::{Counter, Histogram, Registry};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -96,6 +97,10 @@ pub struct DaemonConfig {
     /// Report-history bound applied to every registered monitor (`None`
     /// retains everything; daemons should bound it).
     pub history_limit: Option<usize>,
+    /// Upper bound on one request line in bytes; longer lines are
+    /// discarded unread and answered with a typed error instead of
+    /// buffering without limit.
+    pub max_request_bytes: usize,
 }
 
 impl Default for DaemonConfig {
@@ -108,7 +113,98 @@ impl Default for DaemonConfig {
             max_retry_nanos: 1_000_000_000,
             jitter_seed: 0x1_5EED_D0E5,
             history_limit: Some(256),
+            max_request_bytes: 16 << 20, // 16 MiB
         }
+    }
+}
+
+/// Durability wiring of a [`Daemon`]: where its recovery snapshot and
+/// write-ahead journal live, and how eagerly the journal fsyncs. All
+/// fields are optional — an empty config is a purely in-memory daemon.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityConfig {
+    /// The recovery snapshot: loaded by [`Daemon::recover`], compacted to
+    /// by `save` requests targeting this path, and written on shutdown.
+    pub snapshot_path: Option<PathBuf>,
+    /// The write-ahead journal: every accepted mutation is appended here
+    /// *before* it is applied.
+    pub journal_path: Option<PathBuf>,
+    /// The journal's fsync policy.
+    pub fsync: FsyncPolicy,
+}
+
+impl DurabilityConfig {
+    /// The conventional layout inside a state directory:
+    /// `<dir>/registry.json` + `<dir>/observe.journal`.
+    pub fn in_dir(dir: impl AsRef<Path>) -> Self {
+        let dir = dir.as_ref();
+        Self {
+            snapshot_path: Some(dir.join("registry.json")),
+            journal_path: Some(dir.join("observe.journal")),
+            fsync: FsyncPolicy::default(),
+        }
+    }
+
+    /// Same layout with an explicit fsync policy.
+    pub fn in_dir_with_fsync(dir: impl AsRef<Path>, fsync: FsyncPolicy) -> Self {
+        Self {
+            fsync,
+            ..Self::in_dir(dir)
+        }
+    }
+}
+
+/// What [`Daemon::recover`] found and did. Every count is also surfaced
+/// as a `journal.*` telemetry counter on the recovered daemon.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a registry snapshot file existed and was loaded.
+    pub snapshot_loaded: bool,
+    /// Deployments restored from the snapshot.
+    pub snapshot_deployments: usize,
+    /// Bytes found in the journal file.
+    pub journal_bytes: u64,
+    /// Records replayed over the snapshot (current epoch).
+    pub records_replayed: usize,
+    /// Records skipped as stale — an older epoch already folded into the
+    /// snapshot by a compaction the crash interrupted after the snapshot
+    /// write.
+    pub records_stale: usize,
+    /// Records skipped as future — a *newer* epoch than the snapshot,
+    /// meaning the snapshot is not this journal's recovery source (e.g. a
+    /// standalone export). Nothing is guessed: the records are skipped
+    /// and counted, never misapplied.
+    pub records_future: usize,
+    /// Replayed records whose application errored — by construction the
+    /// same error the live daemon answered, so these are reproduced
+    /// no-ops, not divergence.
+    pub replay_op_errors: usize,
+    /// Bytes of damaged tail truncated off the journal.
+    pub truncated_tail_bytes: u64,
+    /// Human-readable classification of the tail defect, if any.
+    pub tail_defect: Option<String>,
+}
+
+impl RecoveryReport {
+    /// One-line operator summary (printed by `lvpd` at startup).
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "recovered {} deployments from snapshot={} journal={}B: {} replayed, {} stale, {} future, {} op errors",
+            self.snapshot_deployments,
+            if self.snapshot_loaded { "yes" } else { "no" },
+            self.journal_bytes,
+            self.records_replayed,
+            self.records_stale,
+            self.records_future,
+            self.replay_op_errors,
+        );
+        if let Some(defect) = &self.tail_defect {
+            s.push_str(&format!(
+                "; truncated {}B damaged tail ({defect})",
+                self.truncated_tail_bytes
+            ));
+        }
+        s
     }
 }
 
@@ -160,10 +256,14 @@ struct Deployment {
 struct Inner {
     deployments: BTreeMap<MonitorKey, Deployment>,
     tenants: BTreeMap<String, TenantGate>,
+    /// The write-ahead journal, when durability is configured. Living
+    /// under the state mutex guarantees append order == application
+    /// order, which is what makes replay bit-identical.
+    journal: Option<Journal>,
 }
 
 /// Daemon-level request counters (all deterministic in the request
-/// sequence).
+/// sequence, except the volatile fsync latency histogram).
 struct ServerMetrics {
     /// `server.requests` — lines handled.
     requests: Counter,
@@ -173,6 +273,34 @@ struct ServerMetrics {
     shed: Counter,
     /// `server.error_responses` — lines answered with an error status.
     errors: Counter,
+    /// `server.oversized_requests` — request lines discarded for
+    /// exceeding [`DaemonConfig::max_request_bytes`].
+    oversized: Counter,
+    /// `journal.appends` — records appended to the write-ahead journal.
+    journal_appends: Counter,
+    /// `journal.append_failures` — appends that failed (the request was
+    /// rejected without being applied).
+    journal_append_failures: Counter,
+    /// `journal.compactions` — snapshot saves that truncated the journal.
+    journal_compactions: Counter,
+    /// `journal.records_replayed` — records applied during recovery.
+    journal_replayed: Counter,
+    /// `journal.replay_op_errors` — replayed records that reproduced the
+    /// live request's error (no-ops, counted for visibility).
+    journal_replay_errors: Counter,
+    /// `journal.stale_records_skipped` — pre-compaction records skipped
+    /// during recovery.
+    journal_stale_skipped: Counter,
+    /// `journal.future_records_skipped` — records newer than the snapshot
+    /// epoch, skipped rather than misapplied.
+    journal_future_skipped: Counter,
+    /// `journal.tail_defects` — damaged journal tails found at recovery.
+    journal_tail_defects: Counter,
+    /// `journal.tail_truncated_bytes` — damaged bytes truncated away.
+    journal_tail_truncated: Counter,
+    /// `journal.fsync_latency` — wall-clock fsync durations (volatile:
+    /// both values and count depend on the fsync policy and hardware).
+    fsync_latency: Histogram,
 }
 
 /// The lvpd daemon: a registry of deployed monitors keyed by
@@ -184,6 +312,7 @@ pub struct Daemon {
     metrics: ServerMetrics,
     clock: VirtualClock,
     config: DaemonConfig,
+    durability: DurabilityConfig,
     shutdown: AtomicBool,
 }
 
@@ -206,6 +335,17 @@ impl Daemon {
             registrations: registry.counter("server.registrations"),
             shed: registry.counter("server.shed_requests"),
             errors: registry.counter("server.error_responses"),
+            oversized: registry.counter("server.oversized_requests"),
+            journal_appends: registry.counter("journal.appends"),
+            journal_append_failures: registry.counter("journal.append_failures"),
+            journal_compactions: registry.counter("journal.compactions"),
+            journal_replayed: registry.counter("journal.records_replayed"),
+            journal_replay_errors: registry.counter("journal.replay_op_errors"),
+            journal_stale_skipped: registry.counter("journal.stale_records_skipped"),
+            journal_future_skipped: registry.counter("journal.future_records_skipped"),
+            journal_tail_defects: registry.counter("journal.tail_defects"),
+            journal_tail_truncated: registry.counter("journal.tail_truncated_bytes"),
+            fsync_latency: registry.volatile_histogram("journal.fsync_latency"),
         };
         Self {
             inner: Mutex::new(Inner::default()),
@@ -213,13 +353,17 @@ impl Daemon {
             metrics,
             clock: VirtualClock::new(),
             config,
+            durability: DurabilityConfig::default(),
             shutdown: AtomicBool::new(false),
         }
     }
 
     /// A daemon whose registry is restored from a [`RegistrySnapshot`]
     /// file previously written by the `save` verb. Monitor state — open
-    /// streaming windows included — carries over bit-identically.
+    /// streaming windows included — carries over bit-identically. This is
+    /// the *standalone* restore path: no journal is attached and any
+    /// `journal_epoch` in the file is ignored; use [`Self::recover`] for
+    /// the full snapshot + journal-replay startup.
     pub fn with_state_file(config: DaemonConfig, path: impl AsRef<Path>) -> Result<Self, String> {
         let snapshot: RegistrySnapshot = load_json(path.as_ref()).map_err(|e| e.to_string())?;
         if snapshot.version == 0 || snapshot.version > ARTIFACT_VERSION {
@@ -238,9 +382,135 @@ impl Daemon {
         Ok(daemon)
     }
 
+    /// Crash-recovering startup: loads the last registry snapshot (if the
+    /// configured file exists), replays the write-ahead journal tail over
+    /// it, truncates any damaged tail to the last durable record, and
+    /// leaves the journal open for appending. Monitors are deterministic,
+    /// so the recovered registry is bit-identical to the pre-crash one up
+    /// to the last durable journal record.
+    ///
+    /// Defects are never fatal: a torn or bit-flipped tail is classified
+    /// and truncated ([`RecoveryReport::tail_defect`], `journal.tail_*`
+    /// counters), stale/future-epoch records are skipped and counted.
+    /// Only unreadable files (I/O or a corrupt snapshot envelope) error.
+    pub fn recover(
+        config: DaemonConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), String> {
+        let mut daemon = Self::new(config);
+        daemon.durability = durability.clone();
+        let mut report = RecoveryReport::default();
+        let mut epoch = 0u64;
+
+        if let Some(path) = durability.snapshot_path.as_deref().filter(|p| p.exists()) {
+            let snapshot: RegistrySnapshot =
+                load_json(path).map_err(|e| format!("recover registry snapshot: {e}"))?;
+            if snapshot.version == 0 || snapshot.version > ARTIFACT_VERSION {
+                return Err(format!(
+                    "unsupported registry snapshot version {} (supported: 1..={ARTIFACT_VERSION})",
+                    snapshot.version
+                ));
+            }
+            epoch = snapshot.journal_epoch.unwrap_or(0);
+            let mut inner = daemon.lock_inner();
+            for entry in snapshot.deployments {
+                daemon.install(&mut inner, entry.key, entry.artifact)?;
+            }
+            report.snapshot_loaded = true;
+            report.snapshot_deployments = inner.deployments.len();
+        }
+
+        if let Some(jpath) = durability.journal_path.as_deref() {
+            if jpath.exists() {
+                let bytes = std::fs::read(jpath)
+                    .map_err(|e| format!("read journal {}: {e}", jpath.display()))?;
+                report.journal_bytes = bytes.len() as u64;
+                let scan = scan_journal(&bytes);
+                {
+                    let mut inner = daemon.lock_inner();
+                    let inner = &mut *inner;
+                    for record in scan.records {
+                        match record.epoch.cmp(&epoch) {
+                            std::cmp::Ordering::Less => report.records_stale += 1,
+                            std::cmp::Ordering::Greater => report.records_future += 1,
+                            std::cmp::Ordering::Equal => {
+                                report.records_replayed += 1;
+                                if daemon.apply_op(inner, record.op).is_err() {
+                                    // The live daemon answered this exact
+                                    // request with an error and applied
+                                    // nothing; the replay just reproduced
+                                    // that no-op.
+                                    report.replay_op_errors += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(defect) = scan.defect {
+                    report.truncated_tail_bytes = (bytes.len() - scan.valid_len) as u64;
+                    report.tail_defect = Some(defect.to_string());
+                    let file = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(jpath)
+                        .map_err(|e| format!("open journal for repair: {e}"))?;
+                    file.set_len(scan.valid_len as u64)
+                        .map_err(|e| format!("truncate damaged journal tail: {e}"))?;
+                    file.sync_all()
+                        .map_err(|e| format!("sync repaired journal: {e}"))?;
+                }
+            }
+            let journal = Journal::open(jpath, durability.fsync, epoch)
+                .map_err(|e| format!("open journal {}: {e}", jpath.display()))?;
+            daemon.lock_inner().journal = Some(journal);
+        }
+
+        daemon
+            .metrics
+            .journal_replayed
+            .add(report.records_replayed as u64);
+        daemon
+            .metrics
+            .journal_replay_errors
+            .add(report.replay_op_errors as u64);
+        daemon
+            .metrics
+            .journal_stale_skipped
+            .add(report.records_stale as u64);
+        daemon
+            .metrics
+            .journal_future_skipped
+            .add(report.records_future as u64);
+        if report.tail_defect.is_some() {
+            daemon.metrics.journal_tail_defects.inc();
+            daemon
+                .metrics
+                .journal_tail_truncated
+                .add(report.truncated_tail_bytes);
+        }
+        Ok((daemon, report))
+    }
+
     /// The daemon's metrics registry (scraped by the `metrics` verb).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The daemon's admission/retention configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// The journal's current compaction epoch (`None` without a journal).
+    pub fn journal_epoch(&self) -> Option<u64> {
+        self.lock_inner().journal.as_ref().map(Journal::epoch)
+    }
+
+    /// Wraps the live journal sink in a seeded fault injector — test and
+    /// chaos-example plumbing; a no-op without a journal.
+    pub fn inject_journal_faults(&self, plan: JournalFaultPlan) {
+        if let Some(journal) = self.lock_inner().journal.as_mut() {
+            journal.wrap_sink(|sink| Box::new(crate::journal::FaultFile::new(sink, plan)));
+        }
     }
 
     /// The virtual clock admission cooldowns run on.
@@ -264,8 +534,26 @@ impl Daemon {
     }
 
     /// Requests shutdown (also reachable through the `shutdown` verb).
+    ///
+    /// The first call flushes durable state: with a configured snapshot
+    /// path the registry is saved there (compacting the journal); with
+    /// only a journal configured, the journal is fsynced so every
+    /// acknowledged mutation survives. Failures are reported on stderr —
+    /// shutdown proceeds regardless, and the journal still holds whatever
+    /// was durable before the failure.
     pub fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(path) = self.durability.snapshot_path.clone() {
+            if let Err(e) = self.save_to(&path) {
+                eprintln!("lvpd: shutdown save failed: {e}");
+            }
+        } else if let Some(journal) = self.lock_inner().journal.as_mut() {
+            if let Err(e) = journal.flush() {
+                eprintln!("lvpd: shutdown journal flush failed: {e}");
+            }
+        }
     }
 
     /// State access, recovering a poisoned lock: every mutation is a
@@ -289,6 +577,25 @@ impl Daemon {
                 Response::error(format!("malformed request: {e}"))
             }
         };
+        serde_json::to_string(&response)
+            .unwrap_or_else(|e| format!("{{\"status\":\"error\",\"message\":\"encode: {e}\"}}"))
+    }
+
+    /// The response line for a request whose raw bytes exceeded
+    /// [`DaemonConfig::max_request_bytes`]. The transport calls this
+    /// *instead of* [`Self::handle_line`] — the oversized line was never
+    /// fully buffered, so there is nothing to parse — and the rejection
+    /// still ticks the clock and the request/error counters like any
+    /// other handled request.
+    pub fn reject_oversized(&self) -> String {
+        self.clock.advance(self.config.clock_tick_nanos);
+        self.metrics.requests.inc();
+        self.metrics.errors.inc();
+        self.metrics.oversized.inc();
+        let response = Response::error(format!(
+            "request line exceeds max_request_bytes ({}); raise the cap or split the batch",
+            self.config.max_request_bytes
+        ));
         serde_json::to_string(&response)
             .unwrap_or_else(|e| format!("{{\"status\":\"error\",\"message\":\"encode: {e}\"}}"))
     }
@@ -323,6 +630,105 @@ impl Daemon {
                 r
             }
             other => Response::error(format!("unknown verb '{other}'")),
+        }
+    }
+
+    /// Appends `op` to the write-ahead journal (a no-op without one).
+    /// Called *before* the mutation it describes; on failure the caller
+    /// returns the error response and applies nothing, preserving the
+    /// invariant that replaying the journal reproduces exactly the
+    /// mutations the daemon acknowledged.
+    fn journal_append(&self, inner: &mut Inner, op: &JournalOp) -> Result<(), Box<Response>> {
+        let Some(journal) = inner.journal.as_mut() else {
+            return Ok(());
+        };
+        match journal.append(op) {
+            Ok(sync_nanos) => {
+                self.metrics.journal_appends.inc();
+                if let Some(nanos) = sync_nanos {
+                    self.metrics.fsync_latency.record_nanos(nanos);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.metrics.journal_append_failures.inc();
+                Err(Box::new(Response::error(format!(
+                    "write-ahead journal append failed; request not applied: {e}"
+                ))))
+            }
+        }
+    }
+
+    fn deployment_mut<'a>(
+        inner: &'a mut Inner,
+        key: &MonitorKey,
+    ) -> Result<&'a mut Deployment, String> {
+        inner
+            .deployments
+            .get_mut(key)
+            .ok_or_else(|| format!("unknown deployment {key}"))
+    }
+
+    /// Applies one journaled operation during recovery — the replay twin
+    /// of the live mutation paths, minus admission control (the ops were
+    /// already admitted when journaled; shed decisions were journaled as
+    /// their effects). Errors here reproduce errors the live daemon
+    /// already answered, so they are counted and skipped, never fatal.
+    fn apply_op(&self, inner: &mut Inner, op: JournalOp) -> Result<(), String> {
+        match op {
+            JournalOp::Register { key, artifact } => self.install(inner, key, artifact).map(|_| ()),
+            JournalOp::ObserveOutputs { key, rows } => {
+                let dep = Self::deployment_mut(inner, &key)?;
+                let proba =
+                    DenseMatrix::from_rows(&rows).map_err(|e| format!("bad outputs: {e}"))?;
+                dep.monitor
+                    .observe_outputs(&proba)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+            JournalOp::ObserveChunk { key, rows } => {
+                let dep = Self::deployment_mut(inner, &key)?;
+                let proba = DenseMatrix::from_rows(&rows).map_err(|e| format!("bad chunk: {e}"))?;
+                if proba.rows() > 0 && proba.cols() != dep.monitor.predictor().n_classes() {
+                    return Err(format!(
+                        "chunk has {} columns but {key} serves {} classes",
+                        proba.cols(),
+                        dep.monitor.predictor().n_classes()
+                    ));
+                }
+                dep.monitor
+                    .observe_output_chunk(&proba)
+                    .map_err(|e| e.to_string())
+            }
+            JournalOp::ObserveEstimate { key, estimate } => {
+                let dep = Self::deployment_mut(inner, &key)?;
+                dep.monitor.observe_estimate(estimate);
+                Ok(())
+            }
+            JournalOp::ObserveInterval { key, interval } => {
+                let dep = Self::deployment_mut(inner, &key)?;
+                dep.monitor
+                    .observe_interval(interval)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+            JournalOp::Finish { key } => {
+                let dep = Self::deployment_mut(inner, &key)?;
+                dep.monitor
+                    .finish_window()
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            }
+            JournalOp::AbandonWindow { key, reason } => {
+                let dep = Self::deployment_mut(inner, &key)?;
+                dep.monitor.abandon_window(reason);
+                Ok(())
+            }
+            JournalOp::ObserveDegraded { key, reason } => {
+                let dep = Self::deployment_mut(inner, &key)?;
+                dep.monitor.observe_degraded(reason);
+                Ok(())
+            }
         }
     }
 
@@ -379,7 +785,17 @@ impl Daemon {
             return Response::error("register requires an artifact");
         };
         let mut inner = self.lock_inner();
-        match self.install(&mut inner, key.clone(), artifact) {
+        let inner = &mut *inner;
+        if let Err(resp) = self.journal_append(
+            inner,
+            &JournalOp::Register {
+                key: key.clone(),
+                artifact: artifact.clone(),
+            },
+        ) {
+            return *resp;
+        }
+        match self.install(inner, key.clone(), artifact) {
             Ok(batches_seen) => {
                 let mut r = Response::ok();
                 r.message = Some(format!("registered {key}"));
@@ -473,6 +889,23 @@ impl Daemon {
                     key.tenant
                 );
                 let gate_snapshot = gate.clone();
+                // Shed effects mutate monitor state, so they are WAL'd
+                // like any other mutation — as their *effect*, with the
+                // literal reason, so replay needs no gate state.
+                let shed_op = if request.chunk.is_some() {
+                    JournalOp::AbandonWindow {
+                        key: key.clone(),
+                        reason: reason.clone(),
+                    }
+                } else {
+                    JournalOp::ObserveDegraded {
+                        key: key.clone(),
+                        reason: reason.clone(),
+                    }
+                };
+                if let Err(resp) = self.journal_append(inner, &shed_op) {
+                    return *resp;
+                }
                 let dep = inner.deployments.get_mut(&key).expect("checked above");
                 let mut resp = Response::shed(retry, reason.clone());
                 if request.chunk.is_some() {
@@ -499,25 +932,44 @@ impl Daemon {
         } else if let Some(interval) = request.interval {
             // External intervals are validated by the monitor before they
             // touch any alarm state; a malformed interval is a hard error
-            // that consumes no batch index.
-            let dep = inner.deployments.get_mut(&key).expect("checked above");
-            match dep.monitor.observe_interval(interval) {
-                Ok(report) => {
-                    let mut r = Response::ok();
-                    r.batches_seen = Some(dep.monitor.batches_seen());
-                    r.report = Some(report);
-                    Ok(r)
+            // that consumes no batch index (and its journaled record
+            // replays into the same no-op).
+            self.journal_append(
+                inner,
+                &JournalOp::ObserveInterval {
+                    key: key.clone(),
+                    interval,
+                },
+            )
+            .and_then(|()| {
+                let dep = inner.deployments.get_mut(&key).expect("checked above");
+                match dep.monitor.observe_interval(interval) {
+                    Ok(report) => {
+                        let mut r = Response::ok();
+                        r.batches_seen = Some(dep.monitor.batches_seen());
+                        r.report = Some(report);
+                        Ok(r)
+                    }
+                    Err(e) => Err(Box::new(Response::error(e.to_string()))),
                 }
-                Err(e) => Err(Box::new(Response::error(e.to_string()))),
-            }
+            })
         } else {
             let estimate = request.estimate.expect("mode checked above");
-            let dep = inner.deployments.get_mut(&key).expect("checked above");
-            let report = dep.monitor.observe_estimate(estimate);
-            let mut r = Response::ok();
-            r.batches_seen = Some(dep.monitor.batches_seen());
-            r.report = Some(report);
-            Ok(r)
+            self.journal_append(
+                inner,
+                &JournalOp::ObserveEstimate {
+                    key: key.clone(),
+                    estimate,
+                },
+            )
+            .map(|()| {
+                let dep = inner.deployments.get_mut(&key).expect("checked above");
+                let report = dep.monitor.observe_estimate(estimate);
+                let mut r = Response::ok();
+                r.batches_seen = Some(dep.monitor.batches_seen());
+                r.report = Some(report);
+                r
+            })
         };
         match response {
             Ok(mut resp) => {
@@ -550,9 +1002,18 @@ impl Daemon {
         key: &MonitorKey,
         rows: &[Vec<f64>],
     ) -> Result<Response, Box<Response>> {
-        let dep = inner.deployments.get_mut(key).expect("checked above");
+        // Shape validation happens before the WAL append so pure parse
+        // errors (which mutate nothing) are not journaled at all.
         let proba = DenseMatrix::from_rows(rows)
             .map_err(|e| Box::new(Response::error(format!("bad outputs: {e}"))))?;
+        self.journal_append(
+            inner,
+            &JournalOp::ObserveOutputs {
+                key: key.clone(),
+                rows: rows.to_vec(),
+            },
+        )?;
+        let dep = inner.deployments.get_mut(key).expect("checked above");
         let report = dep
             .monitor
             .observe_outputs(&proba)
@@ -595,6 +1056,16 @@ impl Daemon {
                 "tenant '{}' over its in-flight chunk budget ({pending}/{}): chunk shed",
                 key.tenant, self.config.queue_capacity
             );
+            // The shed is journaled as its *effect* (window abandonment),
+            // so replay reproduces the degradation without reconstructing
+            // ephemeral gate state.
+            self.journal_append(
+                inner,
+                &JournalOp::AbandonWindow {
+                    key: key.clone(),
+                    reason: reason.clone(),
+                },
+            )?;
             let dep = inner.deployments.get_mut(key).expect("checked above");
             // Degrade, never drop: the shed chunk's window finishes
             // degraded instead of pretending it saw every chunk.
@@ -606,16 +1077,31 @@ impl Daemon {
             resp.pending_chunks = Some(pending);
             return Err(Box::new(resp));
         }
-        let dep = inner.deployments.get_mut(key).expect("checked above");
+        // Validate shape and class count before the WAL append so pure
+        // parse errors (which mutate nothing) are not journaled at all.
         let proba = DenseMatrix::from_rows(rows)
             .map_err(|e| Box::new(Response::error(format!("bad chunk: {e}"))))?;
-        if proba.rows() > 0 && proba.cols() != dep.monitor.predictor().n_classes() {
+        let n_classes = inner
+            .deployments
+            .get(key)
+            .expect("checked above")
+            .monitor
+            .predictor()
+            .n_classes();
+        if proba.rows() > 0 && proba.cols() != n_classes {
             return Err(Box::new(Response::error(format!(
-                "chunk has {} columns but {key} serves {} classes",
+                "chunk has {} columns but {key} serves {n_classes} classes",
                 proba.cols(),
-                dep.monitor.predictor().n_classes()
             ))));
         }
+        self.journal_append(
+            inner,
+            &JournalOp::ObserveChunk {
+                key: key.clone(),
+                rows: rows.to_vec(),
+            },
+        )?;
+        let dep = inner.deployments.get_mut(key).expect("checked above");
         dep.monitor
             .observe_output_chunk(&proba)
             .map_err(|e| Box::new(Response::error(e.to_string())))?;
@@ -631,9 +1117,17 @@ impl Daemon {
         };
         let mut inner = self.lock_inner();
         let inner = &mut *inner;
-        let Some(dep) = inner.deployments.get_mut(&key) else {
+        if !inner.deployments.contains_key(&key) {
             return Response::error(format!("unknown deployment {key}"));
-        };
+        }
+        // Journaled even when no window is open: the live error below is a
+        // no-op on monitor state, and replaying it reproduces the same
+        // no-op error, keeping replay bit-identical without peeking into
+        // window state here.
+        if let Err(resp) = self.journal_append(inner, &JournalOp::Finish { key: key.clone() }) {
+            return *resp;
+        }
+        let dep = inner.deployments.get_mut(&key).expect("checked above");
         let result = dep.monitor.finish_window();
         let batches_seen = dep.monitor.batches_seen();
         let gate_snapshot = inner.tenants.entry(key.tenant.clone()).or_default().clone();
@@ -682,11 +1176,19 @@ impl Daemon {
         r
     }
 
-    /// Snapshot of the registry contents, for embedding and tests.
+    /// Snapshot of the registry contents, for embedding and tests. Pure
+    /// content — `journal_epoch` is `None`, so two daemons holding the
+    /// same monitor state snapshot identically regardless of how many
+    /// compactions each has been through.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let inner = self.lock_inner();
+        Self::snapshot_locked(&inner, None)
+    }
+
+    fn snapshot_locked(inner: &Inner, journal_epoch: Option<u64>) -> RegistrySnapshot {
         RegistrySnapshot {
             version: ARTIFACT_VERSION,
+            journal_epoch,
             deployments: inner
                 .deployments
                 .iter()
@@ -698,21 +1200,67 @@ impl Daemon {
         }
     }
 
+    /// Writes the registry to `path` (enveloped, atomic, durable).
+    ///
+    /// A save to the *configured* snapshot path additionally compacts the
+    /// write-ahead journal: the snapshot records `epoch + 1`, and once it
+    /// is durable the journal is truncated and moves to the new epoch. A
+    /// crash between those two steps leaves old-epoch records in the
+    /// journal that recovery recognizes as stale and skips — the crash
+    /// window double-applies nothing. A save to any *other* path is a
+    /// plain export (`journal_epoch: None`) that restores standalone via
+    /// [`DaemonConfig::with_state_file`] without consuming this daemon's
+    /// journal.
+    pub fn save_to(&self, path: &Path) -> Result<String, String> {
+        let mut inner = self.lock_inner();
+        let inner = &mut *inner;
+        let compacting =
+            inner.journal.is_some() && self.durability.snapshot_path.as_deref() == Some(path);
+        let journal_epoch = compacting.then(|| {
+            inner
+                .journal
+                .as_ref()
+                .expect("compacting implies a journal")
+                .next_epoch()
+        });
+        let snapshot = Self::snapshot_locked(inner, journal_epoch);
+        save_json(&snapshot, path).map_err(|e| e.to_string())?;
+        if let Some(epoch) = journal_epoch {
+            let journal = inner
+                .journal
+                .as_mut()
+                .expect("compacting implies a journal");
+            journal.compact_to_epoch(epoch).map_err(|e| {
+                format!(
+                    "snapshot saved to {} but journal compaction failed: {e}",
+                    path.display()
+                )
+            })?;
+            self.metrics.journal_compactions.inc();
+        }
+        Ok(format!(
+            "saved {} deployments to {}{}",
+            snapshot.deployments.len(),
+            path.display(),
+            if compacting {
+                " (journal compacted)"
+            } else {
+                ""
+            },
+        ))
+    }
+
     fn save(&self, request: Request) -> Response {
         let Some(path) = request.path else {
             return Response::error("save requires a path");
         };
-        let snapshot = self.snapshot();
-        match save_json(&snapshot, &path) {
-            Ok(()) => {
+        match self.save_to(Path::new(&path)) {
+            Ok(message) => {
                 let mut r = Response::ok();
-                r.message = Some(format!(
-                    "saved {} deployments to {path}",
-                    snapshot.deployments.len()
-                ));
+                r.message = Some(message);
                 r
             }
-            Err(e) => Response::error(e.to_string()),
+            Err(e) => Response::error(e),
         }
     }
 }

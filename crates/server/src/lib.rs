@@ -27,9 +27,14 @@
 //! function of the request sequence.
 
 pub mod daemon;
+pub mod journal;
 pub mod net;
 pub mod protocol;
 
-pub use daemon::{Daemon, DaemonConfig};
+pub use daemon::{Daemon, DaemonConfig, DurabilityConfig, RecoveryReport};
+pub use journal::{
+    encode_record, scan_journal, FaultFile, FileSink, FsyncPolicy, Journal, JournalDefect,
+    JournalFaultPlan, JournalOp, JournalRecord, JournalScan, JournalSink, MemorySink,
+};
 pub use net::{Client, Server};
 pub use protocol::{DeploymentEntry, MonitorKey, RegistrySnapshot, Request, Response};

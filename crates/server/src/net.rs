@@ -10,7 +10,7 @@ use crate::daemon::Daemon;
 use crate::protocol::{Request, Response};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
 /// A running lvpd listener. Dropping it does not stop the daemon; call
@@ -29,17 +29,33 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let accept_daemon = Arc::clone(&daemon);
         let acceptor = thread::spawn(move || {
-            let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+            // Only this thread touches the worker list, so it needs no
+            // lock (the old `Mutex` here could also poison and panic the
+            // acceptor if a push ever unwound mid-lock).
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
             for stream in listener.incoming() {
                 if accept_daemon.is_shutdown() {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // Reap finished connection handlers so the list stays
+                // proportional to *live* connections instead of growing
+                // by one handle per connection ever accepted. Joining a
+                // finished thread returns immediately.
+                let mut i = 0;
+                while i < workers.len() {
+                    if workers[i].is_finished() {
+                        let _ = workers.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
                 let daemon = Arc::clone(&accept_daemon);
-                let handle = thread::spawn(move || serve_connection(&daemon, stream, local_addr));
-                workers.lock().expect("worker list lock").push(handle);
+                workers.push(thread::spawn(move || {
+                    serve_connection(&daemon, stream, local_addr)
+                }));
             }
-            for handle in workers.into_inner().expect("worker list lock") {
+            for handle in workers {
                 let _ = handle.join();
             }
         });
@@ -75,21 +91,85 @@ impl Server {
     }
 }
 
+/// Outcome of one bounded line read from a connection.
+enum LineRead {
+    /// A complete line within the size cap (without its `\n`).
+    Line(Vec<u8>),
+    /// The line exceeded the cap; its bytes were drained, not buffered.
+    Oversized,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `cap` bytes. Past the
+/// cap the rest of the line is *drained* chunk by chunk (never held in
+/// memory), so a malicious or misconfigured client sending a gigabyte
+/// line costs the daemon one fixed-size buffer, not a gigabyte — and the
+/// connection stays usable for the next request.
+fn read_bounded_line(reader: &mut impl BufRead, cap: usize) -> io::Result<LineRead> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF. An unterminated oversized tail is still a rejection;
+            // an unterminated in-cap tail is served as a final line.
+            return Ok(if oversized {
+                LineRead::Oversized
+            } else if line.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(line)
+            });
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            if !oversized {
+                line.extend_from_slice(&buf[..pos]);
+            }
+            reader.consume(pos + 1);
+            return Ok(if oversized || line.len() > cap {
+                LineRead::Oversized
+            } else {
+                LineRead::Line(line)
+            });
+        }
+        let chunk = buf.len();
+        if !oversized {
+            line.extend_from_slice(buf);
+            if line.len() > cap {
+                // Switch to drain mode: release what we buffered.
+                oversized = true;
+                line = Vec::new();
+            }
+        }
+        reader.consume(chunk);
+    }
+}
+
 /// Serves one connection: one response line per request line, until the
 /// peer closes or the daemon shuts down. `local_addr` lets the handler
-/// poke the acceptor awake after a `shutdown` verb.
+/// poke the acceptor awake after a `shutdown` verb. Request lines longer
+/// than [`DaemonConfig::max_request_bytes`](crate::daemon::DaemonConfig)
+/// are rejected with a typed error response instead of buffered.
 fn serve_connection(daemon: &Daemon, stream: TcpStream, local_addr: SocketAddr) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let cap = daemon.config().max_request_bytes;
     let mut writer = io::BufWriter::new(write_half);
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = daemon.handle_line(&line);
+    let mut reader = BufReader::new(stream);
+    loop {
+        let response = match read_bounded_line(&mut reader, cap) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::Oversized) => daemon.reject_oversized(),
+            Ok(LineRead::Line(bytes)) => {
+                let line = String::from_utf8_lossy(&bytes);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                daemon.handle_line(&line)
+            }
+        };
         if writer
             .write_all(response.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -139,5 +219,68 @@ impl Client {
         }
         serde_json::from_str(&response)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    // A tiny buffer capacity forces the reader through its chunked drain
+    // path even for short test inputs.
+    fn chunked(bytes: &[u8]) -> BufReader<Cursor<Vec<u8>>> {
+        BufReader::with_capacity(4, Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn bounded_line_reader_caps_memory_not_the_connection() {
+        // In-cap lines come back intact, across chunk boundaries.
+        let mut r = chunked(b"hello world\nsecond\n");
+        let LineRead::Line(first) = read_bounded_line(&mut r, 16).unwrap() else {
+            panic!("expected a line");
+        };
+        assert_eq!(first, b"hello world");
+
+        // An oversized line is drained and rejected — and the *next* line
+        // on the same reader still parses, so one abusive request does
+        // not wedge the connection.
+        let mut r = chunked(b"0123456789abcdef-too-long\nok\n");
+        assert!(matches!(
+            read_bounded_line(&mut r, 8).unwrap(),
+            LineRead::Oversized
+        ));
+        let LineRead::Line(next) = read_bounded_line(&mut r, 8).unwrap() else {
+            panic!("expected the follow-up line");
+        };
+        assert_eq!(next, b"ok");
+
+        // A line of exactly `cap` bytes is allowed; cap + 1 is not.
+        let mut r = chunked(b"12345678\n123456789\n");
+        assert!(matches!(
+            read_bounded_line(&mut r, 8).unwrap(),
+            LineRead::Line(l) if l == b"12345678"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 8).unwrap(),
+            LineRead::Oversized
+        ));
+
+        // Unterminated tails: served when in cap, rejected when over.
+        let mut r = chunked(b"tail");
+        assert!(matches!(
+            read_bounded_line(&mut r, 8).unwrap(),
+            LineRead::Line(l) if l == b"tail"
+        ));
+        let mut r = chunked(b"unterminated-overflow");
+        assert!(matches!(
+            read_bounded_line(&mut r, 8).unwrap(),
+            LineRead::Oversized
+        ));
+        let mut r = chunked(b"");
+        assert!(matches!(
+            read_bounded_line(&mut r, 8).unwrap(),
+            LineRead::Eof
+        ));
     }
 }

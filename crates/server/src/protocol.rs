@@ -199,6 +199,13 @@ impl Response {
 pub struct RegistrySnapshot {
     /// Artifact format version (shared with the core artifacts).
     pub version: u32,
+    /// The write-ahead-journal compaction epoch this snapshot covers:
+    /// replay applies only journal records at exactly this epoch,
+    /// skipping stale ones left by a crash between snapshot and journal
+    /// truncation. `None` on snapshots from journal-less daemons and on
+    /// plain exports, which restore standalone (absent in pre-journal
+    /// snapshot files, which deserialize as `None`).
+    pub journal_epoch: Option<u64>,
     /// Every deployment, sorted by key.
     pub deployments: Vec<DeploymentEntry>,
 }

@@ -142,7 +142,7 @@ impl Drop for Span {
 enum Metric {
     Counter { cell: Counter, volatile: bool },
     Gauge { cell: Gauge, volatile: bool },
-    Histogram(Histogram),
+    Histogram { cell: Histogram, volatile: bool },
 }
 
 impl Metric {
@@ -150,7 +150,7 @@ impl Metric {
         match self {
             Metric::Counter { .. } => "counter",
             Metric::Gauge { .. } => "gauge",
-            Metric::Histogram(_) => "histogram",
+            Metric::Histogram { .. } => "histogram",
         }
     }
 }
@@ -288,12 +288,11 @@ impl Registry {
         self.gauge_with(name, true)
     }
 
-    /// Gets or registers the duration histogram `name`.
-    pub fn histogram(&self, name: &str) -> Histogram {
+    fn histogram_with(&self, name: &str, volatile: bool) -> Histogram {
         self.resolve(
             name,
             |m| match m {
-                Metric::Histogram(cell) => Some(cell.clone()),
+                Metric::Histogram { cell, .. } => Some(cell.clone()),
                 _ => None,
             },
             || {
@@ -302,9 +301,29 @@ impl Registry {
                     count: AtomicU64::new(0),
                     sum_nanos: AtomicU64::new(0),
                 }));
-                (Metric::Histogram(cell.clone()), cell)
+                (
+                    Metric::Histogram {
+                        cell: cell.clone(),
+                        volatile,
+                    },
+                    cell,
+                )
             },
         )
+    }
+
+    /// Gets or registers the duration histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, false)
+    }
+
+    /// Gets or registers a duration histogram whose very observation
+    /// *count* is scheduling- or configuration-dependent — e.g. fsync
+    /// latency, where the count depends on the fsync policy — so
+    /// [`TelemetrySnapshot::deterministic`] drops it entirely (ordinary
+    /// histograms keep their deterministic count).
+    pub fn volatile_histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, true)
     }
 
     /// Starts a [`Span`] recording into the duration histogram `name`.
@@ -332,8 +351,11 @@ impl Registry {
                         snap.volatile.push(name.clone());
                     }
                 }
-                Metric::Histogram(cell) => {
+                Metric::Histogram { cell, volatile } => {
                     snap.histograms.insert(name.clone(), cell.snapshot());
+                    if *volatile {
+                        snap.volatile.push(name.clone());
+                    }
                 }
             }
         }

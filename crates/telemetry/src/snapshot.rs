@@ -47,9 +47,9 @@ pub struct TelemetrySnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Duration histograms by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
-    /// Names of counters/gauges whose values are scheduling-dependent
-    /// (e.g. per-shard cache hit counts); sorted. These are excluded from
-    /// [`Self::deterministic`].
+    /// Names of counters/gauges/histograms whose values are scheduling-
+    /// or configuration-dependent (e.g. per-shard cache hit counts, fsync
+    /// latency); sorted. These are excluded from [`Self::deterministic`].
     pub volatile: Vec<String>,
 }
 
@@ -76,6 +76,7 @@ impl TelemetrySnapshot {
             histograms: self
                 .histograms
                 .iter()
+                .filter(|(name, _)| !is_volatile(name))
                 .map(|(name, h)| {
                     (
                         name.clone(),
@@ -130,9 +131,14 @@ impl TelemetrySnapshot {
             let _ = writeln!(out, "gauge      {name:<width$}  {v:.6}{tag}");
         }
         for (name, h) in &self.histograms {
+            let tag = if self.volatile.binary_search(name).is_ok() {
+                "  (volatile)"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
-                "histogram  {name:<width$}  count={} mean={:.1}µs",
+                "histogram  {name:<width$}  count={} mean={:.1}µs{tag}",
                 h.count,
                 h.mean_nanos() / 1_000.0,
             );
@@ -161,6 +167,22 @@ mod tests {
         let snap = populated().snapshot();
         let json = snap.to_json().unwrap();
         assert_eq!(TelemetrySnapshot::from_json(&json).unwrap(), snap);
+    }
+
+    #[test]
+    fn volatile_histograms_are_dropped_from_the_deterministic_view() {
+        let r = Registry::new();
+        r.volatile_histogram("journal.fsync").record_nanos(1_000);
+        r.histogram("observe").record_nanos(2_000);
+        let snap = r.snapshot();
+        assert_eq!(snap.volatile, vec!["journal.fsync"]);
+        assert!(snap.render_text().contains("journal.fsync"));
+        let det = snap.deterministic();
+        // An ordinary histogram keeps its (deterministic) count; a
+        // volatile one — whose count depends on configuration such as the
+        // fsync policy — disappears entirely.
+        assert_eq!(det.histograms["observe"].count, 1);
+        assert!(!det.histograms.contains_key("journal.fsync"));
     }
 
     #[test]

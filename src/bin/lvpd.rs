@@ -5,7 +5,7 @@
 //! `lvp_server::protocol`):
 //!
 //! ```text
-//! lvpd --addr 127.0.0.1:7878 --state registry.json
+//! lvpd --addr 127.0.0.1:7878 --state registry.json --journal observe.journal
 //! ```
 //!
 //! Clients speak one JSON object per line in each direction, e.g.:
@@ -15,33 +15,52 @@
 //! < {"status":"ok","report":{...},"batches_seen":1,"pending_chunks":0}
 //! ```
 //!
-//! When `--state` is given and the file exists, the registry is restored
-//! from it at startup; the `save` verb writes it back (bit-identically,
-//! open streaming windows included). The daemon exits cleanly when any
-//! client sends `{"verb":"shutdown"}`.
+//! ## Durability
+//!
+//! With `--state` and `--journal` the daemon runs crash-safe: startup
+//! loads the last snapshot and replays the write-ahead journal tail over
+//! it (truncating any torn or corrupted tail to the last durable record),
+//! every accepted mutation is journaled *before* it is applied, the
+//! `save` verb compacts the journal, and shutdown writes a final
+//! snapshot. `--state` alone restores at startup and saves on shutdown
+//! but cannot survive a crash between saves; `--journal` alone replays
+//! the full journal from an empty registry. The daemon exits cleanly when
+//! any client sends `{"verb":"shutdown"}`.
 
-use lvp_server::{Daemon, DaemonConfig, Server};
+use lvp_server::{Daemon, DaemonConfig, DurabilityConfig, FsyncPolicy, Server};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "lvpd — multi-tenant monitoring daemon
 
 USAGE:
-    lvpd [--addr HOST:PORT] [--state FILE] [--queue-capacity N]
-         [--history-limit N] [--tick NANOS]
+    lvpd [--addr HOST:PORT] [--state FILE] [--journal FILE]
+         [--fsync always|never|every:N] [--max-request-bytes N]
+         [--queue-capacity N] [--history-limit N] [--tick NANOS]
 
 OPTIONS:
-    --addr HOST:PORT     listen address (default 127.0.0.1:7878; port 0
-                         picks an ephemeral port, printed on startup)
-    --state FILE         registry snapshot to restore at startup when it
-                         exists (written back by the `save` verb)
-    --queue-capacity N   per-tenant in-flight chunk budget (default 64)
-    --history-limit N    per-monitor report retention (default 256)
-    --tick NANOS         virtual nanoseconds per request, driving breaker
-                         cooldowns (default 1000000)
+    --addr HOST:PORT        listen address (default 127.0.0.1:7878; port 0
+                            picks an ephemeral port, printed on startup)
+    --state FILE            registry snapshot: restored at startup when it
+                            exists, compacted by the `save` verb, written
+                            on shutdown
+    --journal FILE          write-ahead journal: every accepted mutation
+                            is appended here before it is applied, and
+                            replayed over the snapshot at startup
+    --fsync POLICY          journal fsync policy: always (default, every
+                            record durable before it is acknowledged),
+                            every:N (batch N appends per fsync), never
+                            (leave flushing to the OS)
+    --max-request-bytes N   reject request lines longer than N bytes
+                            instead of buffering them (default 16777216)
+    --queue-capacity N      per-tenant in-flight chunk budget (default 64)
+    --history-limit N       per-monitor report retention (default 256)
+    --tick NANOS            virtual nanoseconds per request, driving
+                            breaker cooldowns (default 1000000)
 ";
 
-fn parse_args(argv: &[String]) -> Result<(String, Option<String>, DaemonConfig), String> {
+fn parse_args(argv: &[String]) -> Result<(String, DurabilityConfig, DaemonConfig), String> {
     let value_of = |flag: &str| {
         argv.iter()
             .position(|a| a == flag)
@@ -65,9 +84,21 @@ fn parse_args(argv: &[String]) -> Result<(String, Option<String>, DaemonConfig),
             .parse()
             .map_err(|_| format!("--tick: '{v}' is not a nanosecond count"))?;
     }
+    if let Some(v) = value_of("--max-request-bytes") {
+        config.max_request_bytes = v
+            .parse()
+            .map_err(|_| format!("--max-request-bytes: '{v}' is not a byte count"))?;
+    }
+    let durability = DurabilityConfig {
+        snapshot_path: value_of("--state").map(PathBuf::from),
+        journal_path: value_of("--journal").map(PathBuf::from),
+        fsync: match value_of("--fsync") {
+            Some(v) => FsyncPolicy::parse(v).map_err(|e| format!("--fsync: {e}"))?,
+            None => FsyncPolicy::default(),
+        },
+    };
     let addr = value_of("--addr").unwrap_or("127.0.0.1:7878").to_string();
-    let state = value_of("--state").map(str::to_string);
-    Ok((addr, state, config))
+    Ok((addr, durability, config))
 }
 
 fn main() -> ExitCode {
@@ -76,7 +107,7 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let (addr, state, config) = match parse_args(&argv) {
+    let (addr, durability, config) = match parse_args(&argv) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("lvpd: {message}\n\n{USAGE}");
@@ -84,20 +115,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let daemon = match &state {
-        Some(path) if std::path::Path::new(path).exists() => {
-            match Daemon::with_state_file(config, path) {
-                Ok(daemon) => {
-                    eprintln!("lvpd: restored registry from {path}");
-                    daemon
-                }
-                Err(message) => {
-                    eprintln!("lvpd: cannot restore {path}: {message}");
-                    return ExitCode::FAILURE;
-                }
+    let durable = durability.snapshot_path.is_some() || durability.journal_path.is_some();
+    let daemon = if durable {
+        match Daemon::recover(config, durability) {
+            Ok((daemon, report)) => {
+                eprintln!("lvpd: {}", report.summary());
+                daemon
+            }
+            Err(message) => {
+                eprintln!("lvpd: cannot recover durable state: {message}");
+                return ExitCode::FAILURE;
             }
         }
-        _ => Daemon::new(config),
+    } else {
+        Daemon::new(config)
     };
 
     let server = match Server::spawn(Arc::new(daemon), addr.as_str()) {

@@ -1,0 +1,489 @@
+//! Crash-recovery properties of the durable lvpd stack: a daemon killed
+//! at *any* journal record boundary recovers bit-identical registry
+//! state; torn, truncated, or bit-flipped journal tails are classified
+//! and truncated to the last durable record (never a panic); live torn
+//! appends reject the request without applying it; and pre-envelope
+//! registry snapshots still load.
+
+use lvp_core::{
+    to_json, BatchMonitor, MonitorPolicy, PerformancePredictor, PredictorConfig, ServingArtifact,
+};
+use lvp_corruptions::standard_tabular_suite;
+use lvp_dataframe::toy_frame;
+use lvp_models::{train_logistic_regression, BlackBoxModel, BreakerConfig};
+use lvp_server::{
+    Daemon, DaemonConfig, DurabilityConfig, JournalFaultPlan, MonitorKey, Request, Response,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::sync::Arc;
+
+fn serving_artifact() -> ServingArtifact {
+    let df = toy_frame(220);
+    let mut rng = StdRng::seed_from_u64(23);
+    let (train, rest) = df.split_frac(0.4, &mut rng);
+    let (test, _serving) = rest.split_frac(0.5, &mut rng);
+    let model: Arc<dyn BlackBoxModel> =
+        Arc::from(train_logistic_regression(&train, &mut rng).unwrap());
+    let gens = standard_tabular_suite(test.schema());
+    let predictor = PerformancePredictor::fit(
+        Arc::clone(&model),
+        &test,
+        &gens,
+        &PredictorConfig::fast(),
+        &mut rng,
+    )
+    .unwrap();
+    let monitor = BatchMonitor::new(predictor, MonitorPolicy::default()).unwrap();
+    ServingArtifact::from_monitor(&monitor)
+}
+
+fn config() -> DaemonConfig {
+    DaemonConfig {
+        queue_capacity: 2,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown_nanos: 50_000_000,
+            half_open_successes: 1,
+        },
+        ..DaemonConfig::default()
+    }
+}
+
+fn key(tenant: &str) -> MonitorKey {
+    MonitorKey {
+        tenant: tenant.to_string(),
+        model: "churn".to_string(),
+        version: "v2".to_string(),
+    }
+}
+
+fn chunk_rows(n: usize, shift: f64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let p = (0.15 + shift + 0.6 * (i as f64 / n as f64)).clamp(0.01, 0.99);
+            vec![p, 1.0 - p]
+        })
+        .collect()
+}
+
+/// The deterministic workload: two deployments, full batches, estimates,
+/// streamed chunks with overflow sheds (the per-tenant budget is 2), a
+/// breaker-open phase, finishes, and one mid-stream compacting `save`.
+/// Well over 50 journaled mutations.
+fn workload(artifact: &ServingArtifact, snapshot_path: &Path) -> Vec<Request> {
+    let mut requests = Vec::new();
+    for tenant in ["acme", "bravo"] {
+        let mut req = Request::targeted("register", &key(tenant));
+        req.artifact = Some(artifact.clone());
+        requests.push(req);
+    }
+    for i in 0..18 {
+        let mut req = Request::targeted("observe", &key("acme"));
+        req.estimate = Some(0.3 + 0.02 * i as f64);
+        requests.push(req);
+    }
+    for i in 0..4 {
+        let mut req = Request::targeted("observe", &key("acme"));
+        req.outputs = Some(chunk_rows(12, 0.02 * i as f64));
+        requests.push(req);
+    }
+    // bravo floods its chunk budget: each round journals two accepted
+    // chunks, one shed (as its window-abandonment effect), and a finish
+    // of the poisoned window. Two overflow rounds trip the breaker.
+    for round in 0..4 {
+        for c in 0..3 {
+            let mut req = Request::targeted("observe", &key("bravo"));
+            req.chunk = Some(chunk_rows(8, 0.03 * (round * 3 + c) as f64));
+            requests.push(req);
+        }
+        requests.push(Request::targeted("finish", &key("bravo")));
+    }
+    // Breaker-open sheds journal as degraded-batch effects.
+    for i in 0..4 {
+        let mut req = Request::targeted("observe", &key("bravo"));
+        req.estimate = Some(0.5 + 0.01 * i as f64);
+        requests.push(req);
+    }
+    // An invalid interval errors without journaling or mutating anything.
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.interval = Some(lvp_core::ScoreInterval {
+        point: 0.8,
+        lo: 0.9,
+        hi: 0.7,
+        alpha: 0.1,
+    });
+    requests.push(req);
+    // Mid-stream save to the configured path: compacts the journal.
+    let mut req = Request::new("save");
+    req.path = Some(snapshot_path.to_string_lossy().into_owned());
+    requests.push(req);
+    // Post-compaction traffic, including a valid external interval and an
+    // open window left in flight at the end.
+    for i in 0..10 {
+        let mut req = Request::targeted("observe", &key("acme"));
+        req.estimate = Some(0.4 + 0.015 * i as f64);
+        requests.push(req);
+    }
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.interval = Some(lvp_core::ScoreInterval {
+        point: 0.8,
+        lo: 0.7,
+        hi: 0.9,
+        alpha: 0.1,
+    });
+    requests.push(req);
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.chunk = Some(chunk_rows(10, 0.0));
+    requests.push(req);
+    requests
+}
+
+/// Files on disk after one request: the journal plus the snapshot, if one
+/// has been written yet — exactly what a crash at this boundary leaves.
+#[derive(Clone)]
+struct DiskState {
+    journal: Vec<u8>,
+    snapshot: Option<Vec<u8>>,
+}
+
+struct Trace {
+    /// Disk state after request `i` of the workload.
+    disk: Vec<DiskState>,
+    /// Registry-content JSON after request `i` (the recovery target).
+    state_json: Vec<String>,
+    responses: Vec<Response>,
+}
+
+/// Runs the workload on a durable daemon in `dir`, capturing the on-disk
+/// bytes and the in-memory registry state after every request.
+fn run_durable(artifact: &ServingArtifact, dir: &Path) -> Trace {
+    std::fs::create_dir_all(dir).unwrap();
+    let durability = DurabilityConfig::in_dir(dir);
+    let snapshot_path = durability.snapshot_path.clone().unwrap();
+    let journal_path = durability.journal_path.clone().unwrap();
+    let (daemon, report) = Daemon::recover(config(), durability).unwrap();
+    assert!(!report.snapshot_loaded && report.journal_bytes == 0);
+
+    let mut trace = Trace {
+        disk: Vec::new(),
+        state_json: Vec::new(),
+        responses: Vec::new(),
+    };
+    for request in workload(artifact, &snapshot_path) {
+        let response = daemon.handle_request(request);
+        trace.disk.push(DiskState {
+            journal: std::fs::read(&journal_path).unwrap(),
+            snapshot: std::fs::read(&snapshot_path).ok(),
+        });
+        trace.state_json.push(to_json(&daemon.snapshot()).unwrap());
+        trace.responses.push(response);
+    }
+    trace
+}
+
+/// Lays `disk` down in `dir` as the post-crash filesystem.
+fn plant(disk: &DiskState, dir: &Path) -> DurabilityConfig {
+    std::fs::create_dir_all(dir).unwrap();
+    let durability = DurabilityConfig::in_dir(dir);
+    std::fs::write(durability.journal_path.as_ref().unwrap(), &disk.journal).unwrap();
+    let snapshot_path = durability.snapshot_path.as_ref().unwrap();
+    match &disk.snapshot {
+        Some(bytes) => std::fs::write(snapshot_path, bytes).unwrap(),
+        None => {
+            let _ = std::fs::remove_file(snapshot_path);
+        }
+    }
+    durability
+}
+
+#[test]
+fn crashing_at_every_record_boundary_recovers_bit_identical_state() {
+    let dir = std::env::temp_dir().join(format!("lvpd-crash-{}", std::process::id()));
+    let artifact = serving_artifact();
+    let trace = run_durable(&artifact, &dir.join("live"));
+    assert!(
+        trace.disk.len() > 50,
+        "workload too small: {}",
+        trace.disk.len()
+    );
+    // The workload really exercised the interesting paths.
+    assert!(trace.responses.iter().any(Response::is_shed));
+    assert!(trace.responses.iter().any(|r| r.status == "error"));
+    let compactions = trace.windows_compacted();
+    assert!(compactions >= 1, "the save must have compacted the journal");
+
+    // Crash after every request: recovery from exactly the bytes on disk
+    // must reproduce the live daemon's registry state bit-for-bit.
+    let scratch = dir.join("scratch");
+    for (step, disk) in trace.disk.iter().enumerate() {
+        let durability = plant(disk, &scratch);
+        let (recovered, report) = Daemon::recover(config(), durability)
+            .unwrap_or_else(|e| panic!("recovery at step {step} failed: {e}"));
+        assert_eq!(
+            to_json(&recovered.snapshot()).unwrap(),
+            trace.state_json[step],
+            "state diverged after crash at step {step} ({report:?})",
+        );
+        assert!(
+            report.tail_defect.is_none(),
+            "clean boundary misread as damage at step {step}: {report:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+impl Trace {
+    /// How many times the on-disk journal shrank — i.e. was compacted.
+    fn windows_compacted(&self) -> usize {
+        self.disk
+            .windows(2)
+            .filter(|w| w[1].journal.len() < w[0].journal.len())
+            .count()
+    }
+}
+
+#[test]
+fn identical_durable_sessions_leave_byte_identical_files() {
+    let dir = std::env::temp_dir().join(format!("lvpd-det-{}", std::process::id()));
+    let artifact = serving_artifact();
+    let a = run_durable(&artifact, &dir.join("a"));
+    let b = run_durable(&artifact, &dir.join("b"));
+    let (la, lb) = (a.disk.last().unwrap(), b.disk.last().unwrap());
+    assert_eq!(la.journal, lb.journal, "journals must be byte-identical");
+    assert_eq!(la.snapshot, lb.snapshot, "snapshots must be byte-identical");
+    assert_eq!(a.state_json.last(), b.state_json.last());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_compaction_skips_stale_records_instead_of_double_applying() {
+    let dir = std::env::temp_dir().join(format!("lvpd-stale-{}", std::process::id()));
+    let artifact = serving_artifact();
+    let trace = run_durable(&artifact, &dir.join("live"));
+
+    // The save step: the snapshot appears (or changes) and the journal
+    // shrinks one step later than the last pre-save capture.
+    let save_step = trace
+        .disk
+        .windows(2)
+        .position(|w| w[1].journal.len() < w[0].journal.len())
+        .expect("workload contains a compacting save")
+        + 1;
+
+    // A crash *between* the snapshot write and the journal truncation
+    // leaves the new-epoch snapshot next to the old-epoch journal.
+    let torn_compaction = DiskState {
+        journal: trace.disk[save_step - 1].journal.clone(),
+        snapshot: trace.disk[save_step].snapshot.clone(),
+    };
+    let scratch = dir.join("scratch");
+    let durability = plant(&torn_compaction, &scratch);
+    let (recovered, report) = Daemon::recover(config(), durability).unwrap();
+    assert!(
+        report.records_stale > 0,
+        "old-epoch records must be recognized as stale: {report:?}"
+    );
+    assert_eq!(report.records_replayed, 0);
+    // The snapshot already contains every stale record's effect: state
+    // equals the live registry at the save point, nothing double-applied.
+    assert_eq!(
+        to_json(&recovered.snapshot()).unwrap(),
+        trace.state_json[save_step]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_and_bit_flipped_tails_truncate_to_the_last_durable_record() {
+    let dir = std::env::temp_dir().join(format!("lvpd-tails-{}", std::process::id()));
+    let artifact = serving_artifact();
+    let trace = run_durable(&artifact, &dir.join("live"));
+    let last = trace.disk.last().unwrap();
+
+    // The journal grew right up to the end (an open window was left in
+    // flight), so the final capture has at least one trailing record.
+    let boundary_step = trace
+        .disk
+        .iter()
+        .rposition(|d| d.journal.len() < last.journal.len())
+        .expect("final record has a preceding boundary");
+    let boundary = trace.disk[boundary_step].journal.len();
+    assert!(boundary < last.journal.len());
+
+    let scratch = dir.join("scratch");
+    // Tear the final record at several depths: inside the header, inside
+    // the payload, and one byte short of complete.
+    for cut in [boundary + 3, boundary + 12, last.journal.len() - 1] {
+        let torn = DiskState {
+            journal: last.journal[..cut].to_vec(),
+            snapshot: last.snapshot.clone(),
+        };
+        let durability = plant(&torn, &scratch);
+        let journal_path = durability.journal_path.clone().unwrap();
+        let (recovered, report) = Daemon::recover(config(), durability)
+            .unwrap_or_else(|e| panic!("torn tail at {cut} must recover, got: {e}"));
+        assert!(
+            report.tail_defect.is_some(),
+            "cut at {cut} must be classified: {report:?}"
+        );
+        assert_eq!(report.truncated_tail_bytes, (cut - boundary) as u64);
+        // The damaged tail is physically truncated to the last durable
+        // record, and the recovered state is the boundary state.
+        assert_eq!(
+            std::fs::metadata(&journal_path).unwrap().len(),
+            boundary as u64
+        );
+        assert_eq!(
+            to_json(&recovered.snapshot()).unwrap(),
+            trace.state_json[boundary_step]
+        );
+        // The truncation is visible in telemetry, typed, not a panic.
+        let snap = recovered.registry().snapshot();
+        assert_eq!(snap.counters["journal.tail_defects"], 1);
+        assert_eq!(
+            snap.counters["journal.tail_truncated_bytes"],
+            (cut - boundary) as u64
+        );
+    }
+
+    // A silent bit flip in the *middle* of the journal: every record up
+    // to the flipped one replays, the rest is truncated with a checksum
+    // defect — corruption never propagates into monitor state.
+    let mut flipped = DiskState {
+        journal: last.journal.clone(),
+        snapshot: last.snapshot.clone(),
+    };
+    let mid = boundary / 2;
+    flipped.journal[mid] ^= 0x10;
+    let durability = plant(&flipped, &scratch);
+    let (recovered, report) = Daemon::recover(config(), durability).unwrap();
+    let defect = report.tail_defect.clone().expect("flip must be detected");
+    assert!(
+        ["checksum", "magic", "header", "payload"]
+            .iter()
+            .any(|class| defect.contains(class)),
+        "unexpected defect class: {defect}"
+    );
+    assert!(report.truncated_tail_bytes > 0);
+    // The recovered prefix matches some earlier boundary exactly.
+    let prefix_state = to_json(&recovered.snapshot()).unwrap();
+    assert!(
+        trace.state_json.iter().any(|s| *s == prefix_state),
+        "bit-flip recovery must land on a boundary state"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn live_torn_appends_reject_the_request_without_applying_it() {
+    let dir = std::env::temp_dir().join(format!("lvpd-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = serving_artifact();
+    let durability = DurabilityConfig::in_dir(&dir);
+    let (daemon, _) = Daemon::recover(config(), durability.clone()).unwrap();
+
+    // Register cleanly, then inject deterministic torn writes.
+    let mut req = Request::targeted("register", &key("acme"));
+    req.artifact = Some(artifact.clone());
+    assert!(daemon.handle_request(req).is_ok());
+    daemon.inject_journal_faults(JournalFaultPlan {
+        seed: 41,
+        torn_write_period: Some(4),
+        bit_flip_period: None,
+    });
+
+    let mut rejected = 0usize;
+    let mut applied = 0usize;
+    for i in 0..24 {
+        let mut req = Request::targeted("observe", &key("acme"));
+        req.estimate = Some(0.35 + 0.01 * i as f64);
+        let resp = daemon.handle_request(req);
+        if resp.is_ok() {
+            applied += 1;
+        } else {
+            rejected += 1;
+            assert!(
+                resp.message
+                    .as_ref()
+                    .unwrap()
+                    .contains("journal append failed"),
+                "{:?}",
+                resp.message
+            );
+        }
+    }
+    assert!(rejected > 0, "the fault plan must have fired");
+    assert!(applied > 0, "most appends must still succeed");
+
+    // WAL-before-apply under faults: rejected observes were never applied,
+    // so the monitor saw exactly the accepted ones...
+    let live_state = to_json(&daemon.snapshot()).unwrap();
+    let batches = daemon
+        .snapshot()
+        .deployments
+        .iter()
+        .map(|d| d.artifact.monitor.batches_seen)
+        .sum::<usize>();
+    assert!(batches >= applied);
+
+    // ...and the torn half-records were repaired in place, so recovery
+    // from the faulted journal reproduces the live state exactly, with no
+    // tail damage left behind.
+    let (recovered, report) = Daemon::recover(config(), durability).unwrap();
+    assert!(report.tail_defect.is_none(), "{report:?}");
+    assert_eq!(to_json(&recovered.snapshot()).unwrap(), live_state);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_bare_json_snapshots_still_load_and_resave_enveloped() {
+    let dir = std::env::temp_dir().join(format!("lvpd-legacy-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = serving_artifact();
+
+    // A journal-less daemon builds some state.
+    let daemon = Daemon::new(config());
+    let mut req = Request::targeted("register", &key("acme"));
+    req.artifact = Some(artifact);
+    assert!(daemon.handle_request(req).is_ok());
+    let mut req = Request::targeted("observe", &key("acme"));
+    req.estimate = Some(0.61);
+    assert!(daemon.handle_request(req).is_ok());
+
+    // Write the registry the way pre-envelope, pre-journal releases did:
+    // bare JSON with no `journal_epoch` field at all.
+    let mut json = to_json(&daemon.snapshot()).unwrap();
+    assert!(json.contains("\"journal_epoch\":null"));
+    json = json.replace("\"journal_epoch\":null,", "");
+    let legacy_path = dir.join("legacy-registry.json");
+    std::fs::write(&legacy_path, json.as_bytes()).unwrap();
+
+    // Both restore paths ingest it.
+    let restored = Daemon::with_state_file(config(), &legacy_path).unwrap();
+    assert_eq!(
+        to_json(&restored.snapshot()).unwrap(),
+        to_json(&daemon.snapshot()).unwrap()
+    );
+    let (recovered, report) = Daemon::recover(
+        config(),
+        DurabilityConfig {
+            snapshot_path: Some(legacy_path.clone()),
+            journal_path: None,
+            fsync: Default::default(),
+        },
+    )
+    .unwrap();
+    assert!(report.snapshot_loaded);
+    assert_eq!(report.snapshot_deployments, 1);
+
+    // Re-saving upgrades the file to the checksummed envelope in place.
+    let mut req = Request::new("save");
+    req.path = Some(legacy_path.to_string_lossy().into_owned());
+    assert!(recovered.handle_request(req).is_ok());
+    let bytes = std::fs::read(&legacy_path).unwrap();
+    assert!(lvp_core::is_enveloped(&bytes));
+    assert!(Daemon::with_state_file(config(), &legacy_path).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
